@@ -1,0 +1,68 @@
+// Ablation: the candidate-subtree depth bound of Algorithm 1.
+//
+// The paper fixes "depth < 3".  This harness sweeps the bound (1..4 gate
+// levels) on PRESENT-style merges and reports the GA+TM area, the number of
+// camouflaged cells, and the attacker's configuration space.  Depth 1
+// degenerates to per-gate look-alike replacement (selects absorbed locally);
+// deeper candidates let whole mux structures collapse into single cells.
+
+#include "bench_common.hpp"
+#include "camo/camo_map.hpp"
+#include "flow/obfuscation_flow.hpp"
+#include "sbox/sbox_data.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+    using namespace mvf;
+    const benchx::BenchArgs args = benchx::BenchArgs::parse(argc, argv);
+    benchx::print_header("Ablation: Algorithm 1 subtree depth bound");
+
+    flow::ObfuscationFlow obfuscator;
+    std::unique_ptr<util::CsvWriter> csv;
+    if (!args.csv_path.empty()) {
+        csv = std::make_unique<util::CsvWriter>(args.csv_path);
+        csv->write_row({"n_sboxes", "depth", "synth_area", "camo_area", "cells",
+                        "config_bits", "verified", "ms"});
+    }
+
+    std::printf("%3s %6s | %10s %10s %7s %12s %9s %7s\n", "n", "depth",
+                "synth GE", "camo GE", "cells", "config bits", "verified", "ms");
+    std::printf("--------------------------------------------------------------------\n");
+
+    for (const int n : {4, 8, 16}) {
+        if (args.quick && n == 16) continue;
+        const auto fns = flow::from_sboxes(sbox::present_viable_set(n));
+        const auto pa = ga::PinAssignment::identity(n, 4, 4);
+        const flow::MergedSpec spec(fns, pa);
+        const tech::Netlist mapped =
+            obfuscator.synthesize(spec, synth::Effort::kDefault);
+
+        for (int depth = 1; depth <= 4; ++depth) {
+            camo::CamoMapParams params;
+            params.subtree.max_depth = depth;
+            util::Stopwatch sw;
+            const camo::CamoMapResult r =
+                camo::camo_map(mapped, obfuscator.camo_library(), n, params);
+            const double ms = sw.elapsed_ms();
+            const bool verified =
+                flow::ObfuscationFlow::verify_configurations(spec, r.netlist);
+            std::printf("%3d %6d | %10.1f %10.1f %7d %12.1f %9s %7.0f\n", n, depth,
+                        mapped.area(), r.stats.area, r.stats.num_cells,
+                        r.stats.config_space_bits, verified ? "yes" : "NO", ms);
+            if (csv) {
+                csv->write_row({util::CsvWriter::field(n),
+                                util::CsvWriter::field(depth),
+                                util::CsvWriter::field(mapped.area()),
+                                util::CsvWriter::field(r.stats.area),
+                                util::CsvWriter::field(r.stats.num_cells),
+                                util::CsvWriter::field(r.stats.config_space_bits),
+                                verified ? "1" : "0", util::CsvWriter::field(ms)});
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("expected shape: area is non-increasing in depth and saturates around\n"
+                "depth 3 (the paper's bound); verification holds at every depth.\n");
+    return 0;
+}

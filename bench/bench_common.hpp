@@ -1,0 +1,56 @@
+#pragma once
+// Shared helpers for the experiment harnesses under bench/.
+//
+// Every harness reproduces one table or figure of the paper, prints the
+// same rows/series the paper reports, and optionally appends CSV output.
+// Flags (all optional):
+//   --quick   minimal budgets (CI smoke run)
+//   --paper   paper-scale GA budget (~9726 individuals per circuit; slow)
+//   --seed N  RNG seed (default 1)
+//   --csv F   also write results to CSV file F
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace mvf::benchx {
+
+struct BenchArgs {
+    bool quick = false;
+    bool paper = false;
+    std::uint64_t seed = 1;
+    std::string csv_path;
+
+    static BenchArgs parse(int argc, char** argv) {
+        BenchArgs args;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--quick") == 0) {
+                args.quick = true;
+            } else if (std::strcmp(argv[i], "--paper") == 0) {
+                args.paper = true;
+            } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+                args.seed = std::strtoull(argv[++i], nullptr, 10);
+            } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+                args.csv_path = argv[++i];
+            } else {
+                std::fprintf(stderr,
+                             "usage: %s [--quick] [--paper] [--seed N] [--csv F]\n",
+                             argv[0]);
+                std::exit(2);
+            }
+        }
+        return args;
+    }
+};
+
+inline void print_header(const char* title) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title);
+    std::printf("  (reproduction of: Keshavarz, Paar, Holcomb, \"Design\n"
+                "   Automation for Obfuscated Circuits with Multiple Viable\n"
+                "   Functions\", DATE 2017)\n");
+    std::printf("==============================================================\n");
+}
+
+}  // namespace mvf::benchx

@@ -1,0 +1,59 @@
+// Reproduces Fig. 1b: the truth table of plausible functions of a doping-
+// camouflaged 2-input NAND, and extends it to the whole camouflaged library
+// (section II: "We use the same approach to create camouflaged versions of
+// the other library cells as well").
+
+#include "bench_common.hpp"
+#include "camo/camo_cell.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+    using namespace mvf;
+    const benchx::BenchArgs args = benchx::BenchArgs::parse(argc, argv);
+    benchx::print_header("Fig. 1b: plausible functions of camouflaged cells");
+
+    const camo::CamoLibrary lib =
+        camo::CamoLibrary::from_gate_library(tech::GateLibrary::standard());
+
+    // --- the exact Fig. 1b table for NAND2 ---
+    const int nand2 = lib.camo_of_nominal(lib.gate_library().find("NAND2"));
+    const camo::CamoCell& cell = lib.cell(nand2);
+    std::printf("CAMO_NAND2 (area %.2f GE, %zu plausible functions):\n\n",
+                cell.area, cell.plausible.size());
+    std::printf(" A B |");
+    for (std::size_t j = 0; j < cell.plausible.size(); ++j) {
+        std::printf(" f%zu", j);
+    }
+    std::printf("\n-----+-----------------------\n");
+    for (std::uint32_t m = 0; m < 4; ++m) {
+        std::printf(" %u %u |", m & 1, (m >> 1) & 1);
+        for (const auto& f : cell.plausible) {
+            std::printf("  %d", f.bit(m) ? 1 : 0);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(paper Fig. 1b: f0 = NAND(A,B), f1 = !A, f2 = !B, f3 = 1, f4 = 0)\n\n");
+
+    // --- library-wide summary ---
+    std::printf("%-12s %5s %6s %11s %12s\n", "cell", "pins", "area", "#plausible",
+                "config bits");
+    std::printf("---------------------------------------------------\n");
+    for (int id = 0; id < lib.num_cells(); ++id) {
+        const camo::CamoCell& c = lib.cell(id);
+        std::printf("%-12s %5d %6.2f %11zu %12.2f\n", c.name.c_str(), c.num_pins,
+                    c.area, c.plausible.size(), c.config_bits());
+    }
+
+    if (!args.csv_path.empty()) {
+        util::CsvWriter csv(args.csv_path);
+        csv.write_row({"cell", "pins", "area_ge", "num_plausible", "config_bits"});
+        for (int id = 0; id < lib.num_cells(); ++id) {
+            const camo::CamoCell& c = lib.cell(id);
+            csv.write_row({c.name, util::CsvWriter::field(c.num_pins),
+                           util::CsvWriter::field(c.area),
+                           util::CsvWriter::field(c.plausible.size()),
+                           util::CsvWriter::field(c.config_bits())});
+        }
+    }
+    return 0;
+}

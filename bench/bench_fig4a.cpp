@@ -1,0 +1,55 @@
+// Reproduces Fig. 4a: the distribution of synthesized circuit area over
+// random pin assignments for a merge of 8 PRESENT-style S-boxes.
+//
+// The paper draws a histogram of 9726 random pin assignments.  The default
+// budget is reduced; --paper restores the full count.
+
+#include "bench_common.hpp"
+#include "flow/obfuscation_flow.hpp"
+#include "ga/ga.hpp"
+#include "sbox/sbox_data.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+    using namespace mvf;
+    const benchx::BenchArgs args = benchx::BenchArgs::parse(argc, argv);
+    benchx::print_header(
+        "Fig. 4a: area distribution of random pin assignments (8 PRESENT S-boxes)");
+
+    const int count = args.paper ? 9726 : (args.quick ? 40 : 300);
+    flow::ObfuscationFlow obfuscator;
+    const auto fns = flow::from_sboxes(sbox::present_viable_set(8));
+
+    util::Stopwatch sw;
+    const ga::RandomSearchResult rs = ga::random_search(
+        8, 4, 4,
+        [&](const ga::PinAssignment& pa) {
+            return obfuscator.evaluate_area(fns, pa, synth::Effort::kFast);
+        },
+        count, args.seed);
+
+    util::RunningStats stats;
+    for (const double a : rs.all_areas) stats.add(a);
+    util::Histogram hist(stats.min() - 1.0, stats.max() + 1.0, 18);
+    for (const double a : rs.all_areas) hist.add(a);
+
+    std::printf("random pin assignments: %d   (%.1fs)\n", count, sw.elapsed_seconds());
+    std::printf("area GE: avg %.1f  best %.1f  worst %.1f  stddev %.1f\n\n",
+                stats.mean(), stats.min(), stats.max(), stats.stddev());
+    std::printf("%s\n", hist.render(52).c_str());
+    std::printf("paper (9726 samples): distribution centered near 205 GE with best 164 GE;\n"
+                "absolute GE differs here, the unimodal spread with a long best-side tail\n"
+                "is the feature to compare.\n");
+
+    if (!args.csv_path.empty()) {
+        util::CsvWriter csv(args.csv_path);
+        csv.write_row({"sample", "area_ge"});
+        for (std::size_t i = 0; i < rs.all_areas.size(); ++i) {
+            csv.write_row({util::CsvWriter::field(i),
+                           util::CsvWriter::field(rs.all_areas[i])});
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+// Attacker's-eye view: SAT-based de-camouflaging of an obfuscated circuit.
+//
+//   build/examples/example_attacker_analysis
+//
+// Plays the adversary of the paper's threat model: knows the cell library
+// (including camouflaged look-alikes), has the full netlist, knows the set
+// of viable functions -- but cannot probe internal signals.  For each
+// candidate function she solves "exists a dopant configuration making the
+// circuit implement f?".  Compares our flow's output against a randomly
+// camouflaged baseline.
+
+#include <cstdio>
+
+#include "attack/plausibility.hpp"
+#include "attack/random_camo.hpp"
+#include "flow/obfuscation_flow.hpp"
+#include "sbox/sbox_data.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+    using namespace mvf;
+
+    const int n_viable = 4;
+    flow::ObfuscationFlow obfuscator;
+
+    std::printf("== target 1: circuit produced by our flow (merging %d S-boxes) ==\n",
+                n_viable);
+    flow::FlowParams params;
+    params.ga.population = 10;
+    params.ga.generations = 5;
+    params.run_random_baseline = false;
+    const auto fns = flow::from_sboxes(sbox::present_viable_set(n_viable));
+    const flow::FlowResult r = obfuscator.run(fns, params);
+    const flow::MergedSpec spec(fns, r.ga.best);
+    std::printf("   %.1f GE, %d camouflaged cells, configuration space 2^%.0f\n\n",
+                r.ga_tm_area, r.camo_stats.num_cells, r.camo_stats.config_space_bits);
+
+    for (int k = 0; k < n_viable; ++k) {
+        util::Stopwatch sw;
+        const auto targets = spec.expected_outputs_for_code(k);
+        const attack::PlausibilityResult res =
+            attack::is_plausible(*r.camouflaged, targets);
+        std::printf("   is %s plausible?  %s   (%llu conflicts, %.0f ms)\n",
+                    sbox::leander_poschmann_16()[static_cast<std::size_t>(k)].name.c_str(),
+                    res.plausible ? "YES -- cannot rule it out" : "no",
+                    static_cast<unsigned long long>(res.sat_stats.conflicts),
+                    sw.elapsed_ms());
+    }
+    std::printf("   => the attacker learns nothing about which S-box the chip uses.\n\n");
+
+    std::printf("== target 2: random camouflaging of a plain G0 circuit ==\n");
+    const auto g0 = flow::from_sboxes(sbox::present_viable_set(1));
+    const flow::MergedSpec g0_spec(g0, ga::PinAssignment::identity(1, 4, 4));
+    const tech::Netlist mapped = obfuscator.synthesize(g0_spec, synth::Effort::kDefault);
+    util::Rng rng(17);
+    const attack::RandomCamoResult rc =
+        attack::random_camouflage(mapped, obfuscator.camo_library(), 0.5, rng);
+    std::printf("   %d of %d gates replaced by camouflaged look-alikes\n\n",
+                rc.camouflaged_cells, rc.netlist.num_cells());
+
+    for (int k = 0; k < n_viable; ++k) {
+        const auto targets =
+            sbox::leander_poschmann_16()[static_cast<std::size_t>(k)].output_tts();
+        const attack::PlausibilityResult res =
+            attack::is_plausible(rc.netlist, targets, &rc.fixed_nominal);
+        std::printf("   is %s plausible?  %s\n",
+                    sbox::leander_poschmann_16()[static_cast<std::size_t>(k)].name.c_str(),
+                    res.plausible ? "YES" : "no -- ruled out");
+    }
+    std::printf("   => despite exponentially many plausible functions, the attacker\n"
+                "      rules out every viable function except the true one. Random\n"
+                "      camouflaging does not defeat an adversary with prior knowledge\n"
+                "      (the paper's section-I motivation).\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+// Fig. 3 demo: why pin assignment matters for logic sharing.
+//
+//   build/examples/example_pin_assignment_demo
+//
+// Merges the paper's two example functions f0 = (AB+CD)E and f1 = (FG+HI)+J
+// and shows how the shared-input placement changes the synthesized area:
+// the aligned placement of Fig. 3a lets the (AB+CD)/(FG+HI) core be shared,
+// the scrambled placement of Fig. 3b does not, and the genetic algorithm
+// recovers a good placement automatically.
+
+#include <cstdio>
+
+#include "flow/obfuscation_flow.hpp"
+#include "io/blif.hpp"
+#include "logic/truth_table.hpp"
+
+#include <iostream>
+
+int main() {
+    using namespace mvf;
+    using logic::TruthTable;
+
+    const int n = 5;
+    const TruthTable core = (TruthTable::var(0, n) & TruthTable::var(1, n)) |
+                            (TruthTable::var(2, n) & TruthTable::var(3, n));
+    flow::ViableFunction f0;
+    f0.name = "(AB+CD)E";
+    f0.num_inputs = n;
+    f0.num_outputs = 1;
+    f0.outputs = {core & TruthTable::var(4, n)};
+    flow::ViableFunction f1;
+    f1.name = "(FG+HI)+J";
+    f1.num_inputs = n;
+    f1.num_outputs = 1;
+    f1.outputs = {core | TruthTable::var(4, n)};
+    const std::vector<flow::ViableFunction> fns{f0, f1};
+
+    flow::ObfuscationFlow obfuscator;
+
+    const auto report = [&](const char* label, const ga::PinAssignment& pa) {
+        const flow::MergedSpec spec(fns, pa);
+        const tech::Netlist nl = obfuscator.synthesize(spec, synth::Effort::kDefault);
+        std::printf("  %-28s %6.2f GE  (%d gates)\n", label, nl.area(), nl.num_cells());
+        return nl.area();
+    };
+
+    std::printf("merging %s and %s over one shared 5-bit input bus:\n\n",
+                f0.name.c_str(), f1.name.c_str());
+
+    const ga::PinAssignment aligned = ga::PinAssignment::identity(2, n, 1);
+    const double good = report("aligned placement (Fig. 3a):", aligned);
+
+    ga::PinAssignment scrambled = aligned;
+    scrambled.input_perms[1] = {2, 0, 1, 3, 4};  // A/G, B/H, C/F of Fig. 3b
+    const double bad = report("scrambled placement (Fig. 3b):", scrambled);
+
+    ga::GaParams params;
+    params.population = 16;
+    params.generations = 12;
+    const ga::GaResult g = ga::run_ga(2, n, 1, [&](const ga::PinAssignment& pa) {
+        return obfuscator.evaluate_area(fns, pa, synth::Effort::kDefault);
+    }, params);
+    std::printf("  %-28s %6.2f GE\n", "genetic algorithm:", g.best_area);
+
+    std::printf("\nsharing bonus of the aligned placement: %.2f GE (%.0f%%)\n",
+                bad - good, (bad - good) / bad * 100.0);
+
+    // Dump the aligned merged netlist as BLIF for inspection.
+    std::printf("\nBLIF of the aligned merged circuit:\n\n");
+    const flow::MergedSpec spec(fns, aligned);
+    const tech::Netlist nl = obfuscator.synthesize(spec, synth::Effort::kDefault);
+    io::write_blif(nl, "fig3_merged", std::cout);
+    return 0;
+}

@@ -1,0 +1,60 @@
+// PRESENT-style obfuscation at scale: merge up to all sixteen optimal 4-bit
+// S-box class representatives into a single camouflaged circuit.
+//
+//   build/examples/example_present_obfuscation [n] [seed]
+//
+// n = number of merged S-boxes (default 8, max 16).  Prints a Table-I style
+// summary plus security metrics, and writes the synthesized netlist BLIF to
+// present_obfuscated.blif in the working directory.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "flow/obfuscation_flow.hpp"
+#include "io/blif.hpp"
+#include "sbox/sbox_data.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+    using namespace mvf;
+    const int n = argc > 1 ? std::atoi(argv[1]) : 8;
+    const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+    if (n < 2 || n > 16) {
+        std::fprintf(stderr, "n must be in [2, 16]\n");
+        return 2;
+    }
+
+    const auto sboxes = sbox::present_viable_set(n);
+    std::printf("viable set (%d optimal S-boxes):", n);
+    for (const auto& s : sboxes) std::printf(" %s", s.name.c_str());
+    std::printf("\n");
+
+    flow::ObfuscationFlow obfuscator;
+    flow::FlowParams params;
+    params.ga.population = 16;
+    params.ga.generations = 12;
+    params.seed = seed;
+
+    util::Stopwatch sw;
+    const flow::FlowResult r = obfuscator.run(flow::from_sboxes(sboxes), params);
+
+    std::printf("\n%-24s %10s\n", "stage", "area (GE)");
+    std::printf("------------------------------------\n");
+    std::printf("%-24s %10.1f\n", "random avg", r.random_avg);
+    std::printf("%-24s %10.1f\n", "random best", r.random_best);
+    std::printf("%-24s %10.1f\n", "GA", r.ga_area);
+    std::printf("%-24s %10.1f\n", "GA+TM (camouflaged)", r.ga_tm_area);
+    std::printf("improvement over best random: %.1f%%\n", r.improvement_percent());
+    std::printf("verified: %s;  camo cells: %d;  config space: 2^%.0f;  "
+                "selects eliminated: %d\n",
+                r.verified ? "yes" : "NO", r.camo_stats.num_cells,
+                r.camo_stats.config_space_bits, r.camo_stats.selects_eliminated);
+    std::printf("runtime: %.1fs (%d GA evaluations)\n", sw.elapsed_seconds(),
+                r.ga.history.evaluations);
+
+    std::ofstream blif("present_obfuscated.blif");
+    io::write_blif(*r.synthesized, "present_merged", blif);
+    std::printf("\nwrote synthesized netlist to present_obfuscated.blif\n");
+    return r.verified ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+#pragma once
+// The de-camouflaging adversary (paper sections I and II).
+//
+// The attacker images the circuit, recognizes each look-alike cell and its
+// plausible-function set, and asks for a target viable function f: does
+// SOME assignment of cell functions make the circuit implement f?  With the
+// circuit's inputs fully enumerable (4-10 bits here) the 2QBF collapses to
+// plain SAT: one selector variable per (cell, plausible function) with
+// exactly-one constraints, one value variable per (node, input pattern),
+// and consistency clauses binding them.  SAT => f is plausible (a witness
+// dopant configuration is returned); UNSAT => the attacker can rule f out.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "camo/camo_netlist.hpp"
+#include "logic/truth_table.hpp"
+#include "sat/solver.hpp"
+
+namespace mvf::attack {
+
+struct PlausibilityResult {
+    bool plausible = false;
+    /// Witness configuration (per-node plausible index, -1 for non-cells);
+    /// valid when plausible.
+    std::vector<int> config;
+    sat::Solver::Stats sat_stats;
+};
+
+/// Decides whether the camouflaged netlist can implement the multi-output
+/// target (`targets[q]` = function of PO q over the netlist's PIs).
+/// `fixed_nominal`, if non-null, marks nodes the attacker knows are ordinary
+/// cells implementing their nominal function (used by the random-
+/// camouflaging baseline).
+PlausibilityResult is_plausible(const camo::CamoNetlist& netlist,
+                                std::span<const logic::TruthTable> targets,
+                                const std::vector<bool>* fixed_nominal = nullptr);
+
+/// Exhaustive cross-check for small configuration spaces: enumerates every
+/// configuration (up to `max_configs`) and simulates.  Returns the witness
+/// config or nullopt; empty optional + *exhausted=false means the space was
+/// too large to enumerate.
+std::optional<std::vector<int>> find_config_exhaustive(
+    const camo::CamoNetlist& netlist,
+    std::span<const logic::TruthTable> targets,
+    std::uint64_t max_configs = 1u << 20, bool* exhausted = nullptr);
+
+/// Attacker with unknown wire interpretation: tries every input and output
+/// permutation of the target function (the paper's assumption that pin
+/// correspondence is hidden).  Returns true if any interpretation is
+/// plausible.  Cost: num_inputs! * num_outputs! SAT calls; intended for
+/// 4-bit functions.
+bool is_plausible_any_pins(const camo::CamoNetlist& netlist,
+                           std::span<const logic::TruthTable> target_outputs,
+                           int* interpretations_tried = nullptr);
+
+}  // namespace mvf::attack

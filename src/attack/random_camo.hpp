@@ -1,0 +1,34 @@
+#pragma once
+// The random-camouflaging strawman (paper section I).
+//
+// "Random camouflaging is insufficient for obfuscating viable functions":
+// replacing an arbitrary subset of an ordinary netlist's gates with
+// camouflaged look-alikes creates exponentially many plausible functions,
+// but with overwhelming probability NONE of the other viable functions is
+// among them.  This module builds that baseline so the attacker benches can
+// demonstrate the gap quantitatively.
+
+#include "camo/camo_cell.hpp"
+#include "camo/camo_netlist.hpp"
+#include "map/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace mvf::attack {
+
+struct RandomCamoResult {
+    camo::CamoNetlist netlist;
+    /// Nodes the attacker knows are plain cells (not camouflaged).
+    std::vector<bool> fixed_nominal;
+    int camouflaged_cells = 0;
+};
+
+/// Replaces each cell of `mapped` (which must have no select inputs -- it is
+/// a plain single-function circuit) by its camouflaged look-alike;
+/// a random `fraction` of instances is actually camouflaged (attacker
+/// uncertainty), the rest stay fixed at the nominal function.  The true
+/// function of the circuit is preserved under configuration code 0.
+RandomCamoResult random_camouflage(const tech::Netlist& mapped,
+                                   const camo::CamoLibrary& library,
+                                   double fraction, util::Rng& rng);
+
+}  // namespace mvf::attack

@@ -1,0 +1,200 @@
+#include "camo/absfunc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace mvf::camo {
+
+using logic::TruthTable;
+using tech::Netlist;
+
+namespace {
+
+void sort_unique(std::vector<int>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+// Merges `sub` into `acc`, keeping leaf lists sorted/unique.
+void merge_into(const Subtree& sub, Subtree* acc) {
+    acc->internal.insert(acc->internal.end(), sub.internal.begin(),
+                         sub.internal.end());
+    acc->signal_leaves.insert(acc->signal_leaves.end(),
+                              sub.signal_leaves.begin(), sub.signal_leaves.end());
+    acc->select_leaves.insert(acc->select_leaves.end(),
+                              sub.select_leaves.begin(), sub.select_leaves.end());
+}
+
+void normalize(Subtree* t) {
+    sort_unique(&t->internal);
+    sort_unique(&t->signal_leaves);
+    sort_unique(&t->select_leaves);
+}
+
+struct Enumerator {
+    const Netlist& nl;
+    const std::vector<int>& fanouts;
+    const SubtreeParams& params;
+
+    bool expandable(int node) const {
+        return nl.node(node).kind == Netlist::NodeKind::kCell &&
+               fanouts[static_cast<std::size_t>(node)] == 1;
+    }
+
+    // Leaf-classified singleton for a fanin that is not expanded.
+    void add_leaf(int node, Subtree* t) const {
+        const Netlist::Node& n = nl.node(node);
+        if (n.kind == Netlist::NodeKind::kConst0 ||
+            n.kind == Netlist::NodeKind::kConst1) {
+            return;  // constants fold during evaluation
+        }
+        if (n.kind == Netlist::NodeKind::kPi && n.is_select) {
+            t->select_leaves.push_back(node);
+        } else {
+            t->signal_leaves.push_back(node);
+        }
+    }
+
+    std::vector<Subtree> enumerate(int root, int depth_left) const {
+        const Netlist::Node& rn = nl.node(root);
+        assert(rn.kind == Netlist::NodeKind::kCell);
+
+        // Per-fanin choice lists: not expanded, or any subtree of the fanin.
+        std::vector<std::vector<Subtree>> choices;
+        choices.reserve(rn.fanins.size());
+        for (const int f : rn.fanins) {
+            std::vector<Subtree> opts;
+            Subtree leaf_only;
+            add_leaf(f, &leaf_only);
+            opts.push_back(std::move(leaf_only));
+            if (depth_left > 1 && expandable(f)) {
+                for (Subtree& sub : enumerate(f, depth_left - 1)) {
+                    opts.push_back(std::move(sub));
+                }
+            }
+            choices.push_back(std::move(opts));
+        }
+
+        // Cartesian product with pruning on signal-leaf count.
+        std::vector<Subtree> result;
+        Subtree base;
+        base.root = root;
+        base.internal.push_back(root);
+        std::vector<Subtree> partial{base};
+        for (const auto& opts : choices) {
+            std::vector<Subtree> next;
+            for (const Subtree& p : partial) {
+                for (const Subtree& opt : opts) {
+                    if (static_cast<int>(next.size()) +
+                            static_cast<int>(result.size()) >
+                        params.max_candidates)
+                        break;
+                    Subtree combined = p;
+                    merge_into(opt, &combined);
+                    // Cheap over-approximation prune (exact check after dedup).
+                    normalize(&combined);
+                    if (static_cast<int>(combined.signal_leaves.size()) >
+                        params.max_signal_leaves)
+                        continue;
+                    next.push_back(std::move(combined));
+                }
+            }
+            partial = std::move(next);
+        }
+        for (Subtree& t : partial) {
+            t.root = root;
+            result.push_back(std::move(t));
+        }
+        return result;
+    }
+};
+
+}  // namespace
+
+std::vector<Subtree> enumerate_subtrees(const Netlist& netlist, int root,
+                                        const std::vector<int>& fanouts,
+                                        const SubtreeParams& params) {
+    const Enumerator e{netlist, fanouts, params};
+    return e.enumerate(root, params.max_depth);
+}
+
+TruthTable compose(const TruthTable& cell_fn,
+                   const std::vector<TruthTable>& pin_values) {
+    assert(static_cast<int>(pin_values.size()) == cell_fn.num_vars());
+    const int nv = pin_values.empty() ? 0 : pin_values[0].num_vars();
+    TruthTable out(nv);
+    for (std::uint32_t p = 0; p < cell_fn.num_bits(); ++p) {
+        if (!cell_fn.bit(p)) continue;
+        TruthTable term = TruthTable::ones(nv);
+        for (std::size_t j = 0; j < pin_values.size(); ++j) {
+            term &= ((p >> j) & 1) ? pin_values[j] : ~pin_values[j];
+        }
+        out |= term;
+    }
+    return out;
+}
+
+TruthTable subtree_function(const Netlist& netlist, const Subtree& ts) {
+    const int m = static_cast<int>(ts.signal_leaves.size());
+    const int s = static_cast<int>(ts.select_leaves.size());
+    const int nv = m + s;
+
+    std::unordered_map<int, TruthTable> value;
+    for (int i = 0; i < m; ++i) {
+        value.emplace(ts.signal_leaves[static_cast<std::size_t>(i)],
+                      TruthTable::var(i, nv));
+    }
+    for (int j = 0; j < s; ++j) {
+        value.emplace(ts.select_leaves[static_cast<std::size_t>(j)],
+                      TruthTable::var(m + j, nv));
+    }
+
+    // Internal nodes are sorted ascending = topological order.
+    for (const int node : ts.internal) {
+        const Netlist::Node& n = netlist.node(node);
+        std::vector<TruthTable> pins;
+        pins.reserve(n.fanins.size());
+        for (const int f : n.fanins) {
+            const auto it = value.find(f);
+            if (it != value.end()) {
+                pins.push_back(it->second);
+            } else {
+                const Netlist::Node& fn = netlist.node(f);
+                if (fn.kind == Netlist::NodeKind::kConst0) {
+                    pins.push_back(TruthTable::zeros(nv));
+                } else if (fn.kind == Netlist::NodeKind::kConst1) {
+                    pins.push_back(TruthTable::ones(nv));
+                } else {
+                    assert(false && "subtree fanin is neither leaf, internal, nor const");
+                    pins.push_back(TruthTable::zeros(nv));
+                }
+            }
+        }
+        value.insert_or_assign(
+            node, compose(netlist.library().cell(n.cell_id).function, pins));
+    }
+    return value.at(ts.root);
+}
+
+std::vector<TruthTable> abs_func(const Subtree& ts, const TruthTable& full) {
+    const int m = static_cast<int>(ts.signal_leaves.size());
+    const int s = static_cast<int>(ts.select_leaves.size());
+    std::vector<int> signal_vars(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) signal_vars[static_cast<std::size_t>(i)] = i;
+
+    std::vector<TruthTable> fns;
+    for (std::uint32_t a = 0; a < (1u << s); ++a) {
+        TruthTable g = full;
+        for (int j = 0; j < s; ++j) {
+            g = g.cofactor(m + j, (a >> j) & 1);
+        }
+        TruthTable projected = g.project(signal_vars);
+        if (std::find(fns.begin(), fns.end(), projected) == fns.end()) {
+            fns.push_back(std::move(projected));
+        }
+    }
+    return fns;
+}
+
+}  // namespace mvf::camo

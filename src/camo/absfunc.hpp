@@ -1,0 +1,62 @@
+#pragma once
+// Candidate-subtree enumeration and the ABSFUNC select abstraction of
+// Algorithm 1 (paper section III-C).
+//
+// Tree covering considers, for each netlist node, every fanout-free subtree
+// of bounded depth rooted there.  ABSFUNC computes the *set* of functions
+// such a subtree realizes over its non-select leaves, one function per
+// assignment of the select signals appearing inside it; a camouflaged cell
+// may cover the subtree only if its plausible set contains every one of
+// those functions under a single pin assignment.
+
+#include <vector>
+
+#include "logic/truth_table.hpp"
+#include "map/netlist.hpp"
+
+namespace mvf::camo {
+
+/// A fanout-free subtree rooted at `root`.  Leaf node lists are sorted and
+/// deduplicated; constant nodes are folded during evaluation and do not
+/// appear as leaves.
+struct Subtree {
+    int root = -1;
+    std::vector<int> internal;       ///< covered cell nodes (root included)
+    std::vector<int> signal_leaves;  ///< non-select leaf nodes
+    std::vector<int> select_leaves;  ///< select-input leaf nodes
+};
+
+struct SubtreeParams {
+    /// Maximum gate levels per candidate subtree.  Alg. 1's "depth < 3"
+    /// counts node depth including the leaf row, which corresponds to three
+    /// gate levels here; the ablation bench sweeps this knob.
+    int max_depth = 3;
+    /// Camouflaged cells have at most 4 pins.
+    int max_signal_leaves = 4;
+    /// Safety valve on candidates per root.
+    int max_candidates = 128;
+};
+
+/// All candidate subtrees rooted at `root` (a cell node).  Expansion stays
+/// within the fanout-free tree: only single-fanout cell fanins may become
+/// internal.  `fanouts` comes from Netlist::fanout_counts().
+std::vector<Subtree> enumerate_subtrees(const tech::Netlist& netlist, int root,
+                                        const std::vector<int>& fanouts,
+                                        const SubtreeParams& params);
+
+/// Function of the subtree root over (signal_leaves ++ select_leaves):
+/// variable i is signal leaf i, variable |signal|+j is select leaf j.
+logic::TruthTable subtree_function(const tech::Netlist& netlist,
+                                   const Subtree& ts);
+
+/// ABSFUNC: the set of functions over the signal leaves obtained for every
+/// assignment of the subtree's select leaves (deduplicated).  `full` must be
+/// subtree_function(netlist, ts).
+std::vector<logic::TruthTable> abs_func(const Subtree& ts,
+                                        const logic::TruthTable& full);
+
+/// Evaluates a cell function over pin-value truth tables (composition).
+logic::TruthTable compose(const logic::TruthTable& cell_fn,
+                          const std::vector<logic::TruthTable>& pin_values);
+
+}  // namespace mvf::camo

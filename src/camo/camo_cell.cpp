@@ -1,0 +1,87 @@
+#include "camo/camo_cell.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mvf::camo {
+
+using logic::TruthTable;
+
+int CamoCell::plausible_index(const TruthTable& f) const {
+    assert(f.num_vars() == num_pins);
+    for (std::size_t i = 0; i < plausible.size(); ++i) {
+        if (plausible[i] == f) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+double CamoCell::config_bits() const {
+    return std::log2(static_cast<double>(plausible.size()));
+}
+
+std::vector<TruthTable> CamoLibrary::plausible_closure(const TruthTable& nominal) {
+    const int k = nominal.num_vars();
+    std::vector<TruthTable> result;
+    const auto add_unique = [&result](const TruthTable& t) {
+        for (const TruthTable& u : result) {
+            if (u == t) return;
+        }
+        result.push_back(t);
+    };
+    add_unique(nominal);
+    // Every pin independently: free, stuck-0, or stuck-1 (3^k variants).
+    std::vector<int> state(static_cast<std::size_t>(k), 0);
+    while (true) {
+        // Advance the mixed-radix counter.
+        int p = 0;
+        while (p < k && state[static_cast<std::size_t>(p)] == 2) {
+            state[static_cast<std::size_t>(p)] = 0;
+            ++p;
+        }
+        if (p == k) break;
+        ++state[static_cast<std::size_t>(p)];
+
+        TruthTable f = nominal;
+        for (int pin = 0; pin < k; ++pin) {
+            const int s = state[static_cast<std::size_t>(pin)];
+            if (s == 1) f = f.cofactor(pin, false);
+            if (s == 2) f = f.cofactor(pin, true);
+        }
+        add_unique(f);
+    }
+    return result;
+}
+
+CamoLibrary CamoLibrary::from_gate_library(const tech::GateLibrary& lib) {
+    CamoLibrary out;
+    out.gate_lib_ = lib;
+    for (int id = 0; id < lib.num_cells(); ++id) {
+        const tech::GateCell& nominal = lib.cell(id);
+        CamoCell cell;
+        cell.name = "CAMO_" + nominal.name;
+        cell.nominal_cell_id = id;
+        cell.num_pins = nominal.num_inputs;
+        cell.area = nominal.area;
+        cell.plausible = plausible_closure(nominal.function);
+        out.cells_.push_back(std::move(cell));
+        out.nominal_to_camo_.emplace(id, out.num_cells() - 1);
+    }
+    // TIE look-alike: a pin-less filler-style cell that is plausibly either
+    // tie-low or tie-high; absorbs logic cones that depend only on selects.
+    CamoCell tie;
+    tie.name = "CAMO_TIE";
+    tie.nominal_cell_id = -1;
+    tie.num_pins = 0;
+    tie.area = 0.67;
+    tie.plausible = {TruthTable::zeros(0), TruthTable::ones(0)};
+    out.cells_.push_back(std::move(tie));
+    out.tie_id_ = out.num_cells() - 1;
+    return out;
+}
+
+int CamoLibrary::camo_of_nominal(int nominal_cell_id) const {
+    const auto it = nominal_to_camo_.find(nominal_cell_id);
+    return it == nominal_to_camo_.end() ? -1 : it->second;
+}
+
+}  // namespace mvf::camo

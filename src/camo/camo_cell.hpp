@@ -1,0 +1,72 @@
+#pragma once
+// Camouflaged look-alike cells (paper section II, Fig. 1).
+//
+// Each camouflaged cell is a dopant-programmable variant of a nominal
+// library cell: by forcing transistor pairs permanently ON/OFF, the cell
+// can implement the positive or negative cofactor of its nominal function
+// with respect to any subset of inputs.  The *plausible function set* of a
+// cell is therefore the closure of its nominal function under fixing any
+// subset of pins to constants.  For the 2-input NAND of Fig. 1b this yields
+// { NAND(A,B), !A, !B, 0, 1 }.  A camouflaged cell is visually identical to
+// its nominal cell, so its area cost equals the nominal area.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/truth_table.hpp"
+#include "map/gate_library.hpp"
+
+namespace mvf::camo {
+
+struct CamoCell {
+    std::string name;          ///< e.g. "CAMO_NAND2"
+    int nominal_cell_id = -1;  ///< into the gate library; -1 for TIE
+    int num_pins = 0;
+    double area = 0.0;  ///< GE of the nominal look-alike
+    /// All dopant-programmable functions, over pins 0..num_pins-1.
+    /// Entry 0 is the nominal function (for TIE: constant 0).
+    std::vector<logic::TruthTable> plausible;
+
+    /// Index of `f` (a table over num_pins variables) within `plausible`,
+    /// or -1 if the cell cannot implement it.
+    int plausible_index(const logic::TruthTable& f) const;
+    bool can_implement(const logic::TruthTable& f) const {
+        return plausible_index(f) >= 0;
+    }
+
+    /// log2 of the number of plausible functions (attacker uncertainty
+    /// contributed by one instance of this cell).
+    double config_bits() const;
+};
+
+class CamoLibrary {
+public:
+    /// Camouflaged variant of every cell in `lib`, plus a zero-pin TIE
+    /// look-alike (plausibly tie-high or tie-low) used to absorb
+    /// select-only logic cones.
+    static CamoLibrary from_gate_library(const tech::GateLibrary& lib);
+
+    int num_cells() const { return static_cast<int>(cells_.size()); }
+    const CamoCell& cell(int id) const { return cells_[static_cast<std::size_t>(id)]; }
+
+    int tie_id() const { return tie_id_; }
+
+    /// Index of the camouflaged variant of the given nominal cell, or -1.
+    int camo_of_nominal(int nominal_cell_id) const;
+
+    const tech::GateLibrary& gate_library() const { return gate_lib_; }
+
+    /// Builds the plausible set of a single nominal function: all functions
+    /// obtained by fixing any subset of pins to constants.
+    static std::vector<logic::TruthTable> plausible_closure(
+        const logic::TruthTable& nominal);
+
+private:
+    tech::GateLibrary gate_lib_;
+    std::vector<CamoCell> cells_;
+    std::unordered_map<int, int> nominal_to_camo_;
+    int tie_id_ = -1;
+};
+
+}  // namespace mvf::camo

@@ -1,0 +1,287 @@
+#include "camo/camo_map.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+namespace mvf::camo {
+
+using logic::TruthTable;
+using tech::Netlist;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The selected cover of one node: which subtree, which cell, and how leaves
+// map to pins.  fn_per_code[c] is the pin-space function the cell must
+// realize under viable-function code c.
+struct Cover {
+    bool valid = false;
+    Subtree ts;
+    int camo_cell_id = -1;
+    std::vector<int> used_leaves;      ///< signal leaves actually connected
+    std::vector<int> pin_of_leaf;      ///< pin index per used leaf
+    std::vector<TruthTable> fn_per_code;
+};
+
+struct CamoMapper {
+    const Netlist& nl;
+    const CamoLibrary& lib;
+    const int num_codes;
+    const CamoMapParams& params;
+
+    std::vector<int> fanouts;
+    std::vector<bool> is_root;       // tree roots (own cost counted globally)
+    std::vector<double> cost;        // DP cost per cell node
+    std::vector<Cover> cover;        // chosen cover per cell node
+    std::unordered_map<int, int> select_position;  // PI node -> select index
+
+    CamoMapper(const Netlist& netlist, const CamoLibrary& library,
+               int codes, const CamoMapParams& p)
+        : nl(netlist), lib(library), num_codes(codes), params(p) {
+        fanouts = nl.fanout_counts();
+        is_root.assign(static_cast<std::size_t>(nl.num_nodes()), false);
+        for (int i = 0; i < nl.num_pos(); ++i) {
+            is_root[static_cast<std::size_t>(nl.po(i))] = true;
+        }
+        for (int id = 0; id < nl.num_nodes(); ++id) {
+            if (nl.node(id).kind == Netlist::NodeKind::kCell &&
+                fanouts[static_cast<std::size_t>(id)] >= 2) {
+                is_root[static_cast<std::size_t>(id)] = true;
+            }
+        }
+        int sel = 0;
+        for (int i = 0; i < nl.num_pis(); ++i) {
+            const int pi_node = nl.pi(i);
+            if (nl.node(pi_node).is_select) {
+                select_position.emplace(pi_node, sel++);
+            }
+        }
+        cost.assign(static_cast<std::size_t>(nl.num_nodes()), kInf);
+        cover.assign(static_cast<std::size_t>(nl.num_nodes()), Cover{});
+    }
+
+    // Pin-space extension of f (over used leaves) under a pin assignment.
+    static TruthTable to_pin_space(const TruthTable& f, int num_pins,
+                                   const std::vector<int>& pin_of_leaf) {
+        return TruthTable::from_function(num_pins, [&](std::uint32_t m) {
+            std::uint32_t leaf_bits = 0;
+            for (std::size_t j = 0; j < pin_of_leaf.size(); ++j) {
+                if ((m >> pin_of_leaf[j]) & 1) leaf_bits |= 1u << j;
+            }
+            return f.bit(leaf_bits);
+        });
+    }
+
+    // Tries to cover `ts` with `cell`; on success fills pin assignment and
+    // per-code functions into `out` and returns true.
+    bool try_match(const Subtree& ts, const TruthTable& full,
+                   const std::vector<TruthTable>& fns, int camo_cell_id,
+                   Cover* out) const {
+        const CamoCell& cell = lib.cell(camo_cell_id);
+
+        // Support reduction: pins are only needed for leaves some abstracted
+        // function depends on.
+        std::vector<bool> needed(ts.signal_leaves.size(), false);
+        for (const TruthTable& f : fns) {
+            for (const int v : f.support()) needed[static_cast<std::size_t>(v)] = true;
+        }
+        std::vector<int> used_vars;
+        std::vector<int> used_leaves;
+        for (std::size_t i = 0; i < ts.signal_leaves.size(); ++i) {
+            if (needed[i]) {
+                used_vars.push_back(static_cast<int>(i));
+                used_leaves.push_back(ts.signal_leaves[i]);
+            }
+        }
+        const int m = static_cast<int>(used_vars.size());
+        if (m > cell.num_pins) return false;
+
+        std::vector<TruthTable> reduced;
+        reduced.reserve(fns.size());
+        for (const TruthTable& f : fns) reduced.push_back(f.project(used_vars));
+
+        // Try all injective leaf->pin assignments (pins <= 4).
+        std::vector<int> pins(static_cast<std::size_t>(cell.num_pins));
+        for (int p = 0; p < cell.num_pins; ++p) pins[static_cast<std::size_t>(p)] = p;
+
+        std::vector<std::vector<int>> tried;
+        do {
+            std::vector<int> sigma(pins.begin(), pins.begin() + m);
+            if (std::find(tried.begin(), tried.end(), sigma) != tried.end())
+                continue;
+            tried.push_back(sigma);
+
+            bool all_ok = true;
+            for (const TruthTable& f : reduced) {
+                if (!cell.can_implement(to_pin_space(f, cell.num_pins, sigma))) {
+                    all_ok = false;
+                    break;
+                }
+            }
+            if (!all_ok) continue;
+
+            out->valid = true;
+            out->ts = ts;
+            out->camo_cell_id = camo_cell_id;
+            out->used_leaves = used_leaves;
+            out->pin_of_leaf = sigma;
+            out->fn_per_code.clear();
+            out->fn_per_code.reserve(static_cast<std::size_t>(num_codes));
+            const int ms = static_cast<int>(ts.signal_leaves.size());
+            for (int code = 0; code < num_codes; ++code) {
+                TruthTable g = full;
+                for (std::size_t j = 0; j < ts.select_leaves.size(); ++j) {
+                    const int pos = select_position.at(ts.select_leaves[j]);
+                    g = g.cofactor(ms + static_cast<int>(j), (code >> pos) & 1);
+                }
+                TruthTable fc = g.project(used_vars);
+                out->fn_per_code.push_back(
+                    to_pin_space(fc, cell.num_pins, sigma));
+            }
+            return true;
+        } while (std::next_permutation(pins.begin(), pins.end()));
+        return false;
+    }
+
+    double leaf_cost(const Subtree& ts) const {
+        double c = 0.0;
+        for (const int leaf : ts.signal_leaves) {
+            if (nl.node(leaf).kind == Netlist::NodeKind::kCell &&
+                !is_root[static_cast<std::size_t>(leaf)]) {
+                assert(cost[static_cast<std::size_t>(leaf)] < kInf);
+                c += cost[static_cast<std::size_t>(leaf)];
+            }
+        }
+        return c;
+    }
+
+    void run_dp() {
+        for (int id = 0; id < nl.num_nodes(); ++id) {
+            if (nl.node(id).kind != Netlist::NodeKind::kCell) continue;
+            if (fanouts[static_cast<std::size_t>(id)] == 0 &&
+                !is_root[static_cast<std::size_t>(id)])
+                continue;  // dead
+
+            for (const Subtree& ts :
+                 enumerate_subtrees(nl, id, fanouts, params.subtree)) {
+                const TruthTable full = subtree_function(nl, ts);
+                const std::vector<TruthTable> fns = abs_func(ts, full);
+                const double leaves = leaf_cost(ts);
+
+                for (int cid = 0; cid < lib.num_cells(); ++cid) {
+                    const double candidate_cost = lib.cell(cid).area + leaves;
+                    if (candidate_cost >= cost[static_cast<std::size_t>(id)])
+                        continue;  // cannot improve
+                    Cover c;
+                    if (try_match(ts, full, fns, cid, &c)) {
+                        cost[static_cast<std::size_t>(id)] = candidate_cost;
+                        cover[static_cast<std::size_t>(id)] = std::move(c);
+                    }
+                }
+            }
+            assert(cost[static_cast<std::size_t>(id)] < kInf &&
+                   "depth-1 self-cover with the node's own camo cell must match");
+        }
+    }
+
+    CamoMapResult extract() {
+        CamoNetlist out(lib);
+        std::unordered_map<int, int> built;  // netlist node -> camo node
+
+        for (int i = 0; i < nl.num_pis(); ++i) {
+            const int pi_node = nl.pi(i);
+            if (nl.node(pi_node).is_select) continue;  // eliminated
+            built.emplace(pi_node, out.add_pi(nl.node(pi_node).name));
+        }
+
+        const auto materialize = [&](auto&& self, int node) -> int {
+            const auto it = built.find(node);
+            if (it != built.end()) return it->second;
+
+            const Netlist::Node& n = nl.node(node);
+            if (n.kind == Netlist::NodeKind::kConst0 ||
+                n.kind == Netlist::NodeKind::kConst1) {
+                // A constant net: realize with a TIE look-alike.
+                const bool value = n.kind == Netlist::NodeKind::kConst1;
+                CamoNetlist::Node tie;
+                tie.kind = CamoNetlist::NodeKind::kCell;
+                tie.camo_cell_id = lib.tie_id();
+                tie.used_pin_mask = 0;
+                const int idx = value ? 1 : 0;  // plausible = {0, 1}
+                tie.config_fn.assign(static_cast<std::size_t>(num_codes), idx);
+                const int id = out.add_cell(std::move(tie));
+                built.emplace(node, id);
+                return id;
+            }
+            assert(n.kind == Netlist::NodeKind::kCell);
+            const Cover& c = cover[static_cast<std::size_t>(node)];
+            assert(c.valid);
+
+            const CamoCell& cell = lib.cell(c.camo_cell_id);
+            CamoNetlist::Node inst;
+            inst.kind = CamoNetlist::NodeKind::kCell;
+            inst.camo_cell_id = c.camo_cell_id;
+            inst.fanins.assign(static_cast<std::size_t>(cell.num_pins), -1);
+            for (std::size_t j = 0; j < c.used_leaves.size(); ++j) {
+                const int leaf_id = self(self, c.used_leaves[j]);
+                inst.fanins[static_cast<std::size_t>(c.pin_of_leaf[j])] = leaf_id;
+                inst.used_pin_mask |= 1u << c.pin_of_leaf[j];
+            }
+            // Dopant-disconnected pins still need a physical net; tie them
+            // to any already-built signal (first used pin, else a PI).
+            int filler = -1;
+            for (const int f : inst.fanins) {
+                if (f >= 0) {
+                    filler = f;
+                    break;
+                }
+            }
+            if (filler < 0 && out.num_pis() > 0) filler = out.pi(0);
+            for (auto& f : inst.fanins) {
+                if (f < 0) {
+                    assert(filler >= 0 && "no net available for unused pins");
+                    f = filler;
+                }
+            }
+            for (int code = 0; code < num_codes; ++code) {
+                const int idx = cell.plausible_index(
+                    c.fn_per_code[static_cast<std::size_t>(code)]);
+                assert(idx >= 0 && "matched cover must be plausible per code");
+                inst.config_fn.push_back(idx);
+            }
+            const int id = out.add_cell(std::move(inst));
+            built.emplace(node, id);
+            return id;
+        };
+
+        for (int i = 0; i < nl.num_pos(); ++i) {
+            const int po_node = nl.po(i);
+            const Netlist::Node& n = nl.node(po_node);
+            assert(!(n.kind == Netlist::NodeKind::kPi && n.is_select) &&
+                   "a primary output may not be a raw select signal");
+            (void)n;
+            out.add_po(materialize(materialize, po_node), nl.po_name(i));
+        }
+
+        CamoMapResult result{std::move(out), {}};
+        result.stats.area = result.netlist.area();
+        result.stats.num_cells = result.netlist.num_cells();
+        result.stats.config_space_bits = result.netlist.config_space_bits();
+        result.stats.selects_eliminated = nl.num_selects();
+        return result;
+    }
+};
+
+}  // namespace
+
+CamoMapResult camo_map(const Netlist& synthesized, const CamoLibrary& library,
+                       int num_select_codes, const CamoMapParams& params) {
+    CamoMapper mapper(synthesized, library, num_select_codes, params);
+    mapper.run_dp();
+    return mapper.extract();
+}
+
+}  // namespace mvf::camo

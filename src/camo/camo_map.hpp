@@ -1,0 +1,47 @@
+#pragma once
+// Algorithm 1: technology mapping with camouflaged cells (paper III-C).
+//
+// Covers the synthesized gate netlist with camouflaged look-alike cells so
+// that the select inputs are eliminated while every function the circuit
+// could realize under any select assignment remains plausible.  The circuit
+// is split into fanout-free trees; per node, candidate subtrees of depth
+// < 3 are enumerated; ABSFUNC abstracts the selects of each candidate into
+// a function set; a camouflaged cell matches iff some injective leaf->pin
+// assignment places the whole set inside the cell's plausible functions;
+// dynamic programming selects the minimum-area cover.  During extraction
+// the per-select-code cell configuration is recorded, which later replays
+// each viable function in simulation (the paper's ModelSim check).
+
+#include <vector>
+
+#include "camo/absfunc.hpp"
+#include "camo/camo_cell.hpp"
+#include "camo/camo_netlist.hpp"
+#include "map/netlist.hpp"
+
+namespace mvf::camo {
+
+struct CamoMapParams {
+    SubtreeParams subtree;  ///< candidate enumeration bounds
+};
+
+struct CamoMapStats {
+    double area = 0.0;           ///< final look-alike area (GE)
+    int num_cells = 0;           ///< camouflaged cell instances
+    double config_space_bits = 0.0;
+    int selects_eliminated = 0;  ///< select inputs absorbed by doping
+};
+
+struct CamoMapResult {
+    CamoNetlist netlist;
+    CamoMapStats stats;
+};
+
+/// Maps `synthesized` (whose select PIs drive the choice among
+/// `num_select_codes` viable functions, select j = j-th select-flagged PI,
+/// code bit j = value of select j) onto camouflaged cells.
+CamoMapResult camo_map(const tech::Netlist& synthesized,
+                       const CamoLibrary& library, int num_select_codes,
+                       const CamoMapParams& params = {});
+
+}  // namespace mvf::camo

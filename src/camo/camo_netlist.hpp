@@ -1,0 +1,75 @@
+#pragma once
+// Final obfuscated netlist built from camouflaged look-alike cells.
+//
+// Unlike the synthesized tech::Netlist, the camouflaged netlist has NO
+// select inputs: Phase III absorbed them into dopant configurations.  Each
+// cell instance carries its per-select-code configuration table (which
+// plausible function realizes each viable function); this table is the
+// "appropriate gate functions" the paper supplies to ModelSim for
+// validation, and is what an attacker does NOT know.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "camo/camo_cell.hpp"
+
+namespace mvf::camo {
+
+class CamoNetlist {
+public:
+    enum class NodeKind { kPi, kCell };
+
+    struct Node {
+        NodeKind kind = NodeKind::kCell;
+        int camo_cell_id = -1;
+        /// Pin connections (node ids).  All pins are wired (look-alikes
+        /// cannot have floating pins); pins outside `used_pin_mask` are
+        /// dopant-disconnected and do not influence the output.
+        std::vector<int> fanins;
+        std::uint32_t used_pin_mask = 0;
+        /// config_fn[c] = index into the cell's plausible set realizing
+        /// viable-function code c (one entry per select code).
+        std::vector<int> config_fn;
+        std::string name;  ///< for kPi
+    };
+
+    explicit CamoNetlist(CamoLibrary library) : library_(std::move(library)) {}
+
+    const CamoLibrary& library() const { return library_; }
+
+    int add_pi(std::string name);
+    int add_cell(Node cell);
+
+    void add_po(int node, std::string name = "");
+
+    int num_nodes() const { return static_cast<int>(nodes_.size()); }
+    const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+
+    int num_pis() const { return static_cast<int>(pis_.size()); }
+    int pi(int i) const { return pis_[static_cast<std::size_t>(i)]; }
+    int num_pos() const { return static_cast<int>(pos_.size()); }
+    int po(int i) const { return pos_[static_cast<std::size_t>(i)]; }
+
+    /// Total look-alike area in GE.
+    double area() const;
+
+    int num_cells() const;
+
+    /// Attacker uncertainty: sum over instances of log2(#plausible).
+    double config_space_bits() const;
+
+    /// Per-cell plausible-function choice realizing select code `code`.
+    std::vector<int> configuration_for_code(int code) const;
+
+    bool validate() const;
+
+private:
+    CamoLibrary library_;
+    std::vector<Node> nodes_;
+    std::vector<int> pis_;
+    std::vector<int> pos_;
+    std::vector<std::string> po_names_;
+};
+
+}  // namespace mvf::camo

@@ -1,0 +1,118 @@
+#pragma once
+// The end-to-end obfuscation flow (the paper's primary contribution).
+//
+// Phase I   merge the viable functions into one circuit (MergedSpec),
+//           synthesize (balance/rewrite/refactor) and tech-map to gates;
+// Phase II  genetic algorithm over pin assignments with synthesized area as
+//           fitness, plus the equal-budget random baseline of Fig. 4;
+// Phase III Algorithm-1 camouflage covering that eliminates the selects
+//           while keeping every viable function plausible;
+// finally   a ModelSim-style validation replaying each per-code dopant
+//           configuration in simulation.
+//
+// One ObfuscationFlow instance owns the memoized synthesis/matching caches
+// and should be reused across experiments.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "camo/camo_cell.hpp"
+#include "camo/camo_map.hpp"
+#include "flow/merged_spec.hpp"
+#include "ga/ga.hpp"
+#include "map/tech_map.hpp"
+#include "synth/optimize.hpp"
+
+namespace mvf::flow {
+
+struct FlowParams {
+    ga::GaParams ga;
+    /// Synthesis effort for GA fitness evaluations (fast) and for the final
+    /// selected circuit (stronger).
+    synth::Effort fitness_effort = synth::Effort::kFast;
+    synth::Effort final_effort = synth::Effort::kDefault;
+    tech::TechMapParams map;
+    camo::CamoMapParams camo;
+    /// Build style for GA/random fitness evaluations (kFactored is the
+    /// paper's per-function RTL and is the cheapest).
+    BuildStyle fitness_build = BuildStyle::kFactored;
+    /// Try the shared-divisor-extraction build as well for the final
+    /// circuit and keep whichever maps smaller.
+    bool final_best_of_builds = true;
+    /// Random pin assignments for the baseline; -1 = same count as the GA's
+    /// fitness evaluations (the paper's equal-budget comparison).
+    int random_count = -1;
+    bool run_random_baseline = true;
+    bool run_camo_mapping = true;
+    /// Verify each viable function by replaying configurations (ModelSim
+    /// substitute).  Cheap; leave on.
+    bool verify = true;
+    std::uint64_t seed = 1;
+};
+
+struct FlowResult {
+    // Table I columns (GE).
+    double random_avg = 0.0;
+    double random_best = 0.0;
+    double ga_area = 0.0;
+    double ga_tm_area = 0.0;
+    /// (random_best - ga_tm_area) / random_best * 100, Table I's last column.
+    double improvement_percent() const {
+        return random_best > 0.0 ? (random_best - ga_tm_area) / random_best * 100.0
+                                 : 0.0;
+    }
+
+    ga::GaResult ga;
+    std::vector<double> random_areas;  ///< Fig. 4a samples
+
+    std::optional<tech::Netlist> synthesized;    ///< best GA circuit, mapped
+    std::optional<camo::CamoNetlist> camouflaged;
+    camo::CamoMapStats camo_stats;
+
+    bool verified = false;  ///< every viable function replayed correctly
+};
+
+class ObfuscationFlow {
+public:
+    explicit ObfuscationFlow(tech::GateLibrary library = tech::GateLibrary::standard());
+
+    const tech::GateLibrary& gate_library() const { return match_cache_.library(); }
+    const camo::CamoLibrary& camo_library() const { return camo_lib_; }
+
+    /// Phase I for a fixed pin assignment: merged AIG -> optimize -> map.
+    tech::Netlist synthesize(const MergedSpec& spec, synth::Effort effort,
+                             const tech::TechMapParams& map_params = {},
+                             BuildStyle style = BuildStyle::kFactored);
+
+    /// Like synthesize() but tries both build styles and keeps the smaller
+    /// mapped netlist.
+    tech::Netlist synthesize_best(const MergedSpec& spec, synth::Effort effort,
+                                  const tech::TechMapParams& map_params = {});
+
+    /// Synthesized area in GE (the GA fitness).
+    double evaluate_area(const std::vector<ViableFunction>& functions,
+                         const ga::PinAssignment& assignment,
+                         synth::Effort effort = synth::Effort::kFast,
+                         BuildStyle style = BuildStyle::kFactored);
+
+    /// Full Phases I-III plus baseline and validation.
+    FlowResult run(const std::vector<ViableFunction>& functions,
+                   const FlowParams& params);
+
+    /// ModelSim substitute: for every select code, applies the recorded
+    /// dopant configuration and checks the camouflaged netlist against the
+    /// expected viable function.
+    static bool verify_configurations(const MergedSpec& spec,
+                                      const camo::CamoNetlist& netlist);
+
+    synth::SynthContext& synth_context() { return synth_ctx_; }
+
+private:
+    synth::SynthContext synth_ctx_;
+    tech::MatchCache match_cache_;
+    camo::CamoLibrary camo_lib_;
+};
+
+}  // namespace mvf::flow

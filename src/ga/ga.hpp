@@ -1,0 +1,59 @@
+#pragma once
+// Genetic algorithm over pin assignments (paper section III-B).
+//
+// DEAP-style permutation GA: tournament selection, PMX crossover, swap
+// mutation, elitism.  The fitness of a genotype is the synthesized area of
+// the merged circuit (lower is better) as reported by technology mapping --
+// "we are using repeated logic synthesis in our exploration of pin
+// assignments".  Generation-by-generation history feeds Fig. 4b.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ga/genotype.hpp"
+
+namespace mvf::ga {
+
+struct GaParams {
+    int population = 48;
+    int generations = 60;
+    double crossover_prob = 0.9;
+    /// Per-permutation swap-mutation probability.
+    double mutation_prob = 0.25;
+    int tournament_size = 3;
+    int elite = 2;
+    std::uint64_t seed = 1;
+};
+
+struct GaHistory {
+    std::vector<double> best_per_generation;  ///< running best (Fig. 4b line)
+    std::vector<double> avg_per_generation;
+    int evaluations = 0;  ///< total fitness evaluations performed
+};
+
+struct GaResult {
+    PinAssignment best;
+    double best_area = 0.0;
+    GaHistory history;
+};
+
+/// Area-returning fitness (lower is better).
+using FitnessFn = std::function<double(const PinAssignment&)>;
+
+GaResult run_ga(int num_functions, int num_inputs, int num_outputs,
+                const FitnessFn& fitness, const GaParams& params);
+
+struct RandomSearchResult {
+    PinAssignment best;
+    double best_area = 0.0;
+    double avg_area = 0.0;
+    std::vector<double> all_areas;  ///< one per sample (Fig. 4a histogram)
+};
+
+/// Equal-budget baseline: `count` uniformly random pin assignments.
+RandomSearchResult random_search(int num_functions, int num_inputs,
+                                 int num_outputs, const FitnessFn& fitness,
+                                 int count, std::uint64_t seed);
+
+}  // namespace mvf::ga

@@ -1,0 +1,99 @@
+#include "ga/genotype.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mvf::ga {
+
+PinAssignment PinAssignment::identity(int num_functions, int num_inputs,
+                                      int num_outputs) {
+    PinAssignment pa;
+    std::vector<int> in(static_cast<std::size_t>(num_inputs));
+    std::iota(in.begin(), in.end(), 0);
+    std::vector<int> out(static_cast<std::size_t>(num_outputs));
+    std::iota(out.begin(), out.end(), 0);
+    pa.input_perms.assign(static_cast<std::size_t>(num_functions), in);
+    pa.output_perms.assign(static_cast<std::size_t>(num_functions), out);
+    return pa;
+}
+
+PinAssignment PinAssignment::random(int num_functions, int num_inputs,
+                                    int num_outputs, util::Rng& rng) {
+    PinAssignment pa;
+    pa.input_perms.reserve(static_cast<std::size_t>(num_functions));
+    pa.output_perms.reserve(static_cast<std::size_t>(num_functions));
+    for (int k = 0; k < num_functions; ++k) {
+        pa.input_perms.push_back(rng.permutation(num_inputs));
+        pa.output_perms.push_back(rng.permutation(num_outputs));
+    }
+    return pa;
+}
+
+namespace {
+
+bool is_permutation_of_n(const std::vector<int>& v) {
+    std::vector<bool> seen(v.size(), false);
+    for (const int x : v) {
+        if (x < 0 || x >= static_cast<int>(v.size()) ||
+            seen[static_cast<std::size_t>(x)])
+            return false;
+        seen[static_cast<std::size_t>(x)] = true;
+    }
+    return true;
+}
+
+}  // namespace
+
+bool PinAssignment::valid() const {
+    if (input_perms.size() != output_perms.size()) return false;
+    for (const auto& p : input_perms) {
+        if (!is_permutation_of_n(p)) return false;
+    }
+    for (const auto& p : output_perms) {
+        if (!is_permutation_of_n(p)) return false;
+    }
+    return true;
+}
+
+std::vector<int> pmx_crossover(const std::vector<int>& a,
+                               const std::vector<int>& b, util::Rng& rng) {
+    assert(a.size() == b.size());
+    const int n = static_cast<int>(a.size());
+    if (n < 2) return a;
+    int lo = rng.uniform_int(0, n - 1);
+    int hi = rng.uniform_int(0, n - 1);
+    if (lo > hi) std::swap(lo, hi);
+
+    std::vector<int> child(a.size(), -1);
+    std::vector<int> pos_in_a(a.size());
+    for (int i = 0; i < n; ++i) pos_in_a[static_cast<std::size_t>(a[static_cast<std::size_t>(i)])] = i;
+
+    // Copy the mapping section from parent a.
+    for (int i = lo; i <= hi; ++i) child[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)];
+
+    // Place parent b's values, following the PMX repair chain on conflicts.
+    std::vector<bool> used(a.size(), false);
+    for (int i = lo; i <= hi; ++i) used[static_cast<std::size_t>(a[static_cast<std::size_t>(i)])] = true;
+    for (int i = 0; i < n; ++i) {
+        if (i >= lo && i <= hi) continue;
+        int v = b[static_cast<std::size_t>(i)];
+        while (used[static_cast<std::size_t>(v)]) {
+            v = b[static_cast<std::size_t>(pos_in_a[static_cast<std::size_t>(v)])];
+        }
+        child[static_cast<std::size_t>(i)] = v;
+        used[static_cast<std::size_t>(v)] = true;
+    }
+    return child;
+}
+
+void swap_mutation(std::vector<int>* perm, util::Rng& rng) {
+    const int n = static_cast<int>(perm->size());
+    if (n < 2) return;
+    const int i = rng.uniform_int(0, n - 1);
+    int j = rng.uniform_int(0, n - 2);
+    if (j >= i) ++j;
+    std::swap((*perm)[static_cast<std::size_t>(i)], (*perm)[static_cast<std::size_t>(j)]);
+}
+
+}  // namespace mvf::ga

@@ -1,0 +1,43 @@
+#pragma once
+// Pin-assignment genotypes for Phase II (paper section III-B).
+//
+// The adversary cannot tell which physical wire carries which logical pin,
+// so the designer is free to permute, per viable function, (a) which shared
+// circuit input feeds each function input and (b) which merged output
+// position carries each function output.  A genotype is exactly this family
+// of permutations (Fig. 3's "Genotype" row).
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mvf::ga {
+
+struct PinAssignment {
+    /// input_perms[k][j] = shared-input index wired to input j of function k.
+    std::vector<std::vector<int>> input_perms;
+    /// output_perms[k][j] = merged-output position driven by output j of
+    /// function k.
+    std::vector<std::vector<int>> output_perms;
+
+    int num_functions() const { return static_cast<int>(input_perms.size()); }
+
+    static PinAssignment identity(int num_functions, int num_inputs,
+                                  int num_outputs);
+    static PinAssignment random(int num_functions, int num_inputs,
+                                int num_outputs, util::Rng& rng);
+
+    /// Every row is a permutation of the right size.
+    bool valid() const;
+
+    bool operator==(const PinAssignment&) const = default;
+};
+
+/// Partially-mapped crossover (PMX) of two parent permutations.
+std::vector<int> pmx_crossover(const std::vector<int>& a,
+                               const std::vector<int>& b, util::Rng& rng);
+
+/// Swaps two random positions in place.
+void swap_mutation(std::vector<int>* perm, util::Rng& rng);
+
+}  // namespace mvf::ga

@@ -1,0 +1,274 @@
+#include "io/blif.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace mvf::io {
+
+using net::Aig;
+using net::Lit;
+
+namespace {
+
+std::string aig_signal(Lit l) {
+    if (l == Aig::kConst0) return "gnd";
+    if (l == Aig::kConst1) return "vdd";
+    const std::string base = "n" + std::to_string(Aig::lit_node(l));
+    return Aig::lit_complemented(l) ? base + "_inv" : base;
+}
+
+}  // namespace
+
+void write_blif(const Aig& aig, const std::string& model_name,
+                std::ostream& out) {
+    out << ".model " << model_name << "\n.inputs";
+    for (int i = 0; i < aig.num_pis(); ++i) out << " n" << (i + 1);
+    out << "\n.outputs";
+    for (int i = 0; i < aig.num_pos(); ++i) out << " po" << i;
+    out << "\n";
+    out << ".names gnd\n";        // constant 0
+    out << ".names vdd\n1\n";     // constant 1
+
+    // Inverted signals needed anywhere.
+    std::vector<bool> need_inv(static_cast<std::size_t>(aig.num_nodes()), false);
+    for (int n = aig.num_pis() + 1; n < aig.num_nodes(); ++n) {
+        for (const Lit f : {aig.fanin0(n), aig.fanin1(n)}) {
+            if (Aig::lit_complemented(f)) {
+                need_inv[static_cast<std::size_t>(Aig::lit_node(f))] = true;
+            }
+        }
+    }
+    for (int i = 0; i < aig.num_pos(); ++i) {
+        const Lit po = aig.po(i);
+        if (Aig::lit_complemented(po)) {
+            need_inv[static_cast<std::size_t>(Aig::lit_node(po))] = true;
+        }
+    }
+    // Definition-before-use order: PI inverters first, then each AND node
+    // immediately followed by its inverter when some consumer needs it.
+    for (int n = 1; n <= aig.num_pis(); ++n) {
+        if (need_inv[static_cast<std::size_t>(n)]) {
+            out << ".names n" << n << " n" << n << "_inv\n0 1\n";
+        }
+    }
+    for (int n = aig.num_pis() + 1; n < aig.num_nodes(); ++n) {
+        out << ".names " << aig_signal(aig.fanin0(n)) << " "
+            << aig_signal(aig.fanin1(n)) << " n" << n << "\n11 1\n";
+        if (need_inv[static_cast<std::size_t>(n)]) {
+            out << ".names n" << n << " n" << n << "_inv\n0 1\n";
+        }
+    }
+    for (int i = 0; i < aig.num_pos(); ++i) {
+        out << ".names " << aig_signal(aig.po(i)) << " po" << i << "\n1 1\n";
+    }
+    out << ".end\n";
+}
+
+void write_blif(const tech::Netlist& netlist, const std::string& model_name,
+                std::ostream& out) {
+    out << ".model " << model_name << "\n.inputs";
+    for (int i = 0; i < netlist.num_pis(); ++i) {
+        out << " " << netlist.node(netlist.pi(i)).name;
+    }
+    out << "\n.outputs";
+    for (int i = 0; i < netlist.num_pos(); ++i) out << " " << netlist.po_name(i);
+    out << "\n";
+
+    const auto signal = [&netlist](int id) -> std::string {
+        const tech::Netlist::Node& n = netlist.node(id);
+        switch (n.kind) {
+            case tech::Netlist::NodeKind::kPi:
+                return n.name;
+            case tech::Netlist::NodeKind::kConst0:
+                return "gnd";
+            case tech::Netlist::NodeKind::kConst1:
+                return "vdd";
+            case tech::Netlist::NodeKind::kCell:
+                return "w" + std::to_string(id);
+        }
+        return "?";
+    };
+
+    bool has_const0 = false;
+    bool has_const1 = false;
+    for (int id = 0; id < netlist.num_nodes(); ++id) {
+        if (netlist.node(id).kind == tech::Netlist::NodeKind::kConst0) has_const0 = true;
+        if (netlist.node(id).kind == tech::Netlist::NodeKind::kConst1) has_const1 = true;
+    }
+    if (has_const0) out << ".names gnd\n";
+    if (has_const1) out << ".names vdd\n1\n";
+
+    for (int id = 0; id < netlist.num_nodes(); ++id) {
+        const tech::Netlist::Node& n = netlist.node(id);
+        if (n.kind != tech::Netlist::NodeKind::kCell) continue;
+        const tech::GateCell& cell = netlist.library().cell(n.cell_id);
+        out << ".names";
+        for (const int f : n.fanins) out << " " << signal(f);
+        out << " w" << id << "  # " << cell.name << "\n";
+        for (std::uint32_t m = 0; m < cell.function.num_bits(); ++m) {
+            if (!cell.function.bit(m)) continue;
+            for (int b = 0; b < cell.num_inputs; ++b) out << ((m >> b) & 1);
+            out << " 1\n";
+        }
+    }
+    for (int i = 0; i < netlist.num_pos(); ++i) {
+        out << ".names " << signal(netlist.po(i)) << " " << netlist.po_name(i)
+            << "\n1 1\n";
+    }
+    out << ".end\n";
+}
+
+void write_bench(const Aig& aig, std::ostream& out) {
+    for (int i = 0; i < aig.num_pis(); ++i) out << "INPUT(n" << (i + 1) << ")\n";
+    for (int i = 0; i < aig.num_pos(); ++i) out << "OUTPUT(po" << i << ")\n";
+
+    bool need_const = false;
+    for (int i = 0; i < aig.num_pos(); ++i) {
+        if (Aig::lit_node(aig.po(i)) == 0) need_const = true;
+    }
+    if (need_const) {
+        out << "NOT_n1_tmp = NOT(n1)\n";
+        out << "gnd = AND(n1, NOT_n1_tmp)\n";
+        out << "vdd = NOT(gnd)\n";
+    }
+
+    std::vector<bool> need_inv(static_cast<std::size_t>(aig.num_nodes()), false);
+    for (int n = aig.num_pis() + 1; n < aig.num_nodes(); ++n) {
+        for (const Lit f : {aig.fanin0(n), aig.fanin1(n)}) {
+            if (Aig::lit_complemented(f)) {
+                need_inv[static_cast<std::size_t>(Aig::lit_node(f))] = true;
+            }
+        }
+    }
+    for (int i = 0; i < aig.num_pos(); ++i) {
+        if (Aig::lit_complemented(aig.po(i))) {
+            need_inv[static_cast<std::size_t>(Aig::lit_node(aig.po(i)))] = true;
+        }
+    }
+    for (int n = 1; n < aig.num_nodes(); ++n) {
+        if (need_inv[static_cast<std::size_t>(n)]) {
+            out << "n" << n << "_inv = NOT(n" << n << ")\n";
+        }
+    }
+    for (int n = aig.num_pis() + 1; n < aig.num_nodes(); ++n) {
+        out << "n" << n << " = AND(" << aig_signal(aig.fanin0(n)) << ", "
+            << aig_signal(aig.fanin1(n)) << ")\n";
+    }
+    for (int i = 0; i < aig.num_pos(); ++i) {
+        out << "po" << i << " = BUFF(" << aig_signal(aig.po(i)) << ")\n";
+    }
+}
+
+std::optional<BlifModel> read_blif_collapse(std::istream& in) {
+    using logic::TruthTable;
+    BlifModel model;
+    std::vector<std::string> input_names;
+    std::vector<std::string> output_names;
+
+    struct Names {
+        std::vector<std::string> inputs;
+        std::string output;
+        std::vector<std::string> rows;  // "<pattern> 1" rows only
+    };
+    std::vector<Names> tables;
+
+    std::string line;
+    std::string pending;
+    std::vector<std::string> tokens;
+    Names* current = nullptr;
+
+    const auto tokenize = [&tokens](const std::string& s) {
+        tokens.clear();
+        std::istringstream iss(s);
+        std::string t;
+        while (iss >> t) tokens.push_back(t);
+    };
+
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.resize(hash);
+        if (!line.empty() && line.back() == '\\') {
+            pending += line.substr(0, line.size() - 1);
+            continue;
+        }
+        line = pending + line;
+        pending.clear();
+        tokenize(line);
+        if (tokens.empty()) continue;
+
+        if (tokens[0] == ".model") {
+            if (tokens.size() > 1) model.name = tokens[1];
+            current = nullptr;
+        } else if (tokens[0] == ".inputs") {
+            input_names.assign(tokens.begin() + 1, tokens.end());
+            current = nullptr;
+        } else if (tokens[0] == ".outputs") {
+            output_names.assign(tokens.begin() + 1, tokens.end());
+            current = nullptr;
+        } else if (tokens[0] == ".names") {
+            tables.emplace_back();
+            current = &tables.back();
+            current->inputs.assign(tokens.begin() + 1, tokens.end() - 1);
+            current->output = tokens.back();
+        } else if (tokens[0] == ".end") {
+            current = nullptr;
+        } else if (tokens[0][0] == '.') {
+            return std::nullopt;  // unsupported directive
+        } else if (current) {
+            if (tokens.size() == 1 && current->inputs.empty()) {
+                current->rows.push_back(tokens[0]);  // constant-1 row
+            } else if (tokens.size() == 2 && tokens[1] == "1") {
+                current->rows.push_back(tokens[0]);
+            } else if (tokens.size() == 2 && tokens[1] == "0") {
+                return std::nullopt;  // 0-rows unsupported
+            } else {
+                return std::nullopt;
+            }
+        }
+    }
+
+    const int ni = static_cast<int>(input_names.size());
+    if (ni > 16) return std::nullopt;
+    model.num_inputs = ni;
+    model.num_outputs = static_cast<int>(output_names.size());
+
+    std::map<std::string, TruthTable> value;
+    for (int i = 0; i < ni; ++i) value.emplace(input_names[static_cast<std::size_t>(i)], TruthTable::var(i, ni));
+
+    // Tables are written in topological order by our writer.
+    for (const Names& t : tables) {
+        TruthTable f(ni);
+        if (t.inputs.empty()) {
+            // constant: empty rows -> 0; a "1" row -> 1
+            if (!t.rows.empty()) f = TruthTable::ones(ni);
+        } else {
+            for (const std::string& row : t.rows) {
+                if (row.size() != t.inputs.size()) return std::nullopt;
+                TruthTable cube = TruthTable::ones(ni);
+                for (std::size_t b = 0; b < row.size(); ++b) {
+                    const auto it = value.find(t.inputs[b]);
+                    if (it == value.end()) return std::nullopt;
+                    if (row[b] == '1')
+                        cube &= it->second;
+                    else if (row[b] == '0')
+                        cube &= ~it->second;
+                    else if (row[b] != '-')
+                        return std::nullopt;
+                }
+                f |= cube;
+            }
+        }
+        value.insert_or_assign(t.output, f);
+    }
+
+    for (const std::string& name : output_names) {
+        const auto it = value.find(name);
+        if (it == value.end()) return std::nullopt;
+        model.outputs.push_back(it->second);
+    }
+    return model;
+}
+
+}  // namespace mvf::io

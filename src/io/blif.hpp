@@ -1,0 +1,45 @@
+#pragma once
+// BLIF emission/parsing for AIGs and mapped netlists.
+//
+// The paper's flow passes designs between Yosys and ABC as BLIF; this
+// module provides the same interchange surface so circuits produced here
+// can be inspected with, or imported into, external synthesis tools.  The
+// reader supports the subset the writer emits (.model/.inputs/.outputs/
+// .names with 0-/1-rows) and is round-trip tested.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "map/netlist.hpp"
+#include "net/aig.hpp"
+
+namespace mvf::io {
+
+/// Writes the AIG as BLIF (.names with two-literal AND rows; complemented
+/// edges become inverter .names).
+void write_blif(const net::Aig& aig, const std::string& model_name,
+                std::ostream& out);
+
+/// Writes a mapped netlist as BLIF .names rows (one per cell, truth table
+/// expanded to minterms).
+void write_blif(const tech::Netlist& netlist, const std::string& model_name,
+                std::ostream& out);
+
+/// Writes the AIG in ISCAS-ish .bench format (INPUT/OUTPUT/AND/NOT lines).
+void write_bench(const net::Aig& aig, std::ostream& out);
+
+/// A parsed BLIF logic network in truth-table form, for round-trip checks.
+struct BlifModel {
+    std::string name;
+    int num_inputs = 0;
+    int num_outputs = 0;
+    /// Output functions over the model inputs (input i = variable i).
+    std::vector<logic::TruthTable> outputs;
+};
+
+/// Parses the subset emitted by write_blif and collapses it to output
+/// functions.  Returns nullopt on malformed input or > 16 inputs.
+std::optional<BlifModel> read_blif_collapse(std::istream& in);
+
+}  // namespace mvf::io

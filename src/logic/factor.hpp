@@ -1,0 +1,66 @@
+#pragma once
+// Algebraic factoring of SOP covers into factored-form trees.
+//
+// The factored form drives multi-level AIG construction: a small factored
+// form means a small initial network, which the optimization script then
+// improves further.  The algorithm is classic literal-division ("quick
+// factor"): repeatedly divide the cover by its most frequent literal.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/sop.hpp"
+
+namespace mvf::logic {
+
+enum class FactorKind : std::uint8_t {
+    kConst0,
+    kConst1,
+    kLiteral,  ///< a variable or its complement
+    kAnd,
+    kOr,
+};
+
+/// One node of a factored-form tree stored in a FactorTree arena.
+struct FactorNode {
+    FactorKind kind = FactorKind::kConst0;
+    int var = -1;          ///< for kLiteral
+    bool negated = false;  ///< for kLiteral
+    std::vector<int> children;  ///< for kAnd / kOr (arena indices)
+};
+
+/// Arena-allocated factored form.  Node 0 exists only after building; the
+/// tree root is `root()`.
+class FactorTree {
+public:
+    /// Factored form of the given cover.
+    static FactorTree from_sop(const Sop& sop);
+
+    int root() const { return root_; }
+    const FactorNode& node(int idx) const { return nodes_[static_cast<std::size_t>(idx)]; }
+    int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+    /// Total literal count of the factored form.
+    int num_literals() const;
+
+    /// Truth table of the factored form over `num_vars` variables.
+    TruthTable to_truth_table(int num_vars) const;
+
+    /// Rendering like "((a b') + c) d".
+    std::string to_string() const;
+
+private:
+    int add(FactorNode n);
+    int build(std::vector<Cube> cubes);
+    int build_cube(const Cube& cube);
+
+    int literals_below(int idx) const;
+    TruthTable tt_below(int idx, int num_vars) const;
+    std::string string_below(int idx) const;
+
+    std::vector<FactorNode> nodes_;
+    int root_ = -1;
+};
+
+}  // namespace mvf::logic

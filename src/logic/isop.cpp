@@ -1,0 +1,83 @@
+#include "logic/isop.hpp"
+
+#include <cassert>
+
+namespace mvf::logic {
+namespace {
+
+// Recursive Minato-Morreale.  Returns the cover and writes the cover's
+// function to *cover_tt (same variable space as the arguments).
+std::vector<Cube> isop_rec(const TruthTable& lower, const TruthTable& upper,
+                           int top_var, TruthTable* cover_tt) {
+    if (lower.is_zero()) {
+        *cover_tt = TruthTable::zeros(lower.num_vars());
+        return {};
+    }
+    if (upper.is_ones()) {
+        *cover_tt = TruthTable::ones(lower.num_vars());
+        return {Cube{}};
+    }
+    // Find the highest variable either bound depends on.
+    int v = top_var;
+    while (v >= 0 && !lower.depends_on(v) && !upper.depends_on(v)) --v;
+    assert(v >= 0 && "non-constant interval must depend on some variable");
+
+    const TruthTable l0 = lower.cofactor(v, false);
+    const TruthTable l1 = lower.cofactor(v, true);
+    const TruthTable u0 = upper.cofactor(v, false);
+    const TruthTable u1 = upper.cofactor(v, true);
+
+    TruthTable g0;
+    TruthTable g1;
+    TruthTable g2;
+    std::vector<Cube> f0 = isop_rec(l0 & ~u1, u0, v - 1, &g0);
+    std::vector<Cube> f1 = isop_rec(l1 & ~u0, u1, v - 1, &g1);
+    const TruthTable l_rest = (l0 & ~g0) | (l1 & ~g1);
+    std::vector<Cube> f2 = isop_rec(l_rest, u0 & u1, v - 1, &g2);
+
+    const TruthTable xv = TruthTable::var(v, lower.num_vars());
+    *cover_tt = (~xv & g0) | (xv & g1) | g2;
+
+    std::vector<Cube> cover;
+    cover.reserve(f0.size() + f1.size() + f2.size());
+    for (Cube c : f0) {
+        c.add_literal(v, false);
+        cover.push_back(c);
+    }
+    for (Cube c : f1) {
+        c.add_literal(v, true);
+        cover.push_back(c);
+    }
+    for (const Cube& c : f2) cover.push_back(c);
+    return cover;
+}
+
+}  // namespace
+
+Sop isop(const TruthTable& lower, const TruthTable& upper) {
+    assert(lower.num_vars() == upper.num_vars());
+    assert((lower & ~upper).is_zero() && "isop requires lower <= upper");
+    Sop result;
+    result.num_vars = lower.num_vars();
+    TruthTable cover_tt;
+    result.cubes = isop_rec(lower, upper, lower.num_vars() - 1, &cover_tt);
+    return result;
+}
+
+Sop isop(const TruthTable& function) { return isop(function, function); }
+
+Sop isop_best_polarity(const TruthTable& function, bool* complemented) {
+    Sop pos = isop(function);
+    Sop neg = isop(~function);
+    const auto cost = [](const Sop& s) {
+        return s.num_literals() * 64 + s.num_cubes();
+    };
+    if (cost(neg) < cost(pos)) {
+        *complemented = true;
+        return neg;
+    }
+    *complemented = false;
+    return pos;
+}
+
+}  // namespace mvf::logic

@@ -1,0 +1,26 @@
+#pragma once
+// Irredundant sum-of-products generation (Minato-Morreale algorithm).
+//
+// Given an incompletely specified function sandwiched between `lower`
+// (onset) and `upper` (onset plus don't-cares), produces an irredundant
+// cover F with lower <= F <= upper.  Used to seed AIG construction from
+// truth tables and to resynthesize cuts during refactoring.
+
+#include "logic/sop.hpp"
+#include "logic/truth_table.hpp"
+
+namespace mvf::logic {
+
+/// Computes an irredundant SOP cover of any function between `lower` and
+/// `upper` (requires lower <= upper, same variable space).
+Sop isop(const TruthTable& lower, const TruthTable& upper);
+
+/// Completely specified convenience overload.
+Sop isop(const TruthTable& function);
+
+/// Returns the smaller (by literal count, then cube count) of an ISOP of the
+/// function and an ISOP of its complement.  `*complemented` reports which
+/// one was returned.
+Sop isop_best_polarity(const TruthTable& function, bool* complemented);
+
+}  // namespace mvf::logic

@@ -1,0 +1,46 @@
+#include "logic/sop.hpp"
+
+namespace mvf::logic {
+
+TruthTable Cube::to_truth_table(int num_vars) const {
+    TruthTable t = TruthTable::ones(num_vars);
+    for (int v = 0; v < num_vars; ++v) {
+        if (!has_var(v)) continue;
+        const TruthTable lit = TruthTable::var(v, num_vars);
+        t &= is_positive(v) ? lit : ~lit;
+    }
+    return t;
+}
+
+int Sop::num_literals() const {
+    int n = 0;
+    for (const auto& c : cubes) n += c.num_literals();
+    return n;
+}
+
+TruthTable Sop::to_truth_table() const {
+    TruthTable t(num_vars);
+    for (const auto& c : cubes) t |= c.to_truth_table(num_vars);
+    return t;
+}
+
+std::string Sop::to_string() const {
+    if (cubes.empty()) return "0";
+    std::string out;
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+        if (i) out += " + ";
+        const Cube& c = cubes[i];
+        if (c.mask == 0) {
+            out += "1";
+            continue;
+        }
+        for (int v = 0; v < num_vars; ++v) {
+            if (!c.has_var(v)) continue;
+            out += static_cast<char>('a' + v);
+            if (!c.is_positive(v)) out += '\'';
+        }
+    }
+    return out;
+}
+
+}  // namespace mvf::logic

@@ -1,0 +1,68 @@
+#pragma once
+// Cubes and sum-of-products covers over <= 16 variables.
+//
+// Covers are produced by the ISOP generator (isop.hpp) and consumed by the
+// algebraic factoring engine (factor.hpp) that seeds AIG construction.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.hpp"
+
+namespace mvf::logic {
+
+/// A product term.  `mask` has a bit per variable present in the cube;
+/// `polarity` gives the literal phase (1 = positive) for variables in mask.
+/// The empty cube (mask == 0) is the constant-true product.
+struct Cube {
+    std::uint32_t mask = 0;
+    std::uint32_t polarity = 0;
+
+    bool operator==(const Cube&) const = default;
+
+    int num_literals() const { return __builtin_popcount(mask); }
+    bool has_var(int v) const { return (mask >> v) & 1; }
+    bool is_positive(int v) const { return (polarity >> v) & 1; }
+
+    /// Adds literal v (positive or negative) to the cube.
+    void add_literal(int v, bool positive) {
+        mask |= 1u << v;
+        if (positive)
+            polarity |= 1u << v;
+        else
+            polarity &= ~(1u << v);
+    }
+
+    /// Removes variable v from the cube.
+    void remove_var(int v) {
+        mask &= ~(1u << v);
+        polarity &= ~(1u << v);
+    }
+
+    /// True iff the cube evaluates to 1 on the given minterm.
+    bool contains(std::uint32_t minterm) const {
+        return ((minterm ^ polarity) & mask) == 0;
+    }
+
+    /// Truth table of the cube in a space of `num_vars` variables.
+    TruthTable to_truth_table(int num_vars) const;
+};
+
+/// A sum-of-products cover.
+struct Sop {
+    int num_vars = 0;
+    std::vector<Cube> cubes;
+
+    bool empty() const { return cubes.empty(); }
+    int num_cubes() const { return static_cast<int>(cubes.size()); }
+    int num_literals() const;
+
+    /// Disjunction of all cubes.
+    TruthTable to_truth_table() const;
+
+    /// Human-readable form like "ab'c + d" (variables a, b, c, ...).
+    std::string to_string() const;
+};
+
+}  // namespace mvf::logic

@@ -1,0 +1,71 @@
+#pragma once
+// Gate-level mapped netlist.
+//
+// Output of technology mapping (Phase I/II area numbers are measured on
+// this) and input to the camouflage covering of Phase III (Algorithm 1
+// splits it into fanout-free trees).  Nodes are stored in topological
+// order; primary inputs carry an `is_select` flag so later phases know
+// which inputs are the function-select signals to be eliminated.
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "map/gate_library.hpp"
+
+namespace mvf::tech {
+
+class Netlist {
+public:
+    enum class NodeKind { kConst0, kConst1, kPi, kCell };
+
+    struct Node {
+        NodeKind kind = NodeKind::kCell;
+        int cell_id = -1;            ///< into the library, for kCell
+        std::vector<int> fanins;     ///< node ids, in cell pin order
+        std::string name;            ///< for kPi
+        bool is_select = false;      ///< for kPi
+    };
+
+    explicit Netlist(GateLibrary library) : library_(std::move(library)) {}
+
+    const GateLibrary& library() const { return library_; }
+
+    int add_pi(std::string name, bool is_select = false);
+    int add_const(bool value);
+    int add_cell(int cell_id, std::vector<int> fanins);
+    void add_po(int node, std::string name = "");
+
+    int num_nodes() const { return static_cast<int>(nodes_.size()); }
+    const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+
+    int num_pis() const { return static_cast<int>(pis_.size()); }
+    int pi(int i) const { return pis_[static_cast<std::size_t>(i)]; }
+    /// Number of PIs flagged as select inputs.
+    int num_selects() const;
+
+    int num_pos() const { return static_cast<int>(pos_.size()); }
+    int po(int i) const { return pos_[static_cast<std::size_t>(i)]; }
+    const std::string& po_name(int i) const { return po_names_[static_cast<std::size_t>(i)]; }
+
+    /// Total cell area in GE.
+    double area() const;
+
+    /// Number of kCell nodes.
+    int num_cells() const;
+
+    /// Fanout count per node (PO references included).
+    std::vector<int> fanout_counts() const;
+
+    /// Structural sanity: topological order, pin counts match cell arity.
+    bool validate() const;
+
+private:
+    GateLibrary library_;
+    std::vector<Node> nodes_;
+    std::vector<int> pis_;
+    std::vector<int> pos_;
+    std::vector<std::string> po_names_;
+};
+
+}  // namespace mvf::tech

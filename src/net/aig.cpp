@@ -1,0 +1,141 @@
+#include "net/aig.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mvf::net {
+
+Aig::Aig(int num_pis) : num_pis_(num_pis) {
+    const auto n = static_cast<std::size_t>(num_pis) + 1;
+    fanin0_.assign(n, 0);
+    fanin1_.assign(n, 0);
+}
+
+int Aig::add_node(Lit f0, Lit f1) {
+    fanin0_.push_back(f0);
+    fanin1_.push_back(f1);
+    return num_nodes() - 1;
+}
+
+Lit Aig::and2(Lit a, Lit b) {
+    if (a > b) std::swap(a, b);
+    // Constant folding and trivial cases.
+    if (a == kConst0) return kConst0;
+    if (a == kConst1) return b;
+    if (a == b) return a;
+    if (a == lit_not(b)) return kConst0;
+
+    const auto it = strash_.find(key(a, b));
+    if (it != strash_.end()) return make_lit(it->second, false);
+    const int node = add_node(a, b);
+    strash_.emplace(key(a, b), node);
+    return make_lit(node, false);
+}
+
+Lit Aig::lookup_and(Lit a, Lit b) const {
+    if (a > b) std::swap(a, b);
+    if (a == kConst0) return kConst0;
+    if (a == kConst1) return b;
+    if (a == b) return a;
+    if (a == lit_not(b)) return kConst0;
+    const auto it = strash_.find(key(a, b));
+    return it == strash_.end() ? kNoLit : make_lit(it->second, false);
+}
+
+Lit Aig::xor2(Lit a, Lit b) {
+    return or2(and2(a, lit_not(b)), and2(lit_not(a), b));
+}
+
+Lit Aig::mux(Lit sel, Lit then_lit, Lit else_lit) {
+    return or2(and2(sel, then_lit), and2(lit_not(sel), else_lit));
+}
+
+Lit Aig::and_many(std::span<const Lit> lits) {
+    if (lits.empty()) return kConst1;
+    Lit acc = lits[0];
+    for (std::size_t i = 1; i < lits.size(); ++i) acc = and2(acc, lits[i]);
+    return acc;
+}
+
+Lit Aig::or_many(std::span<const Lit> lits) {
+    if (lits.empty()) return kConst0;
+    Lit acc = lits[0];
+    for (std::size_t i = 1; i < lits.size(); ++i) acc = or2(acc, lits[i]);
+    return acc;
+}
+
+int Aig::add_po(Lit l) {
+    pos_.push_back(l);
+    return num_pos() - 1;
+}
+
+std::vector<int> Aig::reference_counts() const {
+    std::vector<int> refs(static_cast<std::size_t>(num_nodes()), 0);
+    for (int n = num_pis_ + 1; n < num_nodes(); ++n) {
+        ++refs[static_cast<std::size_t>(lit_node(fanin0(n)))];
+        ++refs[static_cast<std::size_t>(lit_node(fanin1(n)))];
+    }
+    for (const Lit po : pos_) ++refs[static_cast<std::size_t>(lit_node(po))];
+    return refs;
+}
+
+std::vector<int> Aig::levels() const {
+    std::vector<int> level(static_cast<std::size_t>(num_nodes()), 0);
+    for (int n = num_pis_ + 1; n < num_nodes(); ++n) {
+        level[static_cast<std::size_t>(n)] =
+            1 + std::max(level[static_cast<std::size_t>(lit_node(fanin0(n)))],
+                         level[static_cast<std::size_t>(lit_node(fanin1(n)))]);
+    }
+    return level;
+}
+
+Aig Aig::cleanup() const {
+    Aig out(num_pis_);
+    std::vector<Lit> copy(static_cast<std::size_t>(num_nodes()), kNoLit);
+    copy[0] = kConst0;
+    for (int i = 0; i < num_pis_; ++i) copy[static_cast<std::size_t>(i + 1)] = out.pi(i);
+
+    // Mark live nodes.
+    std::vector<bool> live(static_cast<std::size_t>(num_nodes()), false);
+    std::vector<int> stack;
+    for (const Lit po : pos_) stack.push_back(lit_node(po));
+    while (!stack.empty()) {
+        const int n = stack.back();
+        stack.pop_back();
+        if (live[static_cast<std::size_t>(n)] || !is_and(n)) continue;
+        live[static_cast<std::size_t>(n)] = true;
+        stack.push_back(lit_node(fanin0(n)));
+        stack.push_back(lit_node(fanin1(n)));
+    }
+
+    const auto map_lit = [&copy](Lit l) {
+        const Lit base = copy[static_cast<std::size_t>(lit_node(l))];
+        return lit_complemented(l) ? lit_not(base) : base;
+    };
+    for (int n = num_pis_ + 1; n < num_nodes(); ++n) {
+        if (!live[static_cast<std::size_t>(n)]) continue;
+        copy[static_cast<std::size_t>(n)] =
+            out.and2(map_lit(fanin0(n)), map_lit(fanin1(n)));
+    }
+    for (const Lit po : pos_) out.add_po(map_lit(po));
+    return out;
+}
+
+int Aig::count_live_ands() const {
+    std::vector<bool> live(static_cast<std::size_t>(num_nodes()), false);
+    std::vector<int> stack;
+    for (const Lit po : pos_) stack.push_back(lit_node(po));
+    int count = 0;
+    while (!stack.empty()) {
+        const int n = stack.back();
+        stack.pop_back();
+        if (live[static_cast<std::size_t>(n)] || !is_and(n)) continue;
+        live[static_cast<std::size_t>(n)] = true;
+        ++count;
+        stack.push_back(lit_node(fanin0(n)));
+        stack.push_back(lit_node(fanin1(n)));
+    }
+    return count;
+}
+
+}  // namespace mvf::net

@@ -1,0 +1,100 @@
+#pragma once
+// And-Inverter Graph with structural hashing.
+//
+// The AIG is the subject graph for all synthesis passes (Phase I/II of the
+// flow) and the input to technology mapping.  Representation follows ABC:
+// node 0 is the constant-false node, nodes 1..num_pis are primary inputs,
+// and every other node is a two-input AND.  Edges are literals
+// (2*node | complement).  Nodes are created in topological order (fanins
+// always have smaller ids), and and2() performs constant folding plus
+// structural hashing so identical subfunctions are shared automatically --
+// this sharing across merged viable functions is what the genetic pin
+// assignment of Phase II tries to maximize.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mvf::net {
+
+using Lit = std::uint32_t;
+
+class Aig {
+public:
+    static constexpr Lit kConst0 = 0;
+    static constexpr Lit kConst1 = 1;
+
+    static Lit make_lit(int node, bool complemented) {
+        return (static_cast<Lit>(node) << 1) | (complemented ? 1u : 0u);
+    }
+    static int lit_node(Lit l) { return static_cast<int>(l >> 1); }
+    static bool lit_complemented(Lit l) { return l & 1; }
+    static Lit lit_not(Lit l) { return l ^ 1u; }
+    static Lit lit_regular(Lit l) { return l & ~1u; }
+
+    /// Creates an AIG with `num_pis` primary inputs (nodes 1..num_pis).
+    explicit Aig(int num_pis);
+
+    int num_pis() const { return num_pis_; }
+    Lit pi(int i) const { return make_lit(1 + i, false); }
+
+    /// Total node count including constant and PIs.
+    int num_nodes() const { return static_cast<int>(fanin0_.size()); }
+    /// Number of AND nodes (the size metric used by optimization).
+    int num_ands() const { return num_nodes() - 1 - num_pis_; }
+
+    bool is_const0(int node) const { return node == 0; }
+    bool is_pi(int node) const { return node >= 1 && node <= num_pis_; }
+    bool is_and(int node) const { return node > num_pis_; }
+
+    Lit fanin0(int node) const { return fanin0_[static_cast<std::size_t>(node)]; }
+    Lit fanin1(int node) const { return fanin1_[static_cast<std::size_t>(node)]; }
+
+    /// Strashed, constant-folded AND of two literals.
+    Lit and2(Lit a, Lit b);
+
+    /// Returns the existing node literal for AND(a, b) or kNoLit if absent
+    /// (after folding); used for dry-run gain estimation during rewriting.
+    static constexpr Lit kNoLit = ~0u;
+    Lit lookup_and(Lit a, Lit b) const;
+
+    Lit or2(Lit a, Lit b) { return lit_not(and2(lit_not(a), lit_not(b))); }
+    Lit xor2(Lit a, Lit b);
+    Lit mux(Lit sel, Lit then_lit, Lit else_lit);
+    Lit and_many(std::span<const Lit> lits);
+    Lit or_many(std::span<const Lit> lits);
+
+    /// Registers a primary output; returns its index.
+    int add_po(Lit l);
+    int num_pos() const { return static_cast<int>(pos_.size()); }
+    Lit po(int i) const { return pos_[static_cast<std::size_t>(i)]; }
+    void set_po(int i, Lit l) { pos_[static_cast<std::size_t>(i)] = l; }
+
+    /// Fanout count per node, counting PO references.
+    std::vector<int> reference_counts() const;
+
+    /// Logic depth per node (PIs and constant at level 0).
+    std::vector<int> levels() const;
+
+    /// Structural copy containing only nodes reachable from the POs.
+    Aig cleanup() const;
+
+    /// Number of AND nodes reachable from the POs (cheap, no copy).
+    int count_live_ands() const;
+
+private:
+    int add_node(Lit f0, Lit f1);
+    static std::uint64_t key(Lit a, Lit b) {
+        return (static_cast<std::uint64_t>(a) << 32) | b;
+    }
+
+    int num_pis_;
+    std::vector<Lit> fanin0_;  // fanin0_[0..num_pis] unused (0)
+    std::vector<Lit> fanin1_;
+    std::vector<Lit> pos_;
+    std::unordered_map<std::uint64_t, int> strash_;
+};
+
+}  // namespace mvf::net

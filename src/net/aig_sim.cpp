@@ -1,0 +1,82 @@
+#include "net/aig_sim.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace mvf::net {
+
+using logic::TruthTable;
+
+std::vector<TruthTable> simulate(const Aig& aig,
+                                 std::span<const TruthTable> pi_functions) {
+    assert(static_cast<int>(pi_functions.size()) == aig.num_pis());
+    const int num_vars = pi_functions.empty() ? 0 : pi_functions[0].num_vars();
+    std::vector<TruthTable> value(static_cast<std::size_t>(aig.num_nodes()),
+                                  TruthTable::zeros(num_vars));
+    for (int i = 0; i < aig.num_pis(); ++i) {
+        value[static_cast<std::size_t>(i + 1)] = pi_functions[static_cast<std::size_t>(i)];
+    }
+    const auto lit_value = [&](Lit l) {
+        const TruthTable& t = value[static_cast<std::size_t>(Aig::lit_node(l))];
+        return Aig::lit_complemented(l) ? ~t : t;
+    };
+    for (int n = aig.num_pis() + 1; n < aig.num_nodes(); ++n) {
+        value[static_cast<std::size_t>(n)] =
+            lit_value(aig.fanin0(n)) & lit_value(aig.fanin1(n));
+    }
+    std::vector<TruthTable> outputs;
+    outputs.reserve(static_cast<std::size_t>(aig.num_pos()));
+    for (int i = 0; i < aig.num_pos(); ++i) outputs.push_back(lit_value(aig.po(i)));
+    return outputs;
+}
+
+std::vector<TruthTable> simulate_full(const Aig& aig) {
+    std::vector<TruthTable> pis;
+    pis.reserve(static_cast<std::size_t>(aig.num_pis()));
+    for (int i = 0; i < aig.num_pis(); ++i) {
+        pis.push_back(TruthTable::var(i, aig.num_pis()));
+    }
+    return simulate(aig, pis);
+}
+
+TruthTable evaluate_cone(const Aig& aig, Lit root_lit,
+                         std::span<const int> leaves) {
+    const int num_vars = static_cast<int>(leaves.size());
+    std::unordered_map<int, TruthTable> memo;
+    memo.emplace(0, TruthTable::zeros(num_vars));
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        memo.emplace(leaves[i], TruthTable::var(static_cast<int>(i), num_vars));
+    }
+
+    // Iterative post-order evaluation.
+    std::vector<int> stack{Aig::lit_node(root_lit)};
+    while (!stack.empty()) {
+        const int n = stack.back();
+        if (memo.count(n)) {
+            stack.pop_back();
+            continue;
+        }
+        assert(aig.is_and(n) && "cone walk escaped the given leaves");
+        const int c0 = Aig::lit_node(aig.fanin0(n));
+        const int c1 = Aig::lit_node(aig.fanin1(n));
+        const bool ready0 = memo.count(c0) != 0;
+        const bool ready1 = memo.count(c1) != 0;
+        if (ready0 && ready1) {
+            const TruthTable t0 = Aig::lit_complemented(aig.fanin0(n))
+                                      ? ~memo.at(c0)
+                                      : memo.at(c0);
+            const TruthTable t1 = Aig::lit_complemented(aig.fanin1(n))
+                                      ? ~memo.at(c1)
+                                      : memo.at(c1);
+            memo.emplace(n, t0 & t1);
+            stack.pop_back();
+        } else {
+            if (!ready0) stack.push_back(c0);
+            if (!ready1) stack.push_back(c1);
+        }
+    }
+    const TruthTable& t = memo.at(Aig::lit_node(root_lit));
+    return Aig::lit_complemented(root_lit) ? ~t : t;
+}
+
+}  // namespace mvf::net

@@ -1,0 +1,30 @@
+#pragma once
+// Truth-table simulation of AIGs.
+//
+// Used for equivalence checking of synthesis passes (property tests), for
+// evaluating reconvergent cones during refactoring, and for extracting the
+// specification function of merged circuits.
+
+#include <span>
+#include <vector>
+
+#include "logic/truth_table.hpp"
+#include "net/aig.hpp"
+
+namespace mvf::net {
+
+/// Evaluates every PO of `aig` with PI i bound to `pi_functions[i]`.
+/// All PI functions must share one variable space.
+std::vector<logic::TruthTable> simulate(
+    const Aig& aig, std::span<const logic::TruthTable> pi_functions);
+
+/// Evaluates all POs over the full input space (PI i = variable i).
+std::vector<logic::TruthTable> simulate_full(const Aig& aig);
+
+/// Evaluates the function of `root_lit` over the given cone leaves: leaf i
+/// becomes variable i of the result.  Every path from the root must reach a
+/// leaf, a PI listed in `leaves`, or the constant node.
+logic::TruthTable evaluate_cone(const Aig& aig, Lit root_lit,
+                                std::span<const int> leaves);
+
+}  // namespace mvf::net

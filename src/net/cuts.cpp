@@ -1,0 +1,121 @@
+#include "net/cuts.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mvf::net {
+namespace {
+
+// Truth tables of the four cut-leaf variables in the 4-var space.
+constexpr std::uint16_t kVarTT[4] = {0xaaaa, 0xcccc, 0xf0f0, 0xff00};
+
+// Re-expresses `tt` (over `from` leaves) in the variable space of `to`
+// (a superset of `from`).
+std::uint16_t expand_tt(std::uint16_t tt, const std::vector<int>& from,
+                        const std::vector<int>& to) {
+    std::uint16_t out = 0;
+    // position of each `from` leaf within `to`
+    int pos[4];
+    for (std::size_t i = 0; i < from.size(); ++i) {
+        const auto it = std::lower_bound(to.begin(), to.end(), from[i]);
+        assert(it != to.end() && *it == from[i]);
+        pos[i] = static_cast<int>(it - to.begin());
+    }
+    for (std::uint32_t m = 0; m < 16; ++m) {
+        std::uint32_t src = 0;
+        for (std::size_t i = 0; i < from.size(); ++i) {
+            if ((m >> pos[i]) & 1) src |= 1u << i;
+        }
+        if ((tt >> src) & 1) out |= static_cast<std::uint16_t>(1u << m);
+    }
+    return out;
+}
+
+// Merges two sorted leaf sets; returns false if the union exceeds max_leaves.
+bool merge_leaves(const std::vector<int>& a, const std::vector<int>& b,
+                  int max_leaves, std::vector<int>* out) {
+    out->clear();
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() || j < b.size()) {
+        int next;
+        if (j >= b.size() || (i < a.size() && a[i] < b[j])) {
+            next = a[i++];
+        } else if (i >= a.size() || b[j] < a[i]) {
+            next = b[j++];
+        } else {
+            next = a[i++];
+            ++j;
+        }
+        out->push_back(next);
+        if (static_cast<int>(out->size()) > max_leaves) return false;
+    }
+    return true;
+}
+
+bool is_subset(const std::vector<int>& small, const std::vector<int>& big) {
+    return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+CutSet::CutSet(const Aig& aig, const CutParams& params) {
+    cuts_.resize(static_cast<std::size_t>(aig.num_nodes()));
+
+    // Constant node: single empty-leaf cut with constant-0 function.
+    cuts_[0].push_back(Cut{{}, 0});
+
+    for (int i = 0; i < aig.num_pis(); ++i) {
+        const int node = i + 1;
+        cuts_[static_cast<std::size_t>(node)].push_back(
+            Cut{{node}, kVarTT[0]});
+    }
+
+    std::vector<int> merged;
+    for (int n = aig.num_pis() + 1; n < aig.num_nodes(); ++n) {
+        auto& node_cuts = cuts_[static_cast<std::size_t>(n)];
+        const Lit f0 = aig.fanin0(n);
+        const Lit f1 = aig.fanin1(n);
+        const auto& cuts0 = cuts_[static_cast<std::size_t>(Aig::lit_node(f0))];
+        const auto& cuts1 = cuts_[static_cast<std::size_t>(Aig::lit_node(f1))];
+
+        for (const Cut& c0 : cuts0) {
+            for (const Cut& c1 : cuts1) {
+                if (!merge_leaves(c0.leaves, c1.leaves, params.max_leaves, &merged))
+                    continue;
+                std::uint16_t t0 = expand_tt(c0.function, c0.leaves, merged);
+                std::uint16_t t1 = expand_tt(c1.function, c1.leaves, merged);
+                if (Aig::lit_complemented(f0)) t0 = static_cast<std::uint16_t>(~t0);
+                if (Aig::lit_complemented(f1)) t1 = static_cast<std::uint16_t>(~t1);
+                const Cut candidate{merged, static_cast<std::uint16_t>(t0 & t1)};
+
+                // Dominance filter: skip if an existing cut is a subset.
+                bool dominated = false;
+                for (const Cut& c : node_cuts) {
+                    if (is_subset(c.leaves, candidate.leaves)) {
+                        dominated = true;
+                        break;
+                    }
+                }
+                if (dominated) continue;
+                std::erase_if(node_cuts, [&candidate](const Cut& c) {
+                    return is_subset(candidate.leaves, c.leaves);
+                });
+                node_cuts.push_back(candidate);
+            }
+        }
+        // Keep the smallest cuts when over budget (stable by size).
+        std::stable_sort(node_cuts.begin(), node_cuts.end(),
+                         [](const Cut& a, const Cut& b) {
+                             return a.leaves.size() < b.leaves.size();
+                         });
+        if (static_cast<int>(node_cuts.size()) > params.max_cuts_per_node) {
+            node_cuts.resize(static_cast<std::size_t>(params.max_cuts_per_node));
+        }
+        if (params.include_trivial) {
+            node_cuts.push_back(Cut{{n}, kVarTT[0]});
+        }
+    }
+}
+
+}  // namespace mvf::net

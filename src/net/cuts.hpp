@@ -1,0 +1,43 @@
+#pragma once
+// K-feasible cut enumeration with cut functions.
+//
+// Cuts drive both NPN rewriting (4-cuts classified by canonical form) and
+// structural technology mapping (cut function matched against library
+// cells).  Each cut stores its sorted leaf set and its function as a 16-bit
+// truth table over the leaf positions (leaf i = variable i; unused
+// variables are don't-cares).
+
+#include <cstdint>
+#include <vector>
+
+#include "net/aig.hpp"
+
+namespace mvf::net {
+
+struct Cut {
+    std::vector<int> leaves;        ///< sorted node ids
+    std::uint16_t function = 0;     ///< tt over leaf positions (4-var space)
+
+    int size() const { return static_cast<int>(leaves.size()); }
+};
+
+struct CutParams {
+    int max_leaves = 4;        ///< K (at most 4; functions are 16-bit)
+    int max_cuts_per_node = 8; ///< priority cuts kept per node
+    bool include_trivial = true;
+};
+
+/// All cuts per node, indexed by node id.  PIs get only their trivial cut.
+class CutSet {
+public:
+    CutSet(const Aig& aig, const CutParams& params);
+
+    const std::vector<Cut>& cuts_of(int node) const {
+        return cuts_[static_cast<std::size_t>(node)];
+    }
+
+private:
+    std::vector<std::vector<Cut>> cuts_;
+};
+
+}  // namespace mvf::net

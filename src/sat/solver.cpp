@@ -1,0 +1,359 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace mvf::sat {
+namespace {
+
+// Luby restart sequence (1,1,2,1,1,2,4,...).
+std::uint64_t luby(std::uint64_t i) {
+    std::uint64_t k = 1;
+    while ((1ull << k) - 1 < i + 1) ++k;
+    while ((1ull << k) - 1 != i + 1) {
+        i -= (1ull << (k - 1)) - 1;
+        k = 1;
+        while ((1ull << k) - 1 < i + 1) ++k;
+    }
+    return 1ull << (k - 1);
+}
+
+}  // namespace
+
+Var Solver::new_var() {
+    const Var v = num_vars();
+    assigns_.push_back(Value::kUnknown);
+    polarity_.push_back(false);
+    level_.push_back(0);
+    reason_.push_back(kNoReason);
+    activity_.push_back(0.0);
+    seen_.push_back(false);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+    if (!ok_) return false;
+    assert(decision_level() == 0);
+    // Simplify: drop duplicate/false literals, detect tautologies/sat.
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    for (const Lit l : lits) {
+        if (!out.empty() && out.back() == l) continue;
+        if (!out.empty() && out.back() == lit_not(l)) return true;  // tautology
+        if (value(l) == Value::kTrue) return true;                  // already sat
+        if (value(l) == Value::kFalse) continue;                    // dead lit
+        out.push_back(l);
+    }
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        enqueue(out[0], kNoReason);
+        if (propagate() >= 0) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+    clauses_.push_back({std::move(out), false, 0.0});
+    attach(static_cast<int>(clauses_.size()) - 1);
+    return true;
+}
+
+void Solver::attach(int clause_idx) {
+    const Clause& c = clauses_[static_cast<std::size_t>(clause_idx)];
+    watches_[static_cast<std::size_t>(lit_not(c.lits[0]))].push_back(clause_idx);
+    watches_[static_cast<std::size_t>(lit_not(c.lits[1]))].push_back(clause_idx);
+}
+
+void Solver::enqueue(Lit l, int reason) {
+    assert(value(l) == Value::kUnknown);
+    const Var v = lit_var(l);
+    assigns_[static_cast<std::size_t>(v)] =
+        lit_negated(l) ? Value::kFalse : Value::kTrue;
+    level_[static_cast<std::size_t>(v)] = decision_level();
+    reason_[static_cast<std::size_t>(v)] = reason;
+    polarity_[static_cast<std::size_t>(v)] = !lit_negated(l);
+    trail_.push_back(l);
+}
+
+int Solver::propagate() {
+    while (qhead_ < trail_.size()) {
+        const Lit p = trail_[qhead_++];
+        ++stats_.propagations;
+        std::vector<int>& watch_list = watches_[static_cast<std::size_t>(p)];
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < watch_list.size(); ++i) {
+            const int ci = watch_list[i];
+            Clause& c = clauses_[static_cast<std::size_t>(ci)];
+            // Make sure the falsified literal is lits[1].
+            const Lit not_p = lit_not(p);
+            if (c.lits[0] == not_p) std::swap(c.lits[0], c.lits[1]);
+            assert(c.lits[1] == not_p);
+            if (value(c.lits[0]) == Value::kTrue) {
+                watch_list[keep++] = ci;  // clause satisfied; keep watch
+                continue;
+            }
+            // Look for a new literal to watch.
+            bool moved = false;
+            for (std::size_t k = 2; k < c.lits.size(); ++k) {
+                if (value(c.lits[k]) != Value::kFalse) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches_[static_cast<std::size_t>(lit_not(c.lits[1]))].push_back(ci);
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved) continue;
+            // Unit or conflicting.
+            watch_list[keep++] = ci;
+            if (value(c.lits[0]) == Value::kFalse) {
+                // Conflict: restore remaining watches and report.
+                for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+                    watch_list[keep++] = watch_list[j];
+                }
+                watch_list.resize(keep);
+                qhead_ = trail_.size();
+                return ci;
+            }
+            enqueue(c.lits[0], ci);
+        }
+        watch_list.resize(keep);
+    }
+    return -1;
+}
+
+void Solver::bump_var(Var v) {
+    activity_[static_cast<std::size_t>(v)] += var_inc_;
+    if (activity_[static_cast<std::size_t>(v)] > 1e100) {
+        for (auto& a : activity_) a *= 1e-100;
+        var_inc_ *= 1e-100;
+    }
+}
+
+void Solver::decay_var_activity() { var_inc_ /= 0.95; }
+
+void Solver::analyze(int conflict, std::vector<Lit>* learned_out,
+                     int* backtrack_level) {
+    learned_out->clear();
+    learned_out->push_back(0);  // placeholder for the asserting literal
+
+    int counter = 0;
+    Lit p = -1;
+    int index = static_cast<int>(trail_.size()) - 1;
+    int ci = conflict;
+    std::vector<Var> marked;  // every var whose seen_ flag we set
+
+    do {
+        const Clause& c = clauses_[static_cast<std::size_t>(ci)];
+        const std::size_t start = (p == -1) ? 0 : 1;
+        for (std::size_t k = start; k < c.lits.size(); ++k) {
+            const Lit q = c.lits[k];
+            const Var v = lit_var(q);
+            if (seen_[static_cast<std::size_t>(v)] ||
+                level_[static_cast<std::size_t>(v)] == 0)
+                continue;
+            seen_[static_cast<std::size_t>(v)] = true;
+            marked.push_back(v);
+            bump_var(v);
+            if (level_[static_cast<std::size_t>(v)] == decision_level()) {
+                ++counter;
+            } else {
+                learned_out->push_back(q);
+            }
+        }
+        // Find the next seen literal on the trail.
+        while (!seen_[static_cast<std::size_t>(lit_var(trail_[static_cast<std::size_t>(index)]))]) {
+            --index;
+        }
+        p = trail_[static_cast<std::size_t>(index)];
+        --index;
+        seen_[static_cast<std::size_t>(lit_var(p))] = false;
+        ci = reason_[static_cast<std::size_t>(lit_var(p))];
+        --counter;
+    } while (counter > 0);
+    (*learned_out)[0] = lit_not(p);
+
+    // Clause minimization: drop literals implied by the rest of the clause.
+    std::uint32_t abstract_levels = 0;
+    for (std::size_t i = 1; i < learned_out->size(); ++i) {
+        abstract_levels |=
+            1u << (level_[static_cast<std::size_t>(lit_var((*learned_out)[i]))] & 31);
+    }
+    std::vector<Lit> minimized{(*learned_out)[0]};
+    for (std::size_t i = 1; i < learned_out->size(); ++i) {
+        const Lit l = (*learned_out)[i];
+        if (reason_[static_cast<std::size_t>(lit_var(l))] == kNoReason ||
+            !lit_redundant(l, abstract_levels)) {
+            minimized.push_back(l);
+        }
+    }
+    *learned_out = std::move(minimized);
+
+    // Compute backtrack level = second-highest level in the clause.
+    *backtrack_level = 0;
+    if (learned_out->size() > 1) {
+        std::size_t max_i = 1;
+        for (std::size_t i = 2; i < learned_out->size(); ++i) {
+            if (level_[static_cast<std::size_t>(lit_var((*learned_out)[i]))] >
+                level_[static_cast<std::size_t>(lit_var((*learned_out)[max_i]))]) {
+                max_i = i;
+            }
+        }
+        std::swap((*learned_out)[1], (*learned_out)[max_i]);
+        *backtrack_level = level_[static_cast<std::size_t>(lit_var((*learned_out)[1]))];
+    }
+
+    // Clear every mark set during this analysis (including literals dropped
+    // by minimization -- leaking those would poison later analyses).
+    for (const Var v : marked) {
+        seen_[static_cast<std::size_t>(v)] = false;
+    }
+}
+
+bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
+    analyze_stack_.assign(1, l);
+    std::vector<Var> to_clear;
+    bool redundant = true;
+    while (!analyze_stack_.empty() && redundant) {
+        const Lit cur = analyze_stack_.back();
+        analyze_stack_.pop_back();
+        const int ci = reason_[static_cast<std::size_t>(lit_var(cur))];
+        if (ci == kNoReason) {
+            redundant = false;
+            break;
+        }
+        const Clause& c = clauses_[static_cast<std::size_t>(ci)];
+        for (std::size_t k = 1; k < c.lits.size(); ++k) {
+            const Lit q = c.lits[k];
+            const Var v = lit_var(q);
+            if (seen_[static_cast<std::size_t>(v)] ||
+                level_[static_cast<std::size_t>(v)] == 0)
+                continue;
+            if (reason_[static_cast<std::size_t>(v)] == kNoReason ||
+                ((1u << (level_[static_cast<std::size_t>(v)] & 31)) & abstract_levels) == 0) {
+                redundant = false;
+                break;
+            }
+            seen_[static_cast<std::size_t>(v)] = true;
+            to_clear.push_back(v);
+            analyze_stack_.push_back(q);
+        }
+    }
+    if (!redundant) {
+        for (const Var v : to_clear) seen_[static_cast<std::size_t>(v)] = false;
+    }
+    // On success, marks stay set; analyze() clears only kept literals, so
+    // clear the extras here as well to stay consistent.
+    if (redundant) {
+        for (const Var v : to_clear) seen_[static_cast<std::size_t>(v)] = false;
+    }
+    return redundant;
+}
+
+void Solver::backtrack(int target_level) {
+    if (decision_level() <= target_level) return;
+    const std::size_t limit =
+        static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(target_level)]);
+    for (std::size_t i = trail_.size(); i > limit; --i) {
+        const Var v = lit_var(trail_[i - 1]);
+        assigns_[static_cast<std::size_t>(v)] = Value::kUnknown;
+        reason_[static_cast<std::size_t>(v)] = kNoReason;
+    }
+    trail_.resize(limit);
+    trail_lim_.resize(static_cast<std::size_t>(target_level));
+    qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+    Var best = -1;
+    double best_act = -1.0;
+    for (Var v = 0; v < num_vars(); ++v) {
+        if (assigns_[static_cast<std::size_t>(v)] != Value::kUnknown) continue;
+        if (activity_[static_cast<std::size_t>(v)] > best_act) {
+            best_act = activity_[static_cast<std::size_t>(v)];
+            best = v;
+        }
+    }
+    if (best < 0) return -1;
+    return mk_lit(best, !polarity_[static_cast<std::size_t>(best)]);
+}
+
+Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
+    if (!ok_) return Result::kUnsat;
+    backtrack(0);
+    if (propagate() >= 0) {
+        ok_ = false;
+        return Result::kUnsat;
+    }
+
+    std::uint64_t restart_round = 0;
+    std::uint64_t conflicts_until_restart = 64 * luby(restart_round);
+    std::uint64_t conflicts_this_round = 0;
+
+    std::vector<Lit> learned;
+    while (true) {
+        const int conflict = propagate();
+        if (conflict >= 0) {
+            ++stats_.conflicts;
+            ++conflicts_this_round;
+            if (decision_level() == 0) return Result::kUnsat;
+            int bt_level = 0;
+            analyze(conflict, &learned, &bt_level);
+            backtrack(bt_level);
+            if (learned.size() == 1) {
+                enqueue(learned[0], kNoReason);
+            } else {
+                clauses_.push_back({learned, true, 0.0});
+                ++stats_.learned;
+                attach(static_cast<int>(clauses_.size()) - 1);
+                enqueue(learned[0], static_cast<int>(clauses_.size()) - 1);
+            }
+            decay_var_activity();
+            continue;
+        }
+
+        if (conflicts_this_round >= conflicts_until_restart) {
+            ++stats_.restarts;
+            ++restart_round;
+            conflicts_this_round = 0;
+            conflicts_until_restart = 64 * luby(restart_round);
+            backtrack(0);
+            continue;
+        }
+
+        // Apply pending assumptions as pseudo-decisions.
+        if (decision_level() < static_cast<int>(assumptions.size())) {
+            const Lit a = assumptions[static_cast<std::size_t>(decision_level())];
+            if (value(a) == Value::kTrue) {
+                trail_lim_.push_back(static_cast<int>(trail_.size()));  // dummy level
+                continue;
+            }
+            if (value(a) == Value::kFalse) return Result::kUnsat;
+            trail_lim_.push_back(static_cast<int>(trail_.size()));
+            enqueue(a, kNoReason);
+            continue;
+        }
+
+        const Lit next = pick_branch();
+        if (next < 0) {
+            // Full model.
+            model_.assign(static_cast<std::size_t>(num_vars()), false);
+            for (Var v = 0; v < num_vars(); ++v) {
+                model_[static_cast<std::size_t>(v)] =
+                    assigns_[static_cast<std::size_t>(v)] == Value::kTrue;
+            }
+            backtrack(0);
+            return Result::kSat;
+        }
+        ++stats_.decisions;
+        trail_lim_.push_back(static_cast<int>(trail_.size()));
+        enqueue(next, kNoReason);
+    }
+}
+
+}  // namespace mvf::sat

@@ -1,0 +1,107 @@
+#pragma once
+// A compact CDCL SAT solver.
+//
+// Substrate for the de-camouflaging attacker (paper section I: deciding
+// whether a viable function is plausible is a QBF/SAT query in the style of
+// refs [11], [12], [14]).  Implements the standard modern kernel: two-watched
+// literals, first-UIP conflict learning with recursive minimization, VSIDS
+// activities, phase saving, and Luby restarts.  No clause-database reduction
+// (instances here are small).
+
+#include <cstdint>
+#include <vector>
+
+namespace mvf::sat {
+
+using Var = int;
+/// Literal encoding: 2*var for the positive literal, 2*var+1 for negated.
+using Lit = int;
+
+inline Lit mk_lit(Var v, bool negated = false) { return 2 * v + (negated ? 1 : 0); }
+inline Var lit_var(Lit l) { return l >> 1; }
+inline bool lit_negated(Lit l) { return l & 1; }
+inline Lit lit_not(Lit l) { return l ^ 1; }
+
+enum class Value : std::uint8_t { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+class Solver {
+public:
+    enum class Result { kSat, kUnsat };
+
+    struct Stats {
+        std::uint64_t conflicts = 0;
+        std::uint64_t decisions = 0;
+        std::uint64_t propagations = 0;
+        std::uint64_t restarts = 0;
+        std::uint64_t learned = 0;
+    };
+
+    Var new_var();
+    int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+    /// Adds a clause (copied).  Returns false if the clause is trivially
+    /// unsatisfiable at level 0 (solver becomes permanently UNSAT).
+    bool add_clause(std::vector<Lit> lits);
+
+    /// Convenience overloads.
+    bool add_unit(Lit a) { return add_clause({a}); }
+    bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+    bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+    Result solve(const std::vector<Lit>& assumptions = {});
+
+    /// Model access after kSat.
+    bool model_value(Var v) const { return model_[static_cast<std::size_t>(v)]; }
+
+    const Stats& stats() const { return stats_; }
+
+private:
+    struct Clause {
+        std::vector<Lit> lits;
+        bool learned = false;
+        double activity = 0.0;
+    };
+    static constexpr int kNoReason = -1;
+
+    Value value(Lit l) const {
+        const Value v = assigns_[static_cast<std::size_t>(lit_var(l))];
+        if (v == Value::kUnknown) return Value::kUnknown;
+        return (v == Value::kTrue) != lit_negated(l) ? Value::kTrue : Value::kFalse;
+    }
+
+    void enqueue(Lit l, int reason);
+    int propagate();  // returns conflicting clause index or -1
+    void analyze(int conflict, std::vector<Lit>* learned_out, int* backtrack_level);
+    bool lit_redundant(Lit l, std::uint32_t abstract_levels);
+    void backtrack(int level);
+    Lit pick_branch();
+    void bump_var(Var v);
+    void decay_var_activity();
+    void attach(int clause_idx);
+
+    int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+    std::vector<Clause> clauses_;
+    std::vector<std::vector<int>> watches_;  // per literal
+    std::vector<Value> assigns_;
+    std::vector<bool> polarity_;  // saved phases
+    std::vector<int> level_;
+    std::vector<int> reason_;
+    std::vector<Lit> trail_;
+    std::vector<int> trail_lim_;
+    std::size_t qhead_ = 0;
+
+    std::vector<double> activity_;
+    double var_inc_ = 1.0;
+    std::vector<int> order_;  // lazy heap substitute: vars sorted on demand
+
+    std::vector<bool> model_;
+    bool ok_ = true;
+    Stats stats_;
+
+    // scratch for analyze()
+    std::vector<bool> seen_;
+    std::vector<Lit> analyze_stack_;
+};
+
+}  // namespace mvf::sat

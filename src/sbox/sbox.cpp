@@ -1,0 +1,91 @@
+#include "sbox/sbox.hpp"
+
+#include <cassert>
+
+namespace mvf::sbox {
+
+using logic::TruthTable;
+
+TruthTable Sbox::output_tt(int j) const {
+    assert(j >= 0 && j < num_outputs);
+    TruthTable t(num_inputs);
+    for (std::uint32_t x = 0; x < (1u << num_inputs); ++x) {
+        if ((table[x] >> j) & 1) t.set_bit(x, true);
+    }
+    return t;
+}
+
+std::vector<TruthTable> Sbox::output_tts() const {
+    std::vector<TruthTable> tts;
+    tts.reserve(static_cast<std::size_t>(num_outputs));
+    for (int j = 0; j < num_outputs; ++j) tts.push_back(output_tt(j));
+    return tts;
+}
+
+bool Sbox::is_bijective() const {
+    if (num_inputs != num_outputs) return false;
+    std::vector<bool> seen(std::size_t{1} << num_inputs, false);
+    for (const std::uint8_t y : table) {
+        if (seen[y]) return false;
+        seen[y] = true;
+    }
+    return true;
+}
+
+std::vector<std::vector<int>> difference_distribution_table(const Sbox& s) {
+    const std::uint32_t nx = 1u << s.num_inputs;
+    const std::uint32_t ny = 1u << s.num_outputs;
+    std::vector<std::vector<int>> ddt(nx, std::vector<int>(ny, 0));
+    for (std::uint32_t dx = 0; dx < nx; ++dx) {
+        for (std::uint32_t x = 0; x < nx; ++x) {
+            const std::uint32_t dy = s.lookup(x ^ dx) ^ s.lookup(x);
+            ++ddt[dx][dy];
+        }
+    }
+    return ddt;
+}
+
+std::vector<std::vector<int>> linear_approximation_table(const Sbox& s) {
+    const std::uint32_t nx = 1u << s.num_inputs;
+    const std::uint32_t ny = 1u << s.num_outputs;
+    std::vector<std::vector<int>> lat(nx, std::vector<int>(ny, 0));
+    for (std::uint32_t a = 0; a < nx; ++a) {
+        for (std::uint32_t b = 0; b < ny; ++b) {
+            int matches = 0;
+            for (std::uint32_t x = 0; x < nx; ++x) {
+                const int in_parity = __builtin_popcount(a & x) & 1;
+                const int out_parity = __builtin_popcount(b & s.lookup(x)) & 1;
+                if (in_parity == out_parity) ++matches;
+            }
+            lat[a][b] = matches - static_cast<int>(nx / 2);
+        }
+    }
+    return lat;
+}
+
+int differential_uniformity(const Sbox& s) {
+    const auto ddt = difference_distribution_table(s);
+    int max = 0;
+    for (std::size_t dx = 1; dx < ddt.size(); ++dx) {
+        for (const int v : ddt[dx]) max = std::max(max, v);
+    }
+    return max;
+}
+
+int linearity(const Sbox& s) {
+    const auto lat = linear_approximation_table(s);
+    int max = 0;
+    for (std::size_t a = 0; a < lat.size(); ++a) {
+        for (std::size_t b = 1; b < lat[a].size(); ++b) {
+            max = std::max(max, 2 * std::abs(lat[a][b]));
+        }
+    }
+    return max;
+}
+
+bool is_optimal_4bit(const Sbox& s) {
+    return s.num_inputs == 4 && s.num_outputs == 4 && s.is_bijective() &&
+           linearity(s) == 8 && differential_uniformity(s) == 4;
+}
+
+}  // namespace mvf::sbox

@@ -1,0 +1,54 @@
+#pragma once
+// S-box representation and cryptographic property analysis.
+//
+// The paper's workload: merged circuits plausibly implementing several
+// S-boxes.  This module carries the substitution tables plus the DDT/LAT
+// analyses used to check the "optimal S-box" properties of the 4-bit set.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.hpp"
+
+namespace mvf::sbox {
+
+/// An n-input, m-output substitution box given as a flat lookup table of
+/// 2^n entries, each an m-bit value.
+struct Sbox {
+    std::string name;
+    int num_inputs = 0;
+    int num_outputs = 0;
+    std::vector<std::uint8_t> table;
+
+    std::uint8_t lookup(std::uint32_t x) const { return table[x]; }
+
+    /// Truth table of output bit j.
+    logic::TruthTable output_tt(int j) const;
+
+    /// All output truth tables, index = output bit.
+    std::vector<logic::TruthTable> output_tts() const;
+
+    /// For square S-boxes: is the table a permutation?
+    bool is_bijective() const;
+};
+
+/// Difference distribution table: ddt[dx][dy] = #{x : S(x^dx) ^ S(x) = dy}.
+std::vector<std::vector<int>> difference_distribution_table(const Sbox& s);
+
+/// Linear approximation table (bias counts):
+/// lat[a][b] = #{x : <a,x> = <b,S(x)>} - 2^(n-1).
+std::vector<std::vector<int>> linear_approximation_table(const Sbox& s);
+
+/// Maximum DDT entry over dx != 0 (differential uniformity).
+int differential_uniformity(const Sbox& s);
+
+/// Maximum |2*LAT| entry over b != 0 (linearity as used by Leander-
+/// Poschmann: Lin(S) = max |#matches*2 - 2^n|).
+int linearity(const Sbox& s);
+
+/// Leander-Poschmann optimality for 4-bit S-boxes:
+/// bijective, Lin(S) = 8, Diff(S) = 4.
+bool is_optimal_4bit(const Sbox& s);
+
+}  // namespace mvf::sbox

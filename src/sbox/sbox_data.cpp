@@ -1,0 +1,147 @@
+#include "sbox/sbox_data.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace mvf::sbox {
+namespace {
+
+Sbox make4(std::string name, std::array<std::uint8_t, 16> t) {
+    Sbox s;
+    s.name = std::move(name);
+    s.num_inputs = 4;
+    s.num_outputs = 4;
+    s.table.assign(t.begin(), t.end());
+    return s;
+}
+
+// Standard DES S-box tables, 4 rows x 16 columns.  Input x5..x0: the row is
+// x5x0 and the column is x4x3x2x1.
+using DesRows = std::array<std::array<std::uint8_t, 16>, 4>;
+
+Sbox make_des(std::string name, const DesRows& rows) {
+    Sbox s;
+    s.name = std::move(name);
+    s.num_inputs = 6;
+    s.num_outputs = 4;
+    s.table.resize(64);
+    for (std::uint32_t x = 0; x < 64; ++x) {
+        const std::uint32_t row = (((x >> 5) & 1) << 1) | (x & 1);
+        const std::uint32_t col = (x >> 1) & 0xF;
+        s.table[x] = rows[row][col];
+    }
+    return s;
+}
+
+std::vector<Sbox> build_lp16() {
+    // Representatives G0..G15 of the 16 optimal classes.  Each shares the
+    // prefix 0,1,2,D,4,7,F,6,8 and differs in the remaining seven entries.
+    return {
+        make4("G0", {0, 1, 2, 13, 4, 7, 15, 6, 8, 11, 12, 9, 3, 14, 10, 5}),
+        make4("G1", {0, 1, 2, 13, 4, 7, 15, 6, 8, 11, 14, 3, 5, 9, 10, 12}),
+        make4("G2", {0, 1, 2, 13, 4, 7, 15, 6, 8, 11, 14, 3, 10, 12, 5, 9}),
+        make4("G3", {0, 1, 2, 13, 4, 7, 15, 6, 8, 12, 5, 3, 10, 14, 11, 9}),
+        make4("G4", {0, 1, 2, 13, 4, 7, 15, 6, 8, 12, 9, 11, 10, 14, 5, 3}),
+        make4("G5", {0, 1, 2, 13, 4, 7, 15, 6, 8, 12, 11, 9, 10, 14, 3, 5}),
+        make4("G6", {0, 1, 2, 13, 4, 7, 15, 6, 8, 12, 11, 9, 10, 14, 5, 3}),
+        make4("G7", {0, 1, 2, 13, 4, 7, 15, 6, 8, 12, 14, 11, 10, 9, 3, 5}),
+        make4("G8", {0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 9, 5, 10, 11, 3, 12}),
+        make4("G9", {0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 11, 3, 5, 9, 10, 12}),
+        make4("G10", {0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 11, 5, 10, 9, 3, 12}),
+        make4("G11", {0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 11, 10, 5, 9, 12, 3}),
+        make4("G12", {0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 11, 10, 9, 3, 12, 5}),
+        make4("G13", {0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 12, 9, 5, 11, 10, 3}),
+        make4("G14", {0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 12, 11, 9, 3, 10, 5}),
+        make4("G15", {0, 1, 2, 13, 4, 7, 15, 6, 8, 14, 12, 11, 3, 9, 5, 10}),
+    };
+}
+
+std::vector<Sbox> build_des() {
+    std::vector<Sbox> boxes;
+    boxes.push_back(make_des(
+        "DES_S1",
+        {{{14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7},
+          {0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8},
+          {4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0},
+          {15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13}}}));
+    boxes.push_back(make_des(
+        "DES_S2",
+        {{{15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10},
+          {3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5},
+          {0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15},
+          {13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9}}}));
+    boxes.push_back(make_des(
+        "DES_S3",
+        {{{10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8},
+          {13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1},
+          {13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7},
+          {1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12}}}));
+    boxes.push_back(make_des(
+        "DES_S4",
+        {{{7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15},
+          {13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9},
+          {10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4},
+          {3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14}}}));
+    boxes.push_back(make_des(
+        "DES_S5",
+        {{{2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9},
+          {14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6},
+          {4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14},
+          {11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3}}}));
+    boxes.push_back(make_des(
+        "DES_S6",
+        {{{12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11},
+          {10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8},
+          {9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6},
+          {4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13}}}));
+    boxes.push_back(make_des(
+        "DES_S7",
+        {{{4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1},
+          {13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6},
+          {1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2},
+          {6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12}}}));
+    boxes.push_back(make_des(
+        "DES_S8",
+        {{{13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7},
+          {1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2},
+          {7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8},
+          {2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11}}}));
+    return boxes;
+}
+
+}  // namespace
+
+const std::vector<Sbox>& leander_poschmann_16() {
+    static const std::vector<Sbox> boxes = build_lp16();
+    return boxes;
+}
+
+const Sbox& present_sbox() {
+    static const Sbox s =
+        make4("PRESENT", {12, 5, 6, 11, 9, 0, 10, 13, 3, 14, 15, 8, 4, 7, 1, 2});
+    return s;
+}
+
+const Sbox& des_sbox(int i) {
+    assert(i >= 0 && i < 8);
+    return des_all()[static_cast<std::size_t>(i)];
+}
+
+const std::vector<Sbox>& des_all() {
+    static const std::vector<Sbox> boxes = build_des();
+    return boxes;
+}
+
+std::vector<Sbox> present_viable_set(int n) {
+    assert(n >= 1 && n <= 16);
+    const auto& all = leander_poschmann_16();
+    return {all.begin(), all.begin() + n};
+}
+
+std::vector<Sbox> des_viable_set(int n) {
+    assert(n >= 1 && n <= 8);
+    const auto& all = des_all();
+    return {all.begin(), all.begin() + n};
+}
+
+}  // namespace mvf::sbox

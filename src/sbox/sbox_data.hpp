@@ -1,0 +1,37 @@
+#pragma once
+// The paper's evaluation workloads:
+//  - the 16 optimal 4-bit S-box class representatives of Leander-Poschmann
+//    ("PRESENT-style"; the PRESENT S-box itself is affine-equivalent to one
+//    of them),
+//  - the PRESENT cipher S-box,
+//  - the eight 6->4 DES S-boxes.
+
+#include <vector>
+
+#include "sbox/sbox.hpp"
+
+namespace mvf::sbox {
+
+/// The 16 representatives G0..G15 of the optimal 4-bit S-box classes
+/// (Leander & Poschmann, WAIFI 2007).  All are bijective; cryptographic
+/// optimality (Lin = 8, Diff = 4) is asserted by the test suite.
+const std::vector<Sbox>& leander_poschmann_16();
+
+/// The PRESENT block-cipher S-box (Bogdanov et al., CHES 2007).
+const Sbox& present_sbox();
+
+/// DES S-box i (0-based, 0..7) as a flat 6-input/4-output table using the
+/// standard row/column convention: row = x5x0, column = x4x3x2x1.
+const Sbox& des_sbox(int i);
+
+/// All eight DES S-boxes.
+const std::vector<Sbox>& des_all();
+
+/// The first `n` viable functions for a "PRESENT-style" experiment
+/// (subset of leander_poschmann_16; 1 <= n <= 16).
+std::vector<Sbox> present_viable_set(int n);
+
+/// The first `n` DES S-boxes (1 <= n <= 8).
+std::vector<Sbox> des_viable_set(int n);
+
+}  // namespace mvf::sbox

@@ -1,0 +1,105 @@
+#include "sim/netlist_sim.hpp"
+
+#include <cassert>
+
+#include "camo/absfunc.hpp"  // compose()
+
+namespace mvf::sim {
+
+using logic::TruthTable;
+
+std::vector<TruthTable> simulate(const tech::Netlist& netlist,
+                                 std::span<const TruthTable> pi_values) {
+    assert(static_cast<int>(pi_values.size()) == netlist.num_pis());
+    const int nv = pi_values.empty() ? 0 : pi_values[0].num_vars();
+    std::vector<TruthTable> value(static_cast<std::size_t>(netlist.num_nodes()),
+                                  TruthTable::zeros(nv));
+    for (int i = 0; i < netlist.num_pis(); ++i) {
+        value[static_cast<std::size_t>(netlist.pi(i))] =
+            pi_values[static_cast<std::size_t>(i)];
+    }
+    for (int id = 0; id < netlist.num_nodes(); ++id) {
+        const tech::Netlist::Node& n = netlist.node(id);
+        switch (n.kind) {
+            case tech::Netlist::NodeKind::kConst0:
+                value[static_cast<std::size_t>(id)] = TruthTable::zeros(nv);
+                break;
+            case tech::Netlist::NodeKind::kConst1:
+                value[static_cast<std::size_t>(id)] = TruthTable::ones(nv);
+                break;
+            case tech::Netlist::NodeKind::kPi:
+                break;
+            case tech::Netlist::NodeKind::kCell: {
+                std::vector<TruthTable> pins;
+                pins.reserve(n.fanins.size());
+                for (const int f : n.fanins) {
+                    pins.push_back(value[static_cast<std::size_t>(f)]);
+                }
+                value[static_cast<std::size_t>(id)] = camo::compose(
+                    netlist.library().cell(n.cell_id).function, pins);
+                break;
+            }
+        }
+    }
+    std::vector<TruthTable> out;
+    out.reserve(static_cast<std::size_t>(netlist.num_pos()));
+    for (int i = 0; i < netlist.num_pos(); ++i) {
+        out.push_back(value[static_cast<std::size_t>(netlist.po(i))]);
+    }
+    return out;
+}
+
+std::vector<TruthTable> simulate_full(const tech::Netlist& netlist) {
+    std::vector<TruthTable> pis;
+    pis.reserve(static_cast<std::size_t>(netlist.num_pis()));
+    for (int i = 0; i < netlist.num_pis(); ++i) {
+        pis.push_back(TruthTable::var(i, netlist.num_pis()));
+    }
+    return simulate(netlist, pis);
+}
+
+std::vector<TruthTable> simulate_camo(const camo::CamoNetlist& netlist,
+                                      const std::vector<int>& config,
+                                      std::span<const TruthTable> pi_values) {
+    assert(static_cast<int>(pi_values.size()) == netlist.num_pis());
+    assert(static_cast<int>(config.size()) == netlist.num_nodes());
+    const int nv = pi_values.empty() ? 0 : pi_values[0].num_vars();
+    std::vector<TruthTable> value(static_cast<std::size_t>(netlist.num_nodes()),
+                                  TruthTable::zeros(nv));
+    for (int i = 0; i < netlist.num_pis(); ++i) {
+        value[static_cast<std::size_t>(netlist.pi(i))] =
+            pi_values[static_cast<std::size_t>(i)];
+    }
+    for (int id = 0; id < netlist.num_nodes(); ++id) {
+        const camo::CamoNetlist::Node& n = netlist.node(id);
+        if (n.kind != camo::CamoNetlist::NodeKind::kCell) continue;
+        const camo::CamoCell& cell = netlist.library().cell(n.camo_cell_id);
+        const int choice = config[static_cast<std::size_t>(id)];
+        assert(choice >= 0 && choice < static_cast<int>(cell.plausible.size()));
+        std::vector<TruthTable> pins;
+        pins.reserve(n.fanins.size());
+        for (const int f : n.fanins) {
+            pins.push_back(value[static_cast<std::size_t>(f)]);
+        }
+        value[static_cast<std::size_t>(id)] =
+            camo::compose(cell.plausible[static_cast<std::size_t>(choice)], pins);
+    }
+    std::vector<TruthTable> out;
+    out.reserve(static_cast<std::size_t>(netlist.num_pos()));
+    for (int i = 0; i < netlist.num_pos(); ++i) {
+        out.push_back(value[static_cast<std::size_t>(netlist.po(i))]);
+    }
+    return out;
+}
+
+std::vector<TruthTable> simulate_camo_full(const camo::CamoNetlist& netlist,
+                                           const std::vector<int>& config) {
+    std::vector<TruthTable> pis;
+    pis.reserve(static_cast<std::size_t>(netlist.num_pis()));
+    for (int i = 0; i < netlist.num_pis(); ++i) {
+        pis.push_back(TruthTable::var(i, netlist.num_pis()));
+    }
+    return simulate_camo(netlist, config, pis);
+}
+
+}  // namespace mvf::sim

@@ -1,0 +1,36 @@
+#pragma once
+// Truth-table simulation of mapped and camouflaged netlists.
+//
+// This is the repo's ModelSim substitute: exhaustive input-space evaluation
+// used to (a) check that technology mapping preserved the synthesized
+// functions, and (b) validate that the camouflaged circuit implements each
+// viable function when the recorded dopant configuration is applied.
+
+#include <span>
+#include <vector>
+
+#include "camo/camo_netlist.hpp"
+#include "logic/truth_table.hpp"
+#include "map/netlist.hpp"
+
+namespace mvf::sim {
+
+/// Evaluates every PO of the netlist with PI i bound to `pi_values[i]`.
+std::vector<logic::TruthTable> simulate(
+    const tech::Netlist& netlist, std::span<const logic::TruthTable> pi_values);
+
+/// Evaluates over the full input space (PI i = variable i).
+std::vector<logic::TruthTable> simulate_full(const tech::Netlist& netlist);
+
+/// Evaluates the camouflaged netlist with each cell realizing the plausible
+/// function selected by `config` (per-node indices, -1 for non-cells; see
+/// CamoNetlist::configuration_for_code).
+std::vector<logic::TruthTable> simulate_camo(
+    const camo::CamoNetlist& netlist, const std::vector<int>& config,
+    std::span<const logic::TruthTable> pi_values);
+
+/// Camouflaged netlist over the full input space.
+std::vector<logic::TruthTable> simulate_camo_full(
+    const camo::CamoNetlist& netlist, const std::vector<int>& config);
+
+}  // namespace mvf::sim

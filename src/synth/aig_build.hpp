@@ -1,0 +1,31 @@
+#pragma once
+// AIG construction helpers: factored forms, truth tables, and mux trees.
+//
+// Phase I of the flow builds the merged multi-function circuit from these
+// primitives: each viable function's outputs become factored-ISOP cones over
+// the shared inputs, and per-output multiplexer trees select among them
+// (Fig. 2 of the paper).
+
+#include <span>
+
+#include "logic/factor.hpp"
+#include "logic/truth_table.hpp"
+#include "net/aig.hpp"
+
+namespace mvf::synth {
+
+/// Instantiates a factored form over the given input literals.
+net::Lit build_factored(const logic::FactorTree& tree,
+                        std::span<const net::Lit> inputs, net::Aig* aig);
+
+/// Builds `function` over the given input literals via best-polarity ISOP
+/// plus algebraic factoring.  inputs.size() must equal function.num_vars().
+net::Lit build_from_tt(const logic::TruthTable& function,
+                       std::span<const net::Lit> inputs, net::Aig* aig);
+
+/// Balanced multiplexer tree: returns data[value(selects)], where selects
+/// are read LSB-first.  data.size() must equal 1 << selects.size().
+net::Lit build_mux_tree(std::span<const net::Lit> selects,
+                        std::span<const net::Lit> data, net::Aig* aig);
+
+}  // namespace mvf::synth

@@ -1,0 +1,109 @@
+#include "synth/balance.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace mvf::synth {
+
+using net::Aig;
+using net::Lit;
+
+namespace {
+
+struct Balancer {
+    const Aig& in;
+    Aig out;
+    std::vector<int> refs;
+    std::vector<Lit> copy;       // old node -> new lit (kNoLit = pending)
+    std::vector<int> out_level;  // level per new node
+
+    explicit Balancer(const Aig& aig)
+        : in(aig),
+          out(aig.num_pis()),
+          refs(aig.reference_counts()),
+          copy(static_cast<std::size_t>(aig.num_nodes()), Aig::kNoLit),
+          out_level(static_cast<std::size_t>(aig.num_pis()) + 1, 0) {
+        copy[0] = Aig::kConst0;
+        for (int i = 0; i < aig.num_pis(); ++i) {
+            copy[static_cast<std::size_t>(i + 1)] = out.pi(i);
+        }
+    }
+
+    int level_of(Lit l) const {
+        return out_level[static_cast<std::size_t>(Aig::lit_node(l))];
+    }
+
+    Lit and2_tracked(Lit a, Lit b) {
+        const int before = out.num_nodes();
+        const Lit r = out.and2(a, b);
+        if (out.num_nodes() > before) {
+            out_level.push_back(1 + std::max(level_of(a), level_of(b)));
+        }
+        return r;
+    }
+
+    // Collects the operand literals of the maximal single-fanout AND tree
+    // rooted at (positive) node n.
+    void collect_conjuncts(int n, std::vector<Lit>* operands) {
+        for (const Lit f : {in.fanin0(n), in.fanin1(n)}) {
+            const int child = Aig::lit_node(f);
+            if (!Aig::lit_complemented(f) && in.is_and(child) &&
+                refs[static_cast<std::size_t>(child)] == 1) {
+                collect_conjuncts(child, operands);
+            } else {
+                operands->push_back(f);
+            }
+        }
+    }
+
+    Lit balanced(int n) {
+        Lit& memo = copy[static_cast<std::size_t>(n)];
+        if (memo != Aig::kNoLit) return memo;
+
+        std::vector<Lit> operands;
+        collect_conjuncts(n, &operands);
+        // Build each operand in the new graph first.
+        std::vector<Lit> built;
+        built.reserve(operands.size());
+        for (const Lit op : operands) {
+            const Lit base = balanced_lit(Aig::lit_regular(op));
+            built.push_back(Aig::lit_complemented(op) ? Aig::lit_not(base) : base);
+        }
+        // Min-height combination: repeatedly AND the two shallowest.
+        const auto deeper = [this](Lit a, Lit b) {
+            return level_of(a) > level_of(b);
+        };
+        std::priority_queue<Lit, std::vector<Lit>, decltype(deeper)> heap(
+            deeper, std::move(built));
+        while (heap.size() > 1) {
+            const Lit a = heap.top();
+            heap.pop();
+            const Lit b = heap.top();
+            heap.pop();
+            heap.push(and2_tracked(a, b));
+        }
+        memo = heap.top();
+        return memo;
+    }
+
+    Lit balanced_lit(Lit l) {
+        const int n = Aig::lit_node(l);
+        if (!in.is_and(n)) return copy[static_cast<std::size_t>(n)];
+        return balanced(n);
+    }
+};
+
+}  // namespace
+
+Aig balance(const Aig& aig) {
+    Balancer b(aig);
+    for (int i = 0; i < aig.num_pos(); ++i) {
+        const Lit po = aig.po(i);
+        const Lit base = b.balanced_lit(Aig::lit_regular(po));
+        b.out.add_po(Aig::lit_complemented(po) ? Aig::lit_not(base) : base);
+    }
+    return std::move(b.out);
+}
+
+}  // namespace mvf::synth

@@ -1,0 +1,16 @@
+#pragma once
+// AND-tree balancing (ABC `balance` analogue).
+//
+// Collapses single-fanout chains of conjunctions into n-ary ANDs and
+// rebuilds them as minimum-height trees (combining the two shallowest
+// operands first).  Reduces depth and canonicalizes structure, which
+// improves the sharing discovered by subsequent rewriting.
+
+#include "net/aig.hpp"
+
+namespace mvf::synth {
+
+/// Returns a balanced structural copy (dead nodes dropped).
+net::Aig balance(const net::Aig& aig);
+
+}  // namespace mvf::synth

@@ -1,0 +1,144 @@
+#include "synth/extract.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+#include "logic/isop.hpp"
+
+namespace mvf::synth {
+
+using logic::TruthTable;
+using net::Aig;
+using net::Lit;
+
+namespace {
+
+// Internal literal encoding: 2*var + negated.  Variables 0..n-1 are the
+// primary inputs; extracted divisors get fresh indices and only ever appear
+// positively.
+using CubeLits = std::vector<int>;
+
+struct Divisor {
+    int lit_a;
+    int lit_b;
+};
+
+int count_literals(const std::vector<std::vector<CubeLits>>& covers) {
+    int n = 0;
+    for (const auto& cover : covers) {
+        for (const auto& cube : cover) n += static_cast<int>(cube.size());
+    }
+    return n;
+}
+
+}  // namespace
+
+std::vector<Lit> build_shared_extract(std::span<const TruthTable> functions,
+                                      std::span<const Lit> inputs, Aig* aig,
+                                      ExtractStats* stats) {
+    const int num_inputs = static_cast<int>(inputs.size());
+
+    // ISOP covers (best polarity) as literal-list cubes.
+    std::vector<std::vector<CubeLits>> covers;
+    std::vector<bool> complemented;
+    covers.reserve(functions.size());
+    for (const TruthTable& f : functions) {
+        assert(f.num_vars() == num_inputs);
+        bool comp = false;
+        const logic::Sop sop = logic::isop_best_polarity(f, &comp);
+        complemented.push_back(comp);
+        std::vector<CubeLits> cover;
+        cover.reserve(sop.cubes.size());
+        for (const logic::Cube& c : sop.cubes) {
+            CubeLits lits;
+            for (int v = 0; v < num_inputs; ++v) {
+                if (c.has_var(v)) lits.push_back(2 * v + (c.is_positive(v) ? 0 : 1));
+            }
+            std::sort(lits.begin(), lits.end());
+            cover.push_back(std::move(lits));
+        }
+        covers.push_back(std::move(cover));
+    }
+
+    if (stats) stats->literals_before = count_literals(covers);
+
+    // Greedy pair extraction: while some literal pair occurs in >= 2 cubes
+    // (anywhere across the outputs), replace it with a fresh divisor.
+    std::vector<Divisor> divisors;
+    int next_var = num_inputs;
+    while (true) {
+        std::map<std::pair<int, int>, int> pair_count;
+        for (const auto& cover : covers) {
+            for (const auto& cube : cover) {
+                for (std::size_t i = 0; i < cube.size(); ++i) {
+                    for (std::size_t j = i + 1; j < cube.size(); ++j) {
+                        ++pair_count[{cube[i], cube[j]}];
+                    }
+                }
+            }
+        }
+        std::pair<int, int> best{-1, -1};
+        int best_count = 1;
+        for (const auto& [pair, count] : pair_count) {
+            if (count > best_count) {
+                best_count = count;
+                best = pair;
+            }
+        }
+        if (best.first < 0) break;
+
+        const int div_lit = 2 * next_var;
+        divisors.push_back({best.first, best.second});
+        ++next_var;
+        for (auto& cover : covers) {
+            for (auto& cube : cover) {
+                const auto ia = std::find(cube.begin(), cube.end(), best.first);
+                if (ia == cube.end()) continue;
+                const auto ib = std::find(cube.begin(), cube.end(), best.second);
+                if (ib == cube.end()) continue;
+                cube.erase(ib);  // ib > ia is not guaranteed after sort? lits sorted, a<b
+                cube.erase(std::find(cube.begin(), cube.end(), best.first));
+                cube.insert(std::lower_bound(cube.begin(), cube.end(), div_lit),
+                            div_lit);
+            }
+        }
+    }
+
+    if (stats) {
+        stats->divisors_extracted = static_cast<int>(divisors.size());
+        stats->literals_after = count_literals(covers);
+    }
+
+    // Materialize: inputs, then divisors in creation order, then covers.
+    std::vector<Lit> var_lit(static_cast<std::size_t>(next_var));
+    for (int v = 0; v < num_inputs; ++v) var_lit[static_cast<std::size_t>(v)] = inputs[static_cast<std::size_t>(v)];
+    const auto lit_of = [&var_lit](int lit) {
+        const Lit base = var_lit[static_cast<std::size_t>(lit >> 1)];
+        return (lit & 1) ? Aig::lit_not(base) : base;
+    };
+    for (std::size_t d = 0; d < divisors.size(); ++d) {
+        var_lit[static_cast<std::size_t>(num_inputs) + d] =
+            aig->and2(lit_of(divisors[d].lit_a), lit_of(divisors[d].lit_b));
+    }
+
+    std::vector<Lit> outputs;
+    outputs.reserve(functions.size());
+    for (std::size_t k = 0; k < covers.size(); ++k) {
+        std::vector<Lit> terms;
+        terms.reserve(covers[k].size());
+        for (const CubeLits& cube : covers[k]) {
+            std::vector<Lit> lits;
+            lits.reserve(cube.size());
+            for (const int l : cube) lits.push_back(lit_of(l));
+            terms.push_back(aig->and_many(lits));
+        }
+        Lit out = aig->or_many(terms);
+        if (complemented[k]) out = Aig::lit_not(out);
+        outputs.push_back(out);
+    }
+    return outputs;
+}
+
+}  // namespace mvf::synth

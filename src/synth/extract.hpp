@@ -1,0 +1,35 @@
+#pragma once
+// Shared-divisor extraction across multi-output covers (a lightweight
+// fast_extract, in the spirit of SIS `fx` / ABC `fx;strash`).
+//
+// The merged multi-function circuits of Phase I reward cross-cone sharing:
+// cubes of different viable functions over the shared input bus frequently
+// contain common sub-products.  This pass takes the ISOP covers of ALL
+// outputs together, greedily extracts the most frequent literal pair as a
+// new intermediate variable (iterating until no pair occurs twice), and
+// only then builds the AIG -- so common products become shared nodes by
+// construction instead of relying on rewrite to rediscover them.
+
+#include <span>
+#include <vector>
+
+#include "logic/truth_table.hpp"
+#include "net/aig.hpp"
+
+namespace mvf::synth {
+
+struct ExtractStats {
+    int divisors_extracted = 0;
+    int literals_before = 0;
+    int literals_after = 0;
+};
+
+/// Builds all `functions` (tables over a common input space) into `aig`
+/// with cross-output divisor extraction.  inputs.size() must equal the
+/// functions' variable count.  Returns one literal per function.
+std::vector<net::Lit> build_shared_extract(
+    std::span<const logic::TruthTable> functions,
+    std::span<const net::Lit> inputs, net::Aig* aig,
+    ExtractStats* stats = nullptr);
+
+}  // namespace mvf::synth

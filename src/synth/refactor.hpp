@@ -1,0 +1,27 @@
+#pragma once
+// Reconvergence-driven refactoring (ABC `refactor` analogue).
+//
+// For each node, a reconvergent cut of up to `max_leaves` inputs is grown,
+// the cone function is extracted by simulation, resynthesized through
+// dual-polarity ISOP + algebraic factoring, and the new structure replaces
+// the cone when it frees more nodes than it adds.  Larger windows than
+// rewriting's 4-cuts let this pass undo poor initial factorings of the
+// merged multi-function cones.
+
+#include "net/aig.hpp"
+
+namespace mvf::synth {
+
+struct RefactorParams {
+    int max_leaves = 10;
+    bool zero_gain = false;
+};
+
+/// One refactoring pass; returns the number of AND nodes saved.
+int refactor(net::Aig* aig, const RefactorParams& params = {});
+
+/// Grows a reconvergence-driven cut (leaf node ids) rooted at `root`.
+std::vector<int> reconvergence_cut(const net::Aig& aig, int root,
+                                   int max_leaves);
+
+}  // namespace mvf::synth

@@ -1,0 +1,173 @@
+#include "synth/replace.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mvf::synth {
+
+using net::Aig;
+using net::Lit;
+
+namespace {
+
+// Nodes of `structure` reachable from `out`, in topological (id) order.
+std::vector<int> reachable_nodes(const Aig& structure, Lit out) {
+    std::vector<bool> seen(static_cast<std::size_t>(structure.num_nodes()), false);
+    std::vector<int> stack{Aig::lit_node(out)};
+    while (!stack.empty()) {
+        const int n = stack.back();
+        stack.pop_back();
+        if (seen[static_cast<std::size_t>(n)]) continue;
+        seen[static_cast<std::size_t>(n)] = true;
+        if (structure.is_and(n)) {
+            stack.push_back(Aig::lit_node(structure.fanin0(n)));
+            stack.push_back(Aig::lit_node(structure.fanin1(n)));
+        }
+    }
+    std::vector<int> order;
+    for (int n = 0; n < structure.num_nodes(); ++n) {
+        if (seen[static_cast<std::size_t>(n)]) order.push_back(n);
+    }
+    return order;
+}
+
+}  // namespace
+
+int mffc_size(const Aig& aig, int root, const std::vector<int>& leaves,
+              std::vector<int>& refs, std::vector<int>* mffc_nodes) {
+    std::vector<bool> is_leaf(static_cast<std::size_t>(aig.num_nodes()), false);
+    for (const int l : leaves) is_leaf[static_cast<std::size_t>(l)] = true;
+
+    std::vector<int> collected;
+    const auto deref = [&](auto&& self, int node) -> int {
+        collected.push_back(node);
+        int count = 1;
+        for (const Lit f : {aig.fanin0(node), aig.fanin1(node)}) {
+            const int child = Aig::lit_node(f);
+            if (!aig.is_and(child) || is_leaf[static_cast<std::size_t>(child)]) continue;
+            if (--refs[static_cast<std::size_t>(child)] == 0) {
+                count += self(self, child);
+            }
+        }
+        return count;
+    };
+    const int size = deref(deref, root);
+
+    // Restore the reference counts touched above.
+    for (const int node : collected) {
+        for (const Lit f : {aig.fanin0(node), aig.fanin1(node)}) {
+            const int child = Aig::lit_node(f);
+            if (!aig.is_and(child) || is_leaf[static_cast<std::size_t>(child)]) continue;
+            ++refs[static_cast<std::size_t>(child)];
+        }
+    }
+    if (mffc_nodes) *mffc_nodes = std::move(collected);
+    return size;
+}
+
+int count_new_nodes(const Aig& aig, const Replacement& r,
+                    const std::vector<int>& mffc_nodes) {
+    const Aig& s = *r.structure;
+    std::vector<bool> freed(static_cast<std::size_t>(aig.num_nodes()), false);
+    for (const int n : mffc_nodes) freed[static_cast<std::size_t>(n)] = true;
+
+    std::vector<Lit> mapped(static_cast<std::size_t>(s.num_nodes()), Aig::kNoLit);
+    mapped[0] = Aig::kConst0;
+    for (int i = 0; i < s.num_pis(); ++i) {
+        const int leaf = r.leaf_of_input[static_cast<std::size_t>(i)];
+        if (leaf < 0) continue;  // unused input
+        Lit l = Aig::make_lit(leaf, false);
+        if (r.input_negated[static_cast<std::size_t>(i)]) l = Aig::lit_not(l);
+        mapped[static_cast<std::size_t>(i + 1)] = l;
+    }
+
+    int new_count = 0;
+    for (const int n : reachable_nodes(s, r.structure_out)) {
+        if (!s.is_and(n)) {
+            assert(mapped[static_cast<std::size_t>(n)] != Aig::kNoLit &&
+                   "structure reads an unmapped input");
+            continue;
+        }
+        const auto resolve = [&](Lit f) {
+            const Lit base = mapped[static_cast<std::size_t>(Aig::lit_node(f))];
+            if (base == Aig::kNoLit) return Aig::kNoLit;
+            return Aig::lit_complemented(f) ? Aig::lit_not(base) : base;
+        };
+        const Lit a = resolve(s.fanin0(n));
+        const Lit b = resolve(s.fanin1(n));
+        if (a == Aig::kNoLit || b == Aig::kNoLit) {
+            ++new_count;
+            continue;  // mapped stays kNoLit: children of new nodes are new
+        }
+        const Lit hit = aig.lookup_and(a, b);
+        if (hit == Aig::kNoLit || freed[static_cast<std::size_t>(Aig::lit_node(hit))]) {
+            ++new_count;
+        } else {
+            mapped[static_cast<std::size_t>(n)] = hit;
+        }
+    }
+    return new_count;
+}
+
+Aig apply_replacements(const Aig& aig,
+                       const std::unordered_map<int, Replacement>& decisions) {
+    Aig out(aig.num_pis());
+    std::vector<Lit> copy(static_cast<std::size_t>(aig.num_nodes()), Aig::kNoLit);
+    copy[0] = Aig::kConst0;
+    for (int i = 0; i < aig.num_pis(); ++i) {
+        copy[static_cast<std::size_t>(i + 1)] = out.pi(i);
+    }
+
+    const auto materialize = [&](auto&& self, int node) -> Lit {
+        Lit& memo = copy[static_cast<std::size_t>(node)];
+        if (memo != Aig::kNoLit) return memo;
+
+        const auto it = decisions.find(node);
+        if (it == decisions.end()) {
+            const auto resolve = [&](Lit f) {
+                const Lit base = self(self, Aig::lit_node(f));
+                return Aig::lit_complemented(f) ? Aig::lit_not(base) : base;
+            };
+            memo = out.and2(resolve(aig.fanin0(node)), resolve(aig.fanin1(node)));
+            return memo;
+        }
+
+        const Replacement& r = it->second;
+        const Aig& s = *r.structure;
+        std::vector<Lit> mapped(static_cast<std::size_t>(s.num_nodes()), Aig::kNoLit);
+        mapped[0] = Aig::kConst0;
+        const std::vector<int> order = reachable_nodes(s, r.structure_out);
+        for (const int sn : order) {
+            if (s.is_pi(sn)) {
+                const int leaf = r.leaf_of_input[static_cast<std::size_t>(sn - 1)];
+                assert(leaf >= 0 && "structure reads an unmapped input");
+                Lit l = self(self, leaf);
+                if (r.input_negated[static_cast<std::size_t>(sn - 1)]) l = Aig::lit_not(l);
+                mapped[static_cast<std::size_t>(sn)] = l;
+            }
+        }
+        for (const int sn : order) {
+            if (!s.is_and(sn)) continue;
+            const auto resolve = [&](Lit f) {
+                const Lit base = mapped[static_cast<std::size_t>(Aig::lit_node(f))];
+                return Aig::lit_complemented(f) ? Aig::lit_not(base) : base;
+            };
+            mapped[static_cast<std::size_t>(sn)] =
+                out.and2(resolve(s.fanin0(sn)), resolve(s.fanin1(sn)));
+        }
+        Lit result = mapped[static_cast<std::size_t>(Aig::lit_node(r.structure_out))];
+        if (Aig::lit_complemented(r.structure_out)) result = Aig::lit_not(result);
+        if (r.output_negated) result = Aig::lit_not(result);
+        memo = result;
+        return memo;
+    };
+
+    for (int i = 0; i < aig.num_pos(); ++i) {
+        const Lit po = aig.po(i);
+        const Lit base = materialize(materialize, Aig::lit_node(po));
+        out.add_po(Aig::lit_complemented(po) ? Aig::lit_not(base) : base);
+    }
+    return out;
+}
+
+}  // namespace mvf::synth

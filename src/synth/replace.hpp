@@ -1,0 +1,50 @@
+#pragma once
+// Shared machinery for DAG-aware resynthesis passes (rewrite / refactor):
+// MFFC computation, dry-run gain estimation, and rebuild-with-substitution.
+//
+// A pass records, per AIG node, an optional Replacement: a small structure
+// AIG whose inputs wire to existing nodes.  apply_replacements() then
+// reconstructs the graph from the primary outputs, instantiating decided
+// structures through structural hashing so shared logic is discovered and
+// dead cones vanish.
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/aig.hpp"
+
+namespace mvf::synth {
+
+/// A candidate resynthesis of one node's function over chosen leaves.
+struct Replacement {
+    /// structure PI index -> old-AIG node id feeding it (-1 if the structure
+    /// does not read that input).
+    std::vector<int> leaf_of_input;
+    /// per structure PI: complement the leaf signal before feeding it
+    std::vector<bool> input_negated;
+    bool output_negated = false;
+    std::shared_ptr<const net::Aig> structure;
+    net::Lit structure_out = 0;
+};
+
+/// Computes the size of the maximum fanout-free cone of `root` down to
+/// `leaves` using trial dereferencing on `refs` (restored before returning).
+/// If `mffc_nodes` is non-null the member node ids are collected (root
+/// included).
+int mffc_size(const net::Aig& aig, int root, const std::vector<int>& leaves,
+              std::vector<int>& refs, std::vector<int>* mffc_nodes = nullptr);
+
+/// Estimates how many new AND nodes instantiating `r` would create, by
+/// replaying the structure against the old AIG's structural hash table.
+/// Hits on nodes listed in `mffc_nodes` (which the replacement would free)
+/// are counted as new.
+int count_new_nodes(const net::Aig& aig, const Replacement& r,
+                    const std::vector<int>& mffc_nodes);
+
+/// Rebuilds the AIG applying the decided replacements (keyed by old node id).
+net::Aig apply_replacements(
+    const net::Aig& aig,
+    const std::unordered_map<int, Replacement>& decisions);
+
+}  // namespace mvf::synth

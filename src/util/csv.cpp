@@ -1,0 +1,40 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace mvf::util {
+namespace {
+
+std::string escape(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i) out_ << ',';
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+}
+
+std::string CsvWriter::field(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+std::string CsvWriter::field(int v) { return std::to_string(v); }
+std::string CsvWriter::field(std::size_t v) { return std::to_string(v); }
+
+}  // namespace mvf::util

@@ -1,0 +1,30 @@
+#pragma once
+// Minimal CSV emission for benchmark harnesses (--csv outputs).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mvf::util {
+
+/// Writes rows of string/numeric fields to a CSV file.  Fields containing
+/// commas or quotes are quoted per RFC 4180.
+class CsvWriter {
+public:
+    /// Opens (truncates) `path`.  `ok()` reports whether the stream is usable.
+    explicit CsvWriter(const std::string& path);
+
+    bool ok() const { return static_cast<bool>(out_); }
+
+    void write_row(const std::vector<std::string>& fields);
+
+    /// Convenience: formats doubles with 6 significant digits.
+    static std::string field(double v);
+    static std::string field(int v);
+    static std::string field(std::size_t v);
+
+private:
+    std::ofstream out_;
+};
+
+}  // namespace mvf::util

@@ -1,0 +1,68 @@
+#include "util/rng.hpp"
+
+namespace mvf::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& w : state_) w = splitmix64(s);
+    // Guard against the all-zero state, which is a fixed point of xoshiro.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next_u64();  // full 64-bit range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = (~0ull) - ((~0ull) % span);
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + (v % span);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+    return lo + static_cast<int>(uniform_u64(0, static_cast<std::uint64_t>(hi - lo)));
+}
+
+double Rng::uniform_real() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::coin(double p) { return uniform_real() < p; }
+
+std::vector<int> Rng::permutation(int n) {
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+    shuffle(std::span<int>(perm));
+    return perm;
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ull); }
+
+}  // namespace mvf::util

@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All stochastic components of the flow (genetic algorithm, random pin
+// assignment baselines, random camouflaging) draw from an explicitly seeded
+// Rng so every experiment is reproducible from its seed.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mvf::util {
+
+/// Small, fast, seedable PRNG (xoshiro256**).  Not cryptographic; used only
+/// to drive heuristics and workload generation.
+class Rng {
+public:
+    /// Seeds the generator from a single 64-bit value via splitmix64.
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /// Next raw 64-bit output.
+    std::uint64_t next_u64();
+
+    /// Uniform integer in the inclusive range [lo, hi].
+    std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+
+    /// Uniform integer in the inclusive range [lo, hi].
+    int uniform_int(int lo, int hi);
+
+    /// Uniform real in [0, 1).
+    double uniform_real();
+
+    /// Bernoulli trial with probability p of returning true.
+    bool coin(double p);
+
+    /// Fisher-Yates shuffle of the given span.
+    template <typename T>
+    void shuffle(std::span<T> items) {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            const std::size_t j = static_cast<std::size_t>(
+                uniform_u64(0, static_cast<std::uint64_t>(i - 1)));
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /// A random permutation of {0, ..., n-1}.
+    std::vector<int> permutation(int n);
+
+    /// Derives an independently seeded child generator (for per-run streams).
+    Rng split();
+
+private:
+    std::uint64_t state_[4];
+};
+
+}  // namespace mvf::util

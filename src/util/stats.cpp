@@ -1,0 +1,63 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mvf::util {
+
+void RunningStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, int num_bins)
+    : lo_(lo), hi_(hi), bins_(static_cast<std::size_t>(num_bins), 0) {}
+
+void Histogram::add(double x) {
+    const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+    int idx = static_cast<int>((x - lo_) / width);
+    idx = std::clamp(idx, 0, static_cast<int>(bins_.size()) - 1);
+    ++bins_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double Histogram::bin_lo(int i) const {
+    const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+    return lo_ + width * i;
+}
+
+double Histogram::bin_hi(int i) const { return bin_lo(i + 1); }
+
+std::string Histogram::render(int max_width) const {
+    std::size_t peak = 1;
+    for (const auto c : bins_) peak = std::max(peak, c);
+    std::string out;
+    char line[160];
+    for (int i = 0; i < num_bins(); ++i) {
+        const auto c = bins_[static_cast<std::size_t>(i)];
+        const int bar = static_cast<int>(
+            static_cast<double>(c) * max_width / static_cast<double>(peak));
+        std::snprintf(line, sizeof line, "[%7.1f,%7.1f) %6zu |", bin_lo(i), bin_hi(i), c);
+        out += line;
+        out.append(static_cast<std::size_t>(bar), '#');
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace mvf::util

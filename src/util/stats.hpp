@@ -1,0 +1,56 @@
+#pragma once
+// Running statistics and simple histograms used by the experiment harnesses
+// (Fig. 4a area distributions, Table I averages, ablation summaries).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mvf::util {
+
+/// Numerically stable accumulation of count/mean/variance/min/max
+/// (Welford's algorithm).
+class RunningStats {
+public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;  ///< population variance
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); values outside clamp to the edge bins.
+class Histogram {
+public:
+    Histogram(double lo, double hi, int num_bins);
+
+    void add(double x);
+
+    int num_bins() const { return static_cast<int>(bins_.size()); }
+    std::size_t bin_count(int i) const { return bins_[static_cast<std::size_t>(i)]; }
+    double bin_lo(int i) const;
+    double bin_hi(int i) const;
+    std::size_t total() const { return total_; }
+
+    /// Multi-line ASCII rendering (one row per bin, '#' bars), used to print
+    /// Fig. 4a-style distributions to the terminal.
+    std::string render(int max_width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> bins_;
+    std::size_t total_ = 0;
+};
+
+}  // namespace mvf::util

@@ -1,0 +1,160 @@
+// Tests for camouflaged-cell plausible-function sets (paper Fig. 1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "camo/camo_cell.hpp"
+
+namespace mvf::camo {
+namespace {
+
+using logic::TruthTable;
+
+CamoLibrary standard_camo() {
+    return CamoLibrary::from_gate_library(tech::GateLibrary::standard());
+}
+
+TEST(CamoCell, Fig1bNand2PlausibleSet) {
+    // The paper's Fig. 1b: a doping-camouflaged NAND2 can implement exactly
+    // { NAND(A,B), !A, !B, 1, 0 }.
+    const CamoLibrary lib = standard_camo();
+    const int id = lib.camo_of_nominal(lib.gate_library().find("NAND2"));
+    ASSERT_GE(id, 0);
+    const CamoCell& cell = lib.cell(id);
+    EXPECT_EQ(cell.num_pins, 2);
+    EXPECT_DOUBLE_EQ(cell.area, 1.00);
+
+    const TruthTable a = TruthTable::var(0, 2);
+    const TruthTable b = TruthTable::var(1, 2);
+    const std::vector<TruthTable> expected{~(a & b), ~a, ~b,
+                                           TruthTable::ones(2),
+                                           TruthTable::zeros(2)};
+    EXPECT_EQ(cell.plausible.size(), expected.size());
+    for (const TruthTable& f : expected) {
+        EXPECT_TRUE(cell.can_implement(f)) << f.to_hex();
+    }
+    // And nothing else: AND, OR, XOR, A, B are not plausible.
+    for (const TruthTable& f :
+         {a & b, a | b, a ^ b, a, b, ~(a | b)}) {
+        EXPECT_FALSE(cell.can_implement(f)) << f.to_hex();
+    }
+}
+
+TEST(CamoCell, NominalIsEntryZero) {
+    const CamoLibrary lib = standard_camo();
+    for (int id = 0; id < lib.num_cells(); ++id) {
+        const CamoCell& cell = lib.cell(id);
+        if (cell.nominal_cell_id < 0) continue;  // TIE
+        EXPECT_EQ(cell.plausible[0],
+                  lib.gate_library().cell(cell.nominal_cell_id).function)
+            << cell.name;
+    }
+}
+
+TEST(CamoCell, ClosureContainsConstantsForEveryGate) {
+    // Fixing all inputs always yields constants, so 0 and 1 (over the pin
+    // space) are plausible for every camouflaged gate.
+    const CamoLibrary lib = standard_camo();
+    for (int id = 0; id < lib.num_cells(); ++id) {
+        const CamoCell& cell = lib.cell(id);
+        EXPECT_TRUE(cell.can_implement(TruthTable::zeros(cell.num_pins)))
+            << cell.name;
+        EXPECT_TRUE(cell.can_implement(TruthTable::ones(cell.num_pins)))
+            << cell.name;
+    }
+}
+
+TEST(CamoCell, ClosureIsClosedUnderFurtherFixing) {
+    const CamoLibrary lib = standard_camo();
+    for (int id = 0; id < lib.num_cells(); ++id) {
+        const CamoCell& cell = lib.cell(id);
+        for (const TruthTable& f : cell.plausible) {
+            for (int pin = 0; pin < cell.num_pins; ++pin) {
+                EXPECT_TRUE(cell.can_implement(f.cofactor(pin, false)));
+                EXPECT_TRUE(cell.can_implement(f.cofactor(pin, true)));
+            }
+        }
+    }
+}
+
+TEST(CamoCell, MuxAbsorptionFunctionsArePlausibleInAndOr) {
+    // The key Phase-III property: selecting between two inputs collapses to
+    // a camo AND2/OR2 because {a, b} sits inside their closures.
+    const CamoLibrary lib = standard_camo();
+    const TruthTable a = TruthTable::var(0, 2);
+    const TruthTable b = TruthTable::var(1, 2);
+    for (const char* name : {"AND2", "OR2"}) {
+        const CamoCell& cell =
+            lib.cell(lib.camo_of_nominal(lib.gate_library().find(name)));
+        EXPECT_TRUE(cell.can_implement(a)) << name;
+        EXPECT_TRUE(cell.can_implement(b)) << name;
+    }
+}
+
+TEST(CamoCell, PlausibleSetSizes) {
+    const CamoLibrary lib = standard_camo();
+    const auto size_of = [&lib](const char* name) {
+        return lib.cell(lib.camo_of_nominal(lib.gate_library().find(name)))
+            .plausible.size();
+    };
+    EXPECT_EQ(size_of("INV"), 3u);   // !a, 0, 1
+    EXPECT_EQ(size_of("BUF"), 3u);   // a, 0, 1
+    EXPECT_EQ(size_of("NAND2"), 5u);
+    EXPECT_EQ(size_of("NOR2"), 5u);
+    EXPECT_EQ(size_of("AND2"), 5u);  // ab, a, b, 0, 1
+    // NAND3: nand3, 3 x 2-cofactors (!ab etc. = nand2 over pairs),
+    // 3 x !x, 0, 1 -> 9 distinct functions.
+    EXPECT_EQ(size_of("NAND3"), 9u);
+    EXPECT_EQ(size_of("NAND4"), 17u);
+}
+
+TEST(CamoCell, ConfigBitsMatchSetSize) {
+    const CamoLibrary lib = standard_camo();
+    const CamoCell& nand2 =
+        lib.cell(lib.camo_of_nominal(lib.gate_library().find("NAND2")));
+    EXPECT_NEAR(nand2.config_bits(), std::log2(5.0), 1e-12);
+}
+
+TEST(CamoCell, TieCell) {
+    const CamoLibrary lib = standard_camo();
+    const CamoCell& tie = lib.cell(lib.tie_id());
+    EXPECT_EQ(tie.num_pins, 0);
+    EXPECT_EQ(tie.plausible.size(), 2u);
+    EXPECT_TRUE(tie.can_implement(TruthTable::zeros(0)));
+    EXPECT_TRUE(tie.can_implement(TruthTable::ones(0)));
+    EXPECT_EQ(tie.plausible_index(TruthTable::zeros(0)), 0);
+    EXPECT_EQ(tie.plausible_index(TruthTable::ones(0)), 1);
+}
+
+TEST(CamoCell, EveryNominalCellHasCamoVariant) {
+    const CamoLibrary lib = standard_camo();
+    for (int id = 0; id < lib.gate_library().num_cells(); ++id) {
+        const int camo_id = lib.camo_of_nominal(id);
+        ASSERT_GE(camo_id, 0);
+        const CamoCell& cell = lib.cell(camo_id);
+        EXPECT_EQ(cell.num_pins, lib.gate_library().cell(id).num_inputs);
+        // Look-alike: identical area.
+        EXPECT_DOUBLE_EQ(cell.area, lib.gate_library().cell(id).area);
+        EXPECT_EQ(cell.name, "CAMO_" + lib.gate_library().cell(id).name);
+    }
+}
+
+TEST(CamoCell, PlausibleClosureMatchesBruteForceFixings) {
+    // Cross-check closure construction against direct enumeration for XOR2
+    // (a function not in the library, exercising the generic path).
+    const TruthTable x = TruthTable::var(0, 2) ^ TruthTable::var(1, 2);
+    const std::vector<TruthTable> closure = CamoLibrary::plausible_closure(x);
+    // XOR cofactors: x^y, y, !y, x, !x, (no constants unless both fixed:
+    // 0^0=0... fixing both gives constants 0 and 1).
+    EXPECT_EQ(closure.size(), 7u);
+    for (const TruthTable& f :
+         {x, TruthTable::var(1, 2), ~TruthTable::var(1, 2), TruthTable::var(0, 2),
+          ~TruthTable::var(0, 2), TruthTable::zeros(2), TruthTable::ones(2)}) {
+        EXPECT_NE(std::find(closure.begin(), closure.end(), f), closure.end());
+    }
+}
+
+}  // namespace
+}  // namespace mvf::camo

@@ -1,0 +1,166 @@
+// Tests for Algorithm 1 (camouflage tree covering) and the CamoNetlist.
+
+#include <gtest/gtest.h>
+
+#include "camo/camo_map.hpp"
+#include "flow/merged_spec.hpp"
+#include "flow/obfuscation_flow.hpp"
+#include "sbox/sbox_data.hpp"
+#include "sim/netlist_sim.hpp"
+
+namespace mvf::camo {
+namespace {
+
+using logic::TruthTable;
+
+struct Fixture {
+    flow::ObfuscationFlow flow;
+
+    // Synthesizes a merged circuit for the first n Leander-Poschmann
+    // S-boxes with identity pin assignment.
+    tech::Netlist merged_lp(int n) {
+        const auto fns = flow::from_sboxes(sbox::present_viable_set(n));
+        const auto pa = ga::PinAssignment::identity(n, 4, 4);
+        return flow.synthesize(flow::MergedSpec(fns, pa),
+                               synth::Effort::kDefault);
+    }
+};
+
+TEST(CamoMap, EliminatesAllSelectInputs) {
+    Fixture fx;
+    for (int n : {2, 4}) {
+        const tech::Netlist mapped = fx.merged_lp(n);
+        ASSERT_GT(mapped.num_selects(), 0);
+        const CamoMapResult r = camo_map(mapped, fx.flow.camo_library(), n);
+        EXPECT_TRUE(r.netlist.validate());
+        EXPECT_EQ(r.netlist.num_pis(), 4) << "selects must be gone";
+        EXPECT_EQ(r.stats.selects_eliminated, mapped.num_selects());
+    }
+}
+
+TEST(CamoMap, EveryViableFunctionVerifiesBySimulation) {
+    Fixture fx;
+    for (int n : {2, 4, 8}) {
+        const auto fns = flow::from_sboxes(sbox::present_viable_set(n));
+        const auto pa = ga::PinAssignment::identity(n, 4, 4);
+        const flow::MergedSpec spec(fns, pa);
+        const tech::Netlist mapped =
+            fx.flow.synthesize(spec, synth::Effort::kDefault);
+        const CamoMapResult r = camo_map(mapped, fx.flow.camo_library(), n);
+        EXPECT_TRUE(flow::ObfuscationFlow::verify_configurations(spec, r.netlist))
+            << "n=" << n;
+    }
+}
+
+TEST(CamoMap, DesMergeVerifies) {
+    Fixture fx;
+    const int n = 2;
+    const auto fns = flow::from_sboxes(sbox::des_viable_set(n));
+    const auto pa = ga::PinAssignment::identity(n, 6, 4);
+    const flow::MergedSpec spec(fns, pa);
+    const tech::Netlist mapped = fx.flow.synthesize(spec, synth::Effort::kFast);
+    const CamoMapResult r = camo_map(mapped, fx.flow.camo_library(), n);
+    EXPECT_TRUE(flow::ObfuscationFlow::verify_configurations(spec, r.netlist));
+    EXPECT_EQ(r.netlist.num_pis(), 6);
+}
+
+TEST(CamoMap, AreaNeverExceedsSelfCoverBound) {
+    // Covering each gate with its own camo look-alike is always possible, so
+    // the mapped camo area can never exceed the synthesized cell area.
+    Fixture fx;
+    for (int n : {2, 4, 8}) {
+        const tech::Netlist mapped = fx.merged_lp(n);
+        const CamoMapResult r = camo_map(mapped, fx.flow.camo_library(), n);
+        EXPECT_LE(r.stats.area, mapped.area() + 1e-9) << "n=" << n;
+    }
+}
+
+TEST(CamoMap, DeeperSubtreesNeverHurtArea) {
+    Fixture fx;
+    const tech::Netlist mapped = fx.merged_lp(4);
+    double prev = 1e18;
+    for (int depth = 1; depth <= 3; ++depth) {
+        CamoMapParams params;
+        params.subtree.max_depth = depth;
+        const CamoMapResult r =
+            camo_map(mapped, fx.flow.camo_library(), 4, params);
+        EXPECT_LE(r.stats.area, prev + 1e-9) << "depth " << depth;
+        prev = r.stats.area;
+    }
+}
+
+TEST(CamoMap, StatsAreConsistent) {
+    Fixture fx;
+    const tech::Netlist mapped = fx.merged_lp(4);
+    const CamoMapResult r = camo_map(mapped, fx.flow.camo_library(), 4);
+    EXPECT_DOUBLE_EQ(r.stats.area, r.netlist.area());
+    EXPECT_EQ(r.stats.num_cells, r.netlist.num_cells());
+    EXPECT_NEAR(r.stats.config_space_bits, r.netlist.config_space_bits(), 1e-9);
+    EXPECT_GT(r.stats.config_space_bits, 0.0);
+}
+
+TEST(CamoMap, ConfigTablesHaveOneEntryPerCode) {
+    Fixture fx;
+    const int n = 4;
+    const tech::Netlist mapped = fx.merged_lp(n);
+    const CamoMapResult r = camo_map(mapped, fx.flow.camo_library(), n);
+    for (int id = 0; id < r.netlist.num_nodes(); ++id) {
+        const CamoNetlist::Node& node = r.netlist.node(id);
+        if (node.kind != CamoNetlist::NodeKind::kCell) continue;
+        EXPECT_EQ(static_cast<int>(node.config_fn.size()), n);
+    }
+}
+
+TEST(CamoMap, SelectFreeCircuitMapsLosslessly) {
+    // With one function there are no selects; camo covering degenerates to
+    // plain (multi-level) covering and must preserve the function.
+    Fixture fx;
+    const auto fns = flow::from_sboxes(sbox::present_viable_set(1));
+    const auto pa = ga::PinAssignment::identity(1, 4, 4);
+    const flow::MergedSpec spec(fns, pa);
+    const tech::Netlist mapped = fx.flow.synthesize(spec, synth::Effort::kDefault);
+    EXPECT_EQ(mapped.num_selects(), 0);
+    const CamoMapResult r = camo_map(mapped, fx.flow.camo_library(), 1);
+    const auto config = r.netlist.configuration_for_code(0);
+    const auto got = sim::simulate_camo_full(r.netlist, config);
+    for (int q = 0; q < 4; ++q) {
+        EXPECT_EQ(got[static_cast<std::size_t>(q)],
+                  fns[0].outputs[static_cast<std::size_t>(q)]);
+    }
+}
+
+TEST(CamoNetlist, ValidationCatchesBadConfig) {
+    const CamoLibrary lib =
+        CamoLibrary::from_gate_library(tech::GateLibrary::standard());
+    CamoNetlist nl(lib);
+    const int a = nl.add_pi("a");
+    const int b = nl.add_pi("b");
+    CamoNetlist::Node cell;
+    cell.kind = CamoNetlist::NodeKind::kCell;
+    cell.camo_cell_id = lib.camo_of_nominal(lib.gate_library().find("NAND2"));
+    cell.fanins = {a, b};
+    cell.used_pin_mask = 3;
+    cell.config_fn = {99};  // out of range
+    nl.add_cell(std::move(cell));
+    EXPECT_FALSE(nl.validate());
+}
+
+TEST(CamoNetlist, AreaMatchesLookAlikeCells) {
+    const CamoLibrary lib =
+        CamoLibrary::from_gate_library(tech::GateLibrary::standard());
+    CamoNetlist nl(lib);
+    const int a = nl.add_pi("a");
+    const int b = nl.add_pi("b");
+    CamoNetlist::Node cell;
+    cell.kind = CamoNetlist::NodeKind::kCell;
+    cell.camo_cell_id = lib.camo_of_nominal(lib.gate_library().find("AND3"));
+    cell.fanins = {a, b, a};
+    cell.used_pin_mask = 7;
+    cell.config_fn = {0};
+    nl.add_cell(std::move(cell));
+    EXPECT_DOUBLE_EQ(nl.area(), 1.67);
+    EXPECT_EQ(nl.num_cells(), 1);
+}
+
+}  // namespace
+}  // namespace mvf::camo

@@ -1,0 +1,152 @@
+// Tests for cross-output shared-divisor extraction.
+
+#include <gtest/gtest.h>
+
+#include "flow/merged_spec.hpp"
+#include "net/aig_sim.hpp"
+#include "sbox/sbox_data.hpp"
+#include "synth/extract.hpp"
+#include "util/rng.hpp"
+
+namespace mvf::synth {
+namespace {
+
+using logic::TruthTable;
+using net::Aig;
+using net::Lit;
+
+std::vector<Lit> pis(const Aig& aig) {
+    std::vector<Lit> v;
+    for (int i = 0; i < aig.num_pis(); ++i) v.push_back(aig.pi(i));
+    return v;
+}
+
+TEST(Extract, SingleFunctionIsExact) {
+    util::Rng rng(3);
+    for (int n = 2; n <= 8; ++n) {
+        for (int t = 0; t < 10; ++t) {
+            TruthTable f(n);
+            for (std::uint32_t m = 0; m < f.num_bits(); ++m) {
+                if (rng.coin(0.5)) f.set_bit(m, true);
+            }
+            Aig aig(n);
+            const std::vector<TruthTable> fns{f};
+            const auto outs = build_shared_extract(fns, pis(aig), &aig);
+            ASSERT_EQ(outs.size(), 1u);
+            aig.add_po(outs[0]);
+            EXPECT_EQ(net::simulate_full(aig)[0], f) << "n=" << n;
+        }
+    }
+}
+
+TEST(Extract, MultiOutputGroupIsExact) {
+    util::Rng rng(7);
+    for (int t = 0; t < 10; ++t) {
+        const int n = 6;
+        std::vector<TruthTable> fns;
+        for (int k = 0; k < 6; ++k) {
+            TruthTable f(n);
+            for (std::uint32_t m = 0; m < f.num_bits(); ++m) {
+                if (rng.coin(0.4)) f.set_bit(m, true);
+            }
+            fns.push_back(f);
+        }
+        Aig aig(n);
+        const auto outs = build_shared_extract(fns, pis(aig), &aig);
+        for (const Lit o : outs) aig.add_po(o);
+        const auto sim = net::simulate_full(aig);
+        for (std::size_t k = 0; k < fns.size(); ++k) {
+            EXPECT_EQ(sim[k], fns[k]) << "output " << k;
+        }
+    }
+}
+
+TEST(Extract, SharedProductIsBuiltOnce) {
+    // f0 = abc, f1 = abd: the divisor ab must be extracted, so the whole
+    // group needs only 4 AND nodes (ab, ab&c, ab&d ... plus none extra).
+    const int n = 4;
+    const TruthTable a = TruthTable::var(0, n);
+    const TruthTable b = TruthTable::var(1, n);
+    const TruthTable c = TruthTable::var(2, n);
+    const TruthTable d = TruthTable::var(3, n);
+    const std::vector<TruthTable> fns{a & b & c, a & b & d};
+    Aig aig(n);
+    ExtractStats stats;
+    const auto outs = build_shared_extract(fns, pis(aig), &aig, &stats);
+    for (const Lit o : outs) aig.add_po(o);
+    EXPECT_GE(stats.divisors_extracted, 1);
+    EXPECT_LT(stats.literals_after, stats.literals_before);
+    EXPECT_EQ(aig.count_live_ands(), 3);  // ab, (ab)c, (ab)d
+    const auto sim = net::simulate_full(aig);
+    EXPECT_EQ(sim[0], fns[0]);
+    EXPECT_EQ(sim[1], fns[1]);
+}
+
+TEST(Extract, StatsLiteralAccounting) {
+    const int n = 3;
+    const TruthTable f = TruthTable::var(0, n) & TruthTable::var(1, n);
+    const std::vector<TruthTable> fns{f};
+    Aig aig(n);
+    ExtractStats stats;
+    build_shared_extract(fns, pis(aig), &aig, &stats);
+    EXPECT_EQ(stats.literals_before, 2);
+    EXPECT_EQ(stats.divisors_extracted, 0);  // single occurrence: no gain
+    EXPECT_EQ(stats.literals_after, 2);
+}
+
+TEST(Extract, ConstantsAndComplementedCovers) {
+    const int n = 3;
+    // Nearly-tautological function: best polarity covers the complement.
+    TruthTable f = TruthTable::ones(n);
+    f.set_bit(5, false);
+    const std::vector<TruthTable> fns{f, TruthTable::zeros(n), TruthTable::ones(n)};
+    Aig aig(n);
+    const auto outs = build_shared_extract(fns, pis(aig), &aig);
+    for (const Lit o : outs) aig.add_po(o);
+    const auto sim = net::simulate_full(aig);
+    EXPECT_EQ(sim[0], f);
+    EXPECT_TRUE(sim[1].is_zero());
+    EXPECT_TRUE(sim[2].is_ones());
+}
+
+TEST(Extract, SboxGroupSharesAcrossFunctions) {
+    // All outputs of 8 DES S-boxes: extraction must reduce literal count
+    // substantially and preserve every function.
+    std::vector<TruthTable> fns;
+    for (int i = 0; i < 8; ++i) {
+        for (const TruthTable& t : sbox::des_sbox(i).output_tts()) fns.push_back(t);
+    }
+    Aig aig(6);
+    ExtractStats stats;
+    const auto outs = build_shared_extract(fns, pis(aig), &aig, &stats);
+    for (const Lit o : outs) aig.add_po(o);
+    EXPECT_GT(stats.divisors_extracted, 20);
+    EXPECT_LT(stats.literals_after, stats.literals_before / 2);
+    const auto sim = net::simulate_full(aig);
+    for (std::size_t k = 0; k < fns.size(); ++k) {
+        EXPECT_EQ(sim[k], fns[k]) << "output " << k;
+    }
+}
+
+TEST(MergedSpecBuildStyle, SharedExtractMatchesReference) {
+    util::Rng rng(11);
+    for (int n : {2, 4, 8}) {
+        const auto fns =
+            flow::from_sboxes(sbox::present_viable_set(n));
+        const auto pa = ga::PinAssignment::random(n, 4, 4, rng);
+        const flow::MergedSpec spec(fns, pa);
+        const net::Aig aig = spec.build_aig(flow::BuildStyle::kSharedExtract);
+        EXPECT_EQ(net::simulate_full(aig), spec.reference_tts()) << "n=" << n;
+    }
+}
+
+TEST(MergedSpecBuildStyle, DesSharedExtractMatchesReference) {
+    const auto fns = flow::from_sboxes(sbox::des_viable_set(3));
+    const auto pa = ga::PinAssignment::identity(3, 6, 4);
+    const flow::MergedSpec spec(fns, pa);
+    const net::Aig aig = spec.build_aig(flow::BuildStyle::kSharedExtract);
+    EXPECT_EQ(net::simulate_full(aig), spec.reference_tts());
+}
+
+}  // namespace
+}  // namespace mvf::synth

@@ -1,0 +1,175 @@
+// Tests for ISOP generation (Minato-Morreale) and algebraic factoring.
+
+#include <gtest/gtest.h>
+
+#include "logic/factor.hpp"
+#include "logic/isop.hpp"
+#include "util/rng.hpp"
+
+namespace mvf::logic {
+namespace {
+
+TruthTable random_tt(int n, util::Rng& rng) {
+    TruthTable t(n);
+    for (std::uint32_t m = 0; m < t.num_bits(); ++m) {
+        if (rng.coin(0.5)) t.set_bit(m, true);
+    }
+    return t;
+}
+
+TEST(Isop, ConstantsProduceTrivialCovers) {
+    for (int n = 0; n <= 6; ++n) {
+        EXPECT_TRUE(isop(TruthTable::zeros(n)).cubes.empty());
+        const Sop one = isop(TruthTable::ones(n));
+        ASSERT_EQ(one.num_cubes(), 1);
+        EXPECT_EQ(one.cubes[0].mask, 0u);
+    }
+}
+
+TEST(Isop, SingleVariable) {
+    const Sop s = isop(TruthTable::var(2, 4));
+    ASSERT_EQ(s.num_cubes(), 1);
+    EXPECT_EQ(s.num_literals(), 1);
+    EXPECT_TRUE(s.cubes[0].has_var(2));
+    EXPECT_TRUE(s.cubes[0].is_positive(2));
+}
+
+TEST(Isop, CoverEqualsFunctionWhenCompletelySpecified) {
+    util::Rng rng(17);
+    for (int n = 1; n <= 8; ++n) {
+        for (int t = 0; t < 25; ++t) {
+            const TruthTable f = random_tt(n, rng);
+            EXPECT_EQ(isop(f).to_truth_table(), f) << "n=" << n;
+        }
+    }
+}
+
+TEST(Isop, IncompletelySpecifiedStaysInsideBounds) {
+    util::Rng rng(23);
+    for (int t = 0; t < 50; ++t) {
+        const int n = 6;
+        const TruthTable onset = random_tt(n, rng);
+        const TruthTable dc = random_tt(n, rng);
+        const TruthTable lower = onset & ~dc;
+        const TruthTable upper = onset | dc;
+        const TruthTable cover = isop(lower, upper).to_truth_table();
+        EXPECT_TRUE((lower & ~cover).is_zero()) << "cover misses onset";
+        EXPECT_TRUE((cover & ~upper).is_zero()) << "cover exceeds upper bound";
+    }
+}
+
+TEST(Isop, DontCaresNeverIncreaseCubeCount) {
+    util::Rng rng(31);
+    for (int t = 0; t < 20; ++t) {
+        const int n = 5;
+        const TruthTable f = random_tt(n, rng);
+        const TruthTable dc = random_tt(n, rng);
+        const Sop exact = isop(f);
+        const Sop flexible = isop(f & ~dc, f | dc);
+        EXPECT_LE(flexible.num_cubes(), exact.num_cubes());
+    }
+}
+
+TEST(Isop, IrredundantCoverHasNoDroppableCube) {
+    util::Rng rng(37);
+    for (int t = 0; t < 20; ++t) {
+        const int n = 5;
+        const TruthTable f = random_tt(n, rng);
+        Sop s = isop(f);
+        for (int drop = 0; drop < s.num_cubes(); ++drop) {
+            Sop reduced = s;
+            reduced.cubes.erase(reduced.cubes.begin() + drop);
+            EXPECT_NE(reduced.to_truth_table(), f)
+                << "cube " << drop << " is redundant";
+        }
+    }
+}
+
+TEST(Isop, BestPolarityPicksSmaller) {
+    // A function with a tiny complement: f = NOT(abcde) -> complement is one cube.
+    TruthTable f = TruthTable::ones(5);
+    f.set_bit(31, false);
+    bool complemented = false;
+    const Sop s = isop_best_polarity(f, &complemented);
+    EXPECT_TRUE(complemented);
+    EXPECT_EQ(s.num_cubes(), 1);
+}
+
+TEST(Factor, ConstantsAndLiterals) {
+    Sop zero{4, {}};
+    EXPECT_EQ(FactorTree::from_sop(zero).to_string(), "0");
+    Cube taut;
+    Sop one{4, {taut}};
+    EXPECT_EQ(FactorTree::from_sop(one).to_string(), "1");
+    Cube lit;
+    lit.add_literal(1, false);
+    Sop single{4, {lit}};
+    FactorTree t = FactorTree::from_sop(single);
+    EXPECT_EQ(t.num_literals(), 1);
+    EXPECT_EQ(t.to_string(), "b'");
+}
+
+TEST(Factor, PreservesFunctionOnRandomCovers) {
+    util::Rng rng(41);
+    for (int n = 2; n <= 8; ++n) {
+        for (int t = 0; t < 25; ++t) {
+            const TruthTable f = random_tt(n, rng);
+            const Sop s = isop(f);
+            const FactorTree tree = FactorTree::from_sop(s);
+            EXPECT_EQ(tree.to_truth_table(n), f) << "n=" << n << " t=" << t;
+        }
+    }
+}
+
+TEST(Factor, NeverIncreasesLiteralCount) {
+    util::Rng rng(43);
+    for (int t = 0; t < 40; ++t) {
+        const TruthTable f = random_tt(6, rng);
+        const Sop s = isop(f);
+        const FactorTree tree = FactorTree::from_sop(s);
+        EXPECT_LE(tree.num_literals(), s.num_literals());
+    }
+}
+
+TEST(Factor, SharesCommonLiteral) {
+    // ab + ac + ad should factor as a(b + c + d): 4 literals, not 6.
+    Sop s;
+    s.num_vars = 4;
+    for (int v : {1, 2, 3}) {
+        Cube c;
+        c.add_literal(0, true);
+        c.add_literal(v, true);
+        s.cubes.push_back(c);
+    }
+    const FactorTree tree = FactorTree::from_sop(s);
+    EXPECT_EQ(tree.num_literals(), 4);
+    EXPECT_EQ(tree.to_truth_table(4), s.to_truth_table());
+}
+
+TEST(Factor, PaperFig3Function) {
+    // f0 = (AB + CD)E from the paper's Fig. 3: factored form has 5 literals.
+    const int n = 5;
+    const TruthTable f = ((TruthTable::var(0, n) & TruthTable::var(1, n)) |
+                          (TruthTable::var(2, n) & TruthTable::var(3, n))) &
+                         TruthTable::var(4, n);
+    const Sop s = isop(f);
+    const FactorTree tree = FactorTree::from_sop(s);
+    EXPECT_EQ(tree.to_truth_table(n), f);
+    EXPECT_EQ(tree.num_literals(), 5);
+}
+
+// Property sweep over every 3-variable function (256 of them).
+class IsopAllThreeVar : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsopAllThreeVar, CoverAndFactorExact) {
+    const auto bits = static_cast<std::uint64_t>(GetParam());
+    const TruthTable f = TruthTable::from_u64(3, bits);
+    const Sop s = isop(f);
+    EXPECT_EQ(s.to_truth_table(), f);
+    EXPECT_EQ(FactorTree::from_sop(s).to_truth_table(3), f);
+}
+
+INSTANTIATE_TEST_SUITE_P(All256, IsopAllThreeVar, ::testing::Range(0, 256));
+
+}  // namespace
+}  // namespace mvf::logic

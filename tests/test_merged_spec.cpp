@@ -1,0 +1,148 @@
+// Tests for the merged multi-function specification (Phase I, Fig. 2).
+
+#include <gtest/gtest.h>
+
+#include "flow/merged_spec.hpp"
+#include "net/aig_sim.hpp"
+#include "sbox/sbox_data.hpp"
+#include "util/rng.hpp"
+
+namespace mvf::flow {
+namespace {
+
+using logic::TruthTable;
+
+TEST(MergedSpec, SelectCountIsCeilLog2) {
+    EXPECT_EQ(MergedSpec::num_selects(1), 0);
+    EXPECT_EQ(MergedSpec::num_selects(2), 1);
+    EXPECT_EQ(MergedSpec::num_selects(3), 2);
+    EXPECT_EQ(MergedSpec::num_selects(4), 2);
+    EXPECT_EQ(MergedSpec::num_selects(5), 3);
+    EXPECT_EQ(MergedSpec::num_selects(8), 3);
+    EXPECT_EQ(MergedSpec::num_selects(9), 4);
+    EXPECT_EQ(MergedSpec::num_selects(16), 4);
+}
+
+TEST(MergedSpec, FromSboxConversion) {
+    const ViableFunction f = from_sbox(sbox::present_sbox());
+    EXPECT_EQ(f.name, "PRESENT");
+    EXPECT_EQ(f.num_inputs, 4);
+    EXPECT_EQ(f.num_outputs, 4);
+    ASSERT_EQ(f.outputs.size(), 4u);
+    EXPECT_EQ(f.outputs[0], sbox::present_sbox().output_tt(0));
+}
+
+TEST(MergedSpec, PiNamesAndSelectFlags) {
+    const auto fns = from_sboxes(sbox::present_viable_set(4));
+    const MergedSpec spec(fns, ga::PinAssignment::identity(4, 4, 4));
+    const auto names = spec.pi_names();
+    ASSERT_EQ(names.size(), 6u);
+    EXPECT_EQ(names[0], "i0");
+    EXPECT_EQ(names[4], "sel0");
+    const auto flags = spec.pi_select_flags();
+    EXPECT_FALSE(flags[3]);
+    EXPECT_TRUE(flags[4]);
+    EXPECT_TRUE(flags[5]);
+}
+
+TEST(MergedSpec, AigMatchesReferenceUnderIdentityPins) {
+    for (int n : {1, 2, 3, 4, 8}) {
+        const auto fns = from_sboxes(sbox::present_viable_set(n));
+        const MergedSpec spec(fns, ga::PinAssignment::identity(n, 4, 4));
+        const net::Aig aig = spec.build_aig();
+        EXPECT_EQ(aig.num_pis(), 4 + spec.select_count());
+        EXPECT_EQ(net::simulate_full(aig), spec.reference_tts()) << "n=" << n;
+    }
+}
+
+TEST(MergedSpec, AigMatchesReferenceUnderRandomPins) {
+    util::Rng rng(31);
+    for (int n : {2, 4, 5, 7}) {
+        const auto fns = from_sboxes(sbox::present_viable_set(n));
+        const auto pa = ga::PinAssignment::random(n, 4, 4, rng);
+        const MergedSpec spec(fns, pa);
+        EXPECT_EQ(net::simulate_full(spec.build_aig()), spec.reference_tts())
+            << "n=" << n;
+    }
+}
+
+TEST(MergedSpec, SelectCodeRecoversEachFunction) {
+    util::Rng rng(37);
+    const int n = 4;
+    const auto sboxes = sbox::present_viable_set(n);
+    const auto fns = from_sboxes(sboxes);
+    const auto pa = ga::PinAssignment::random(n, 4, 4, rng);
+    const MergedSpec spec(fns, pa);
+    for (int code = 0; code < n; ++code) {
+        const auto outs = spec.expected_outputs_for_code(code);
+        // Invert the pin assignment and compare against the raw S-box.
+        for (std::uint32_t x = 0; x < 16; ++x) {
+            // Function k's input j reads shared input input_perms[k][j].
+            std::uint32_t fx = 0;
+            for (int j = 0; j < 4; ++j) {
+                if ((x >> pa.input_perms[static_cast<std::size_t>(code)]
+                                        [static_cast<std::size_t>(j)]) & 1) {
+                    fx |= 1u << j;
+                }
+            }
+            const std::uint8_t y = sboxes[static_cast<std::size_t>(code)].lookup(fx);
+            for (int j = 0; j < 4; ++j) {
+                const int q = pa.output_perms[static_cast<std::size_t>(code)]
+                                             [static_cast<std::size_t>(j)];
+                EXPECT_EQ(outs[static_cast<std::size_t>(q)].bit(x),
+                          ((y >> j) & 1) != 0)
+                    << "code=" << code << " x=" << x << " j=" << j;
+            }
+        }
+    }
+}
+
+TEST(MergedSpec, UnusedCodesReplicateLastFunction) {
+    const int n = 3;  // 2 selects, code 3 unused
+    const auto fns = from_sboxes(sbox::present_viable_set(n));
+    const MergedSpec spec(fns, ga::PinAssignment::identity(n, 4, 4));
+    EXPECT_EQ(spec.expected_outputs_for_code(3), spec.expected_outputs_for_code(2));
+}
+
+TEST(MergedSpec, DesMergeHasSixInputs) {
+    const auto fns = from_sboxes(sbox::des_viable_set(4));
+    const MergedSpec spec(fns, ga::PinAssignment::identity(4, 6, 4));
+    EXPECT_EQ(spec.num_inputs(), 6);
+    EXPECT_EQ(spec.num_outputs(), 4);
+    EXPECT_EQ(spec.select_count(), 2);
+    const net::Aig aig = spec.build_aig();
+    EXPECT_EQ(aig.num_pis(), 8);
+    EXPECT_EQ(net::simulate_full(aig), spec.reference_tts());
+}
+
+TEST(MergedSpec, SingleFunctionHasNoMuxOverhead) {
+    const auto fns = from_sboxes(sbox::present_viable_set(1));
+    const MergedSpec spec(fns, ga::PinAssignment::identity(1, 4, 4));
+    const net::Aig aig = spec.build_aig();
+    EXPECT_EQ(aig.num_pis(), 4);
+    const auto outs = net::simulate_full(aig);
+    for (int j = 0; j < 4; ++j) {
+        EXPECT_EQ(outs[static_cast<std::size_t>(j)],
+                  fns[0].outputs[static_cast<std::size_t>(j)]);
+    }
+}
+
+// Property sweep: every pair (i, j) of distinct LP S-boxes merges correctly.
+class MergedPairs : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergedPairs, PairMergeIsExact) {
+    const int i = GetParam() / 16;
+    const int j = GetParam() % 16;
+    if (i >= j) GTEST_SKIP();
+    const auto& all = sbox::leander_poschmann_16();
+    std::vector<ViableFunction> fns{from_sbox(all[static_cast<std::size_t>(i)]),
+                                    from_sbox(all[static_cast<std::size_t>(j)])};
+    const MergedSpec spec(fns, ga::PinAssignment::identity(2, 4, 4));
+    EXPECT_EQ(net::simulate_full(spec.build_aig()), spec.reference_tts());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairsSampled, MergedPairs,
+                         ::testing::Range(0, 256, 7));
+
+}  // namespace
+}  // namespace mvf::flow

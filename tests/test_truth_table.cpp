@@ -1,0 +1,189 @@
+// Unit tests for the TruthTable substrate.
+
+#include "logic/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mvf::logic {
+namespace {
+
+TEST(TruthTable, ConstantsAndSizes) {
+    for (int n = 0; n <= 10; ++n) {
+        const TruthTable z = TruthTable::zeros(n);
+        const TruthTable o = TruthTable::ones(n);
+        EXPECT_TRUE(z.is_zero());
+        EXPECT_TRUE(o.is_ones());
+        EXPECT_FALSE(z.is_ones()) << n;
+        EXPECT_FALSE(o.is_zero());
+        EXPECT_EQ(z.num_bits(), 1u << n);
+        EXPECT_EQ(o.count_ones(), 1 << n);
+        EXPECT_EQ(~z, o);
+    }
+}
+
+TEST(TruthTable, VarProjection) {
+    for (int n = 1; n <= 9; ++n) {
+        for (int v = 0; v < n; ++v) {
+            const TruthTable t = TruthTable::var(v, n);
+            for (std::uint32_t m = 0; m < t.num_bits(); ++m) {
+                EXPECT_EQ(t.bit(m), ((m >> v) & 1) != 0);
+            }
+            EXPECT_EQ(t.count_ones(), 1 << (n - 1));
+        }
+    }
+}
+
+TEST(TruthTable, BitwiseOperators) {
+    const int n = 7;
+    const TruthTable a = TruthTable::var(2, n);
+    const TruthTable b = TruthTable::var(6, n);
+    const TruthTable both = a & b;
+    const TruthTable either = a | b;
+    const TruthTable diff = a ^ b;
+    for (std::uint32_t m = 0; m < both.num_bits(); ++m) {
+        const bool ba = (m >> 2) & 1;
+        const bool bb = (m >> 6) & 1;
+        EXPECT_EQ(both.bit(m), ba && bb);
+        EXPECT_EQ(either.bit(m), ba || bb);
+        EXPECT_EQ(diff.bit(m), ba != bb);
+    }
+}
+
+TEST(TruthTable, NormalizationKeepsEqualityExact) {
+    // ~zeros over 3 vars must not leave garbage above bit 7.
+    const TruthTable o = ~TruthTable::zeros(3);
+    EXPECT_EQ(o.as_u64(), 0xffull);
+    EXPECT_EQ(o, TruthTable::ones(3));
+}
+
+TEST(TruthTable, CofactorSmallVar) {
+    const int n = 5;
+    util::Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        TruthTable f = TruthTable::from_u64(n, rng.next_u64());
+        for (int v = 0; v < n; ++v) {
+            const TruthTable c0 = f.cofactor(v, false);
+            const TruthTable c1 = f.cofactor(v, true);
+            EXPECT_FALSE(c0.depends_on(v));
+            EXPECT_FALSE(c1.depends_on(v));
+            for (std::uint32_t m = 0; m < f.num_bits(); ++m) {
+                EXPECT_EQ(c0.bit(m), f.bit(m & ~(1u << v)));
+                EXPECT_EQ(c1.bit(m), f.bit(m | (1u << v)));
+            }
+            // Shannon expansion reconstructs f.
+            const TruthTable xv = TruthTable::var(v, n);
+            EXPECT_EQ((xv & c1) | (~xv & c0), f);
+        }
+    }
+}
+
+TEST(TruthTable, CofactorLargeVar) {
+    const int n = 9;
+    util::Rng rng(13);
+    TruthTable f = TruthTable::from_function(
+        n, [&rng](std::uint32_t) { return rng.coin(0.5); });
+    for (int v = 0; v < n; ++v) {
+        const TruthTable c0 = f.cofactor(v, false);
+        const TruthTable c1 = f.cofactor(v, true);
+        const TruthTable xv = TruthTable::var(v, n);
+        EXPECT_EQ((xv & c1) | (~xv & c0), f) << "var " << v;
+        EXPECT_FALSE(c0.depends_on(v));
+    }
+}
+
+TEST(TruthTable, SupportDetection) {
+    const int n = 8;
+    // f = x1 & x6 | x3
+    const TruthTable f = (TruthTable::var(1, n) & TruthTable::var(6, n)) |
+                         TruthTable::var(3, n);
+    EXPECT_EQ(f.support(), (std::vector<int>{1, 3, 6}));
+    EXPECT_TRUE(TruthTable::zeros(n).support().empty());
+}
+
+TEST(TruthTable, PermuteRoundTrip) {
+    const int n = 6;
+    util::Rng rng(99);
+    for (int trial = 0; trial < 10; ++trial) {
+        const TruthTable f = TruthTable::from_u64(n, rng.next_u64());
+        const std::vector<int> perm = rng.permutation(n);
+        const TruthTable g = f.permute(perm);
+        // g(x) must equal f with input i bound to x_{perm[i]}.
+        for (std::uint32_t m = 0; m < f.num_bits(); ++m) {
+            std::uint32_t src = 0;
+            for (int i = 0; i < n; ++i) {
+                if ((m >> perm[static_cast<std::size_t>(i)]) & 1) src |= 1u << i;
+            }
+            EXPECT_EQ(g.bit(m), f.bit(src));
+        }
+        // Inverse permutation restores the original.
+        std::vector<int> inv(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+        EXPECT_EQ(g.permute(inv), f);
+    }
+}
+
+TEST(TruthTable, ExtendAddsDontCareVars) {
+    const TruthTable f = TruthTable::var(0, 2) & TruthTable::var(1, 2);
+    const TruthTable g = f.extend(5);
+    EXPECT_EQ(g.num_vars(), 5);
+    for (std::uint32_t m = 0; m < g.num_bits(); ++m) {
+        EXPECT_EQ(g.bit(m), ((m & 3) == 3));
+    }
+    EXPECT_EQ(g.support(), (std::vector<int>{0, 1}));
+}
+
+TEST(TruthTable, ProjectExtractsSupport) {
+    const int n = 7;
+    const TruthTable f = TruthTable::var(2, n) ^ TruthTable::var(5, n);
+    const std::vector<int> vars{2, 5};
+    const TruthTable g = f.project(vars);
+    EXPECT_EQ(g.num_vars(), 2);
+    EXPECT_EQ(g, TruthTable::var(0, 2) ^ TruthTable::var(1, 2));
+}
+
+TEST(TruthTable, ProjectThenExtendPreservesFunction) {
+    util::Rng rng(5);
+    const int n = 8;
+    for (int trial = 0; trial < 10; ++trial) {
+        TruthTable f(n);
+        // Random function over a random 3-var subspace.
+        std::vector<int> vars = rng.permutation(n);
+        vars.resize(3);
+        std::sort(vars.begin(), vars.end());
+        const TruthTable base = TruthTable::from_u64(3, rng.next_u64());
+        for (std::uint32_t m = 0; m < f.num_bits(); ++m) {
+            std::uint32_t idx = 0;
+            for (std::size_t j = 0; j < vars.size(); ++j) {
+                if ((m >> vars[j]) & 1) idx |= 1u << j;
+            }
+            f.set_bit(m, base.bit(idx));
+        }
+        EXPECT_EQ(f.project(vars), base);
+    }
+}
+
+TEST(TruthTable, HashDistinguishesAndMatches) {
+    const TruthTable a = TruthTable::var(0, 4);
+    const TruthTable b = TruthTable::var(1, 4);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a.hash(), TruthTable::var(0, 4).hash());
+}
+
+TEST(TruthTable, ToHexFormatting) {
+    EXPECT_EQ(TruthTable::from_u64(4, 0x8421).to_hex(), "8421");
+    EXPECT_EQ(TruthTable::var(0, 2).to_hex(), "a");
+    EXPECT_EQ(TruthTable::ones(6).to_hex(), "ffffffffffffffff");
+}
+
+TEST(TruthTable, FromFunctionMatchesBitAccess) {
+    const TruthTable t = TruthTable::from_function(
+        5, [](std::uint32_t m) { return __builtin_popcount(m) % 2 == 1; });
+    for (std::uint32_t m = 0; m < 32; ++m) {
+        EXPECT_EQ(t.bit(m), __builtin_popcount(m) % 2 == 1);
+    }
+}
+
+}  // namespace
+}  // namespace mvf::logic

@@ -1,0 +1,163 @@
+// Tests for utility components (RNG, statistics, CSV).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mvf::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const int v = rng.uniform_int(-3, 9);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+    Rng rng(11);
+    std::vector<int> counts(6, 0);
+    for (int i = 0; i < 6000; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+    for (const int c : counts) {
+        EXPECT_GT(c, 800);  // roughly uniform
+        EXPECT_LT(c, 1200);
+    }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform_real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, CoinMatchesProbability) {
+    Rng rng(17);
+    int heads = 0;
+    for (int i = 0; i < 20000; ++i) heads += rng.coin(0.3);
+    EXPECT_NEAR(heads / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, PermutationIsValidAndVaried) {
+    Rng rng(19);
+    std::vector<int> first = rng.permutation(10);
+    std::vector<bool> seen(10, false);
+    for (const int x : first) {
+        ASSERT_GE(x, 0);
+        ASSERT_LT(x, 10);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(x)]);
+        seen[static_cast<std::size_t>(x)] = true;
+    }
+    bool any_different = false;
+    for (int t = 0; t < 10; ++t) {
+        if (rng.permutation(10) != first) any_different = true;
+    }
+    EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+    Rng a(23);
+    Rng child = a.split();
+    EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+    RunningStats s;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);   // bin 0
+    h.add(3.0);   // bin 1
+    h.add(9.99);  // bin 4
+    h.add(-5.0);  // clamps to bin 0
+    h.add(42.0);  // clamps to bin 4
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bin_count(0), 2u);
+    EXPECT_EQ(h.bin_count(1), 1u);
+    EXPECT_EQ(h.bin_count(4), 2u);
+    EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+    const std::string render = h.render(20);
+    EXPECT_NE(render.find('#'), std::string::npos);
+}
+
+TEST(Csv, WritesAndEscapes) {
+    const std::string path = ::testing::TempDir() + "/mvf_csv_test.csv";
+    {
+        CsvWriter w(path);
+        ASSERT_TRUE(w.ok());
+        w.write_row({"name", "value, with comma", "quote\"inside"});
+        w.write_row({CsvWriter::field(1.5), CsvWriter::field(42),
+                     CsvWriter::field(std::size_t{7})});
+    }
+    std::ifstream in(path);
+    std::string line1;
+    std::string line2;
+    std::getline(in, line1);
+    std::getline(in, line2);
+    EXPECT_EQ(line1, "name,\"value, with comma\",\"quote\"\"inside\"");
+    EXPECT_EQ(line2, "1.5,42,7");
+    std::remove(path.c_str());
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+    Stopwatch sw;
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+    const double ms = sw.elapsed_ms();
+    EXPECT_GT(ms, 0.0);
+    // elapsed_* keeps advancing monotonically.
+    EXPECT_GE(sw.elapsed_ms(), ms);
+    const double before = sw.elapsed_seconds();
+    sw.reset();
+    EXPECT_LE(sw.elapsed_seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace mvf::util
