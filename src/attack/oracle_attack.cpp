@@ -1,0 +1,146 @@
+#include "attack/oracle_attack.hpp"
+
+#include <cassert>
+
+#include "sat/cnf_builder.hpp"
+#include "sim/netlist_sim.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mvf::attack {
+
+using camo::CamoNetlist;
+
+std::vector<bool> SimOracle::query(const std::vector<bool>& inputs) {
+    return sim::simulate_camo_pattern(*netlist_, config_, inputs);
+}
+
+namespace {
+
+// Stamps a constant-input copy and pins its outputs to the oracle's answer.
+void add_io_constraint(sat::Solver* solver, sat::CnfBuilder* builder,
+                       const std::vector<bool>& inputs,
+                       const std::vector<bool>& outputs) {
+    const sat::CnfBuilder::Copy copy = builder->add_copy(inputs);
+    for (std::size_t q = 0; q < copy.po.size(); ++q) {
+        solver->add_unit(outputs[q] ? copy.po[q] : sat::lit_not(copy.po[q]));
+    }
+}
+
+}  // namespace
+
+OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
+                                 const OracleAttackParams& params) {
+    const int m = netlist.num_pis();
+    const int r = netlist.num_pos();
+    util::Stopwatch sw;
+    OracleAttackResult result;
+
+    // Two selector families in one incremental solver, mitered over shared
+    // symbolic inputs: a model is (config A, config B, input X) with A and B
+    // disagreeing at X while both satisfy every I/O constraint so far.
+    sat::Solver solver;
+    sat::CnfBuilder family_a(netlist, &solver, params.fixed_nominal);
+    sat::CnfBuilder family_b(netlist, &solver, params.fixed_nominal);
+
+    std::vector<sat::Lit> shared_x;
+    shared_x.reserve(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) shared_x.push_back(sat::mk_lit(solver.new_var()));
+    const sat::CnfBuilder::Copy miter_a = family_a.add_copy(shared_x);
+    const sat::CnfBuilder::Copy miter_b = family_b.add_copy(shared_x);
+
+    // diff_q -> (a_q != b_q); at least one diff_q holds.  One direction of
+    // the XOR suffices: any model must exhibit a real output difference.
+    std::vector<sat::Lit> any_diff;
+    any_diff.reserve(static_cast<std::size_t>(r));
+    for (int q = 0; q < r; ++q) {
+        const sat::Lit d = sat::mk_lit(solver.new_var());
+        const sat::Lit a = miter_a.po[static_cast<std::size_t>(q)];
+        const sat::Lit b = miter_b.po[static_cast<std::size_t>(q)];
+        solver.add_ternary(sat::lit_not(d), a, b);
+        solver.add_ternary(sat::lit_not(d), sat::lit_not(a), sat::lit_not(b));
+        any_diff.push_back(d);
+    }
+    solver.add_clause(any_diff);
+
+    // CEGAR refinement: each distinguishing input and the oracle's answer
+    // constrain BOTH families, shrinking the still-viable set on each side.
+    std::vector<bool> pattern(static_cast<std::size_t>(m));
+    std::vector<std::vector<bool>> answers;
+    while (solver.solve() == sat::Solver::Result::kSat) {
+        if (params.max_iterations > 0 &&
+            result.queries >= params.max_iterations) {
+            result.status = OracleAttackResult::Status::kIterationLimit;
+            break;
+        }
+        for (int i = 0; i < m; ++i) {
+            pattern[static_cast<std::size_t>(i)] =
+                solver.model_value(sat::lit_var(shared_x[static_cast<std::size_t>(i)]));
+        }
+        std::vector<bool> answer = oracle.query(pattern);
+        assert(static_cast<int>(answer.size()) == r);
+        ++result.queries;
+        add_io_constraint(&solver, &family_a, pattern, answer);
+        add_io_constraint(&solver, &family_b, pattern, answer);
+        result.distinguishing_inputs.push_back(pattern);
+        answers.push_back(std::move(answer));
+    }
+    result.sat_stats = solver.stats();
+
+    // UNSAT: every configuration consistent with the collected I/O pairs is
+    // functionally equivalent to the oracle (if any disagreed anywhere, the
+    // miter would have found the disagreeing input).  Count them by model
+    // enumeration over a single fresh selector family, projected onto the
+    // cells with a structural path to a PO: a cell outside every output
+    // cone cannot influence any output, so its choices multiply the count
+    // exactly instead of being enumerated one by one.
+    if (result.status != OracleAttackResult::Status::kIterationLimit &&
+        params.enumerate_survivors) {
+        std::vector<bool> in_po_cone(static_cast<std::size_t>(netlist.num_nodes()),
+                                     false);
+        std::vector<int> stack;
+        for (int q = 0; q < r; ++q) stack.push_back(netlist.po(q));
+        while (!stack.empty()) {
+            const int id = stack.back();
+            stack.pop_back();
+            if (in_po_cone[static_cast<std::size_t>(id)]) continue;
+            in_po_cone[static_cast<std::size_t>(id)] = true;
+            for (const int f : netlist.node(id).fanins) stack.push_back(f);
+        }
+
+        sat::Solver counter;
+        sat::CnfBuilder family(netlist, &counter, params.fixed_nominal);
+        for (std::size_t i = 0; i < answers.size(); ++i) {
+            add_io_constraint(&counter, &family, result.distinguishing_inputs[i],
+                              answers[i]);
+        }
+        unsigned __int128 dead_freedom = 1;
+        for (int id = 0; id < netlist.num_nodes(); ++id) {
+            const std::size_t choices = family.selectors(id).size();
+            if (choices == 0 || in_po_cone[static_cast<std::size_t>(id)]) continue;
+            dead_freedom *= choices;
+            if (dead_freedom > params.max_survivors) break;  // saturates below
+        }
+
+        unsigned __int128 total = 0;
+        while (counter.solve() == sat::Solver::Result::kSat) {
+            const std::vector<int> config = family.config_from_model();
+            if (total == 0) result.witness_config = config;
+            total += dead_freedom;
+            if (total >= params.max_survivors) {
+                result.status = OracleAttackResult::Status::kSurvivorLimit;
+                total = params.max_survivors;
+                break;
+            }
+            if (!family.block_config(config, &in_po_cone)) break;
+        }
+        result.surviving_configs = static_cast<std::uint64_t>(total);
+        if (total == 0) {
+            result.status = OracleAttackResult::Status::kNoSurvivor;
+        }
+    }
+
+    result.seconds = sw.elapsed_seconds();
+    return result;
+}
+
+}  // namespace mvf::attack

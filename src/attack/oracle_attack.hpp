@@ -1,0 +1,98 @@
+#pragma once
+// Oracle-guided CEGAR de-camouflaging (the canonical scalable SAT attack of
+// Subramanyan et al., as red-teamed in Liu et al. and defended against in
+// Alaql & Bhunia -- see PAPERS.md).
+//
+// Threat model: beyond recognizing the look-alike cells (the plausibility
+// attacker's knowledge), the adversary owns a *working chip* -- an oracle
+// answering input patterns with the true circuit's outputs.  Instead of
+// enumerating the input space (hopeless beyond ~10 inputs), the attack
+// miters two copies of the camouflaged circuit over shared symbolic inputs:
+// a SAT model is a *distinguishing input* -- a pattern on which two
+// still-viable configurations disagree.  The oracle's answer for that
+// pattern is added as an I/O constraint to both copies, eliminating at
+// least one of the two configurations (and usually many more), and the loop
+// repeats on the same incremental solver.  UNSAT means every configuration
+// consistent with the collected I/O pairs implements the oracle's function,
+// at which point the surviving configurations are counted exactly by model
+// enumeration over the selector variables.
+
+#include <cstdint>
+#include <vector>
+
+#include "camo/camo_netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace mvf::attack {
+
+/// Black-box combinational oracle (the attacker's working chip).
+class Oracle {
+public:
+    virtual ~Oracle() = default;
+    virtual std::vector<bool> query(const std::vector<bool>& inputs) = 0;
+};
+
+/// Oracle backed by simulating a camouflaged netlist under a hidden
+/// configuration (per-node plausible indices, -1 for non-cells).
+class SimOracle : public Oracle {
+public:
+    SimOracle(const camo::CamoNetlist& netlist, std::vector<int> config)
+        : netlist_(&netlist), config_(std::move(config)) {}
+
+    std::vector<bool> query(const std::vector<bool>& inputs) override;
+
+private:
+    const camo::CamoNetlist* netlist_;
+    std::vector<int> config_;
+};
+
+struct OracleAttackParams {
+    /// Stop the surviving-configuration count once it reaches this bound
+    /// (surviving_configs is then clamped to it and status is
+    /// kSurvivorLimit: "at least this many survive").
+    std::uint64_t max_survivors = 1u << 20;
+    /// Safety valve on CEGAR iterations; 0 = unlimited.
+    int max_iterations = 0;
+    /// Skip the final enumeration (surviving_configs stays 0; the attack
+    /// still terminates with the full distinguishing-input set).
+    bool enumerate_survivors = true;
+    /// Nodes the attacker knows are ordinary cells (as in is_plausible).
+    const std::vector<bool>* fixed_nominal = nullptr;
+};
+
+struct OracleAttackResult {
+    enum class Status {
+        kSolved,          ///< CEGAR converged; count is exact
+        kNoSurvivor,      ///< no configuration matches the oracle at all
+        kIterationLimit,  ///< stopped by max_iterations
+        kSurvivorLimit,   ///< enumeration capped; count is a lower bound
+    };
+    Status status = Status::kSolved;
+
+    /// Distinguishing-input oracle queries made (== CEGAR iterations).
+    int queries = 0;
+    /// Configurations consistent with the oracle on every input; exact for
+    /// kSolved, lower bound for kSurvivorLimit.  All of them implement the
+    /// oracle's function.
+    std::uint64_t surviving_configs = 0;
+    /// One surviving configuration, populated by the enumeration phase
+    /// only: empty for kNoSurvivor and kIterationLimit, and whenever
+    /// enumerate_survivors is off.  Per-node plausible indices as consumed
+    /// by sim::simulate_camo.
+    std::vector<int> witness_config;
+    /// The distinguishing patterns, in query order.
+    std::vector<std::vector<bool>> distinguishing_inputs;
+
+    sat::Solver::Stats sat_stats;  ///< CEGAR solver (miter + I/O constraints)
+    double seconds = 0.0;
+
+    bool solved() const { return status == Status::kSolved; }
+};
+
+/// Runs the CEGAR attack on `netlist` against `oracle`.  The oracle must
+/// answer with netlist.num_pos() outputs for netlist.num_pis() inputs.
+OracleAttackResult oracle_attack(const camo::CamoNetlist& netlist,
+                                 Oracle& oracle,
+                                 const OracleAttackParams& params = {});
+
+}  // namespace mvf::attack

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "sat/cnf_builder.hpp"
 #include "sim/netlist_sim.hpp"
 
 namespace mvf::attack {
@@ -19,128 +20,20 @@ PlausibilityResult is_plausible(const CamoNetlist& netlist,
     const std::uint32_t num_patterns = 1u << m;
 
     sat::Solver solver;
+    sat::CnfBuilder builder(netlist, &solver, fixed_nominal);
     PlausibilityResult result;
 
-    // Selector variables per cell.
-    std::vector<std::vector<sat::Var>> selector(
-        static_cast<std::size_t>(netlist.num_nodes()));
-    for (int id = 0; id < netlist.num_nodes(); ++id) {
-        const CamoNetlist::Node& n = netlist.node(id);
-        if (n.kind != CamoNetlist::NodeKind::kCell) continue;
-        const camo::CamoCell& cell = netlist.library().cell(n.camo_cell_id);
-        const bool fixed = fixed_nominal && (*fixed_nominal)[static_cast<std::size_t>(id)];
-        const int num_choices = fixed ? 1 : static_cast<int>(cell.plausible.size());
-        auto& sel = selector[static_cast<std::size_t>(id)];
-        sel.reserve(static_cast<std::size_t>(num_choices));
-        std::vector<sat::Lit> at_least_one;
-        for (int j = 0; j < num_choices; ++j) {
-            const sat::Var v = solver.new_var();
-            sel.push_back(v);
-            at_least_one.push_back(sat::mk_lit(v));
-        }
-        solver.add_clause(at_least_one);
-        for (std::size_t a = 0; a < sel.size(); ++a) {
-            for (std::size_t b = a + 1; b < sel.size(); ++b) {
-                solver.add_binary(sat::mk_lit(sel[a], true), sat::mk_lit(sel[b], true));
-            }
-        }
-    }
-
-    // Node-value variables per pattern; PIs fold to constants.
-    // value_var[id] = first pattern's var; vars for node id are contiguous.
-    std::vector<sat::Var> value_var(static_cast<std::size_t>(netlist.num_nodes()), -1);
-    std::vector<int> pi_position(static_cast<std::size_t>(netlist.num_nodes()), -1);
-    for (int i = 0; i < m; ++i) pi_position[static_cast<std::size_t>(netlist.pi(i))] = i;
-
-    for (int id = 0; id < netlist.num_nodes(); ++id) {
-        if (netlist.node(id).kind != CamoNetlist::NodeKind::kCell) continue;
-        const sat::Var first = solver.new_var();
-        for (std::uint32_t x = 1; x < num_patterns; ++x) solver.new_var();
-        value_var[static_cast<std::size_t>(id)] = first;
-    }
-
-    // Literal of node `id`'s value under pattern x, or the constant via
-    // *constant when the node is a PI.
-    const auto node_literal = [&](int id, std::uint32_t x, bool* is_const,
-                                  bool* const_value) -> sat::Lit {
-        const int pos = pi_position[static_cast<std::size_t>(id)];
-        if (pos >= 0) {
-            *is_const = true;
-            *const_value = (x >> pos) & 1;
-            return 0;
-        }
-        *is_const = false;
-        return sat::mk_lit(value_var[static_cast<std::size_t>(id)] +
-                           static_cast<sat::Var>(x));
-    };
-
-    // Consistency clauses: selecting function j forces the cell output to
-    // follow f_j on every input pattern.
-    std::vector<sat::Lit> clause;
-    for (int id = 0; id < netlist.num_nodes(); ++id) {
-        const CamoNetlist::Node& n = netlist.node(id);
-        if (n.kind != CamoNetlist::NodeKind::kCell) continue;
-        const camo::CamoCell& cell = netlist.library().cell(n.camo_cell_id);
-        const auto& sel = selector[static_cast<std::size_t>(id)];
-
-        for (std::size_t j = 0; j < sel.size(); ++j) {
-            const TruthTable& fj = cell.plausible[j];
-            const std::vector<int> support = fj.support();
-            const int k = static_cast<int>(support.size());
-
-            for (std::uint32_t x = 0; x < num_patterns; ++x) {
-                bool out_const = false;
-                bool out_value = false;
-                const sat::Lit out =
-                    node_literal(id, x, &out_const, &out_value);
-                assert(!out_const);
-                (void)out_const;
-                (void)out_value;
-
-                for (std::uint32_t pp = 0; pp < (1u << k); ++pp) {
-                    // Full pin pattern with non-support pins at 0.
-                    std::uint32_t pins = 0;
-                    for (int b = 0; b < k; ++b) {
-                        if ((pp >> b) & 1) pins |= 1u << support[static_cast<std::size_t>(b)];
-                    }
-                    const bool fout = fj.bit(pins);
-
-                    clause.clear();
-                    clause.push_back(sat::mk_lit(sel[j], true));
-                    bool contradicted = false;
-                    for (int b = 0; b < k && !contradicted; ++b) {
-                        const int pin = support[static_cast<std::size_t>(b)];
-                        const int fanin = n.fanins[static_cast<std::size_t>(pin)];
-                        bool c = false;
-                        bool cv = false;
-                        const sat::Lit fl = node_literal(fanin, x, &c, &cv);
-                        const bool want = (pp >> b) & 1;
-                        if (c) {
-                            if (cv != want) contradicted = true;  // clause sat
-                        } else {
-                            clause.push_back(want ? sat::lit_not(fl) : fl);
-                        }
-                    }
-                    if (contradicted) continue;
-                    clause.push_back(fout ? out : sat::lit_not(out));
-                    solver.add_clause(clause);
-                }
-            }
-        }
-    }
-
-    // Output constraints.
-    for (int q = 0; q < netlist.num_pos(); ++q) {
-        const int po = netlist.po(q);
-        for (std::uint32_t x = 0; x < num_patterns; ++x) {
+    // One constant-input copy per pattern, with the target asserted on its
+    // outputs.  Constant literals fold away inside Solver::add_clause, so
+    // this reproduces the seed's per-(node, pattern) value-variable
+    // encoding clause for clause.
+    std::vector<bool> inputs(static_cast<std::size_t>(m));
+    for (std::uint32_t x = 0; x < num_patterns; ++x) {
+        for (int i = 0; i < m; ++i) inputs[static_cast<std::size_t>(i)] = (x >> i) & 1;
+        const sat::CnfBuilder::Copy copy = builder.add_copy(inputs);
+        for (int q = 0; q < netlist.num_pos(); ++q) {
             const bool want = targets[static_cast<std::size_t>(q)].bit(x);
-            bool c = false;
-            bool cv = false;
-            const sat::Lit l = node_literal(po, x, &c, &cv);
-            if (c) {
-                if (cv != want) return result;  // PO is a wire; mismatch
-                continue;
-            }
+            const sat::Lit l = copy.po[static_cast<std::size_t>(q)];
             solver.add_unit(want ? l : sat::lit_not(l));
         }
     }
@@ -150,16 +43,7 @@ PlausibilityResult is_plausible(const CamoNetlist& netlist,
     if (r != sat::Solver::Result::kSat) return result;
 
     result.plausible = true;
-    result.config.assign(static_cast<std::size_t>(netlist.num_nodes()), -1);
-    for (int id = 0; id < netlist.num_nodes(); ++id) {
-        const auto& sel = selector[static_cast<std::size_t>(id)];
-        for (std::size_t j = 0; j < sel.size(); ++j) {
-            if (solver.model_value(sel[j])) {
-                result.config[static_cast<std::size_t>(id)] = static_cast<int>(j);
-                break;
-            }
-        }
-    }
+    result.config = builder.config_from_model();
     return result;
 }
 

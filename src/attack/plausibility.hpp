@@ -7,8 +7,11 @@
 // circuit's inputs fully enumerable (4-10 bits here) the 2QBF collapses to
 // plain SAT: one selector variable per (cell, plausible function) with
 // exactly-one constraints, one value variable per (node, input pattern),
-// and consistency clauses binding them.  SAT => f is plausible (a witness
-// dopant configuration is returned); UNSAT => the attacker can rule f out.
+// and consistency clauses binding them (encoded via sat::CnfBuilder as one
+// constant-input circuit copy per pattern).  SAT => f is plausible (a
+// witness dopant configuration is returned); UNSAT => the attacker can rule
+// f out.  For circuits whose input space is NOT enumerable, use the
+// oracle-guided CEGAR attacker in attack/oracle_attack.hpp.
 
 #include <optional>
 #include <span>

@@ -31,4 +31,17 @@ RandomCamoResult random_camouflage(const tech::Netlist& mapped,
                                    const camo::CamoLibrary& library,
                                    double fraction, util::Rng& rng);
 
+/// A random fully-camouflaged DAG for attack benchmarking at arbitrary
+/// widths (the paper's S-boxes stop at 4-10 inputs; the oracle attack does
+/// not).  `num_cells` random library look-alikes (TIE excluded) are wired
+/// with fanins drawn from earlier nodes, biased toward recent ones so depth
+/// grows; the first `num_pis` cells each consume one distinct PI so every
+/// input is live, and the last `num_pos` cells drive the POs.  Every cell's
+/// config_fn is {0} (code 0 = all-nominal), so
+/// `configuration_for_code(0)` is the natural hidden configuration.
+/// Requires num_cells >= max(num_pis, num_pos).
+camo::CamoNetlist random_camo_netlist(const camo::CamoLibrary& library,
+                                      int num_pis, int num_pos, int num_cells,
+                                      util::Rng& rng);
+
 }  // namespace mvf::attack

@@ -89,6 +89,12 @@ FlowResult ObfuscationFlow::run(const std::vector<ViableFunction>& functions,
         if (params.verify) {
             result.verified = verify_configurations(best_spec, cm.netlist);
         }
+        if (params.run_oracle_attack) {
+            attack::SimOracle oracle(cm.netlist,
+                                     cm.netlist.configuration_for_code(0));
+            result.oracle_attack =
+                attack::oracle_attack(cm.netlist, oracle, params.oracle);
+        }
         result.camouflaged = std::move(cm.netlist);
     }
     result.synthesized = std::move(mapped);

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "attack/oracle_attack.hpp"
 #include "camo/camo_cell.hpp"
 #include "camo/camo_map.hpp"
 #include "flow/merged_spec.hpp"
@@ -49,6 +50,13 @@ struct FlowParams {
     /// Verify each viable function by replaying configurations (ModelSim
     /// substitute).  Cheap; leave on.
     bool verify = true;
+    /// Red-team the camouflaged result with the oracle-guided CEGAR attack
+    /// (hidden configuration = select code 0): reports how many oracle
+    /// queries de-camouflaging takes and how many configurations survive.
+    /// Off by default; it models a STRONGER adversary (working chip in
+    /// hand) than the paper's viable-set attacker.
+    bool run_oracle_attack = false;
+    attack::OracleAttackParams oracle;
     std::uint64_t seed = 1;
 };
 
@@ -72,6 +80,9 @@ struct FlowResult {
     camo::CamoMapStats camo_stats;
 
     bool verified = false;  ///< every viable function replayed correctly
+
+    /// Oracle-attack report (when FlowParams::run_oracle_attack).
+    std::optional<attack::OracleAttackResult> oracle_attack;
 };
 
 class ObfuscationFlow {

@@ -1,0 +1,159 @@
+#include "sat/cnf_builder.hpp"
+
+#include <cassert>
+
+namespace mvf::sat {
+
+using camo::CamoNetlist;
+using logic::TruthTable;
+
+CnfBuilder::CnfBuilder(const CamoNetlist& netlist, Solver* solver,
+                       const std::vector<bool>* fixed_nominal)
+    : netlist_(&netlist), solver_(solver) {
+    const_var_ = solver_->new_var();
+    solver_->add_unit(lit_true());
+
+    selector_.resize(static_cast<std::size_t>(netlist.num_nodes()));
+    for (int id = 0; id < netlist.num_nodes(); ++id) {
+        const CamoNetlist::Node& n = netlist.node(id);
+        if (n.kind != CamoNetlist::NodeKind::kCell) continue;
+        const camo::CamoCell& cell = netlist.library().cell(n.camo_cell_id);
+        const bool fixed =
+            fixed_nominal && (*fixed_nominal)[static_cast<std::size_t>(id)];
+        const int num_choices = fixed ? 1 : static_cast<int>(cell.plausible.size());
+        auto& sel = selector_[static_cast<std::size_t>(id)];
+        sel.reserve(static_cast<std::size_t>(num_choices));
+        std::vector<Lit> at_least_one;
+        for (int j = 0; j < num_choices; ++j) {
+            const Var v = solver_->new_var();
+            sel.push_back(v);
+            at_least_one.push_back(mk_lit(v));
+        }
+        solver_->add_clause(at_least_one);
+        for (std::size_t a = 0; a < sel.size(); ++a) {
+            for (std::size_t b = a + 1; b < sel.size(); ++b) {
+                solver_->add_binary(mk_lit(sel[a], true), mk_lit(sel[b], true));
+            }
+        }
+    }
+}
+
+CnfBuilder::Copy CnfBuilder::add_copy() {
+    std::vector<Lit> pi_lits;
+    pi_lits.reserve(static_cast<std::size_t>(netlist_->num_pis()));
+    for (int i = 0; i < netlist_->num_pis(); ++i) {
+        pi_lits.push_back(mk_lit(solver_->new_var()));
+    }
+    return add_copy(pi_lits);
+}
+
+CnfBuilder::Copy CnfBuilder::add_copy(const std::vector<bool>& inputs) {
+    assert(static_cast<int>(inputs.size()) == netlist_->num_pis());
+    std::vector<Lit> pi_lits;
+    pi_lits.reserve(inputs.size());
+    for (const bool b : inputs) pi_lits.push_back(b ? lit_true() : lit_false());
+    return add_copy(pi_lits);
+}
+
+CnfBuilder::Copy CnfBuilder::add_copy(std::span<const Lit> pi_lits) {
+    assert(static_cast<int>(pi_lits.size()) == netlist_->num_pis());
+    const CamoNetlist& nl = *netlist_;
+
+    // Node ids are topological (fanins precede users by construction), so a
+    // single forward sweep assigns every node its value literal.
+    std::vector<Lit> value(static_cast<std::size_t>(nl.num_nodes()), -1);
+    for (int i = 0; i < nl.num_pis(); ++i) {
+        value[static_cast<std::size_t>(nl.pi(i))] =
+            pi_lits[static_cast<std::size_t>(i)];
+    }
+
+    std::vector<Lit> clause;
+    for (int id = 0; id < nl.num_nodes(); ++id) {
+        const CamoNetlist::Node& n = nl.node(id);
+        if (n.kind != CamoNetlist::NodeKind::kCell) continue;
+        const camo::CamoCell& cell = nl.library().cell(n.camo_cell_id);
+        const auto& sel = selector_[static_cast<std::size_t>(id)];
+        const Lit out = mk_lit(solver_->new_var());
+        value[static_cast<std::size_t>(id)] = out;
+
+        // Selecting function j binds the output to f_j of the fanin values,
+        // one clause per minterm of f_j's support.
+        for (std::size_t j = 0; j < sel.size(); ++j) {
+            const TruthTable& fj = cell.plausible[j];
+            const std::vector<int> support = fj.support();
+            const int k = static_cast<int>(support.size());
+            for (std::uint32_t pp = 0; pp < (1u << k); ++pp) {
+                std::uint32_t pins = 0;
+                for (int b = 0; b < k; ++b) {
+                    if ((pp >> b) & 1) {
+                        pins |= 1u << support[static_cast<std::size_t>(b)];
+                    }
+                }
+                const bool fout = fj.bit(pins);
+
+                clause.clear();
+                clause.push_back(mk_lit(sel[j], true));
+                for (int b = 0; b < k; ++b) {
+                    const int pin = support[static_cast<std::size_t>(b)];
+                    const Lit fl =
+                        value[static_cast<std::size_t>(n.fanins[static_cast<std::size_t>(pin)])];
+                    const bool want = (pp >> b) & 1;
+                    clause.push_back(want ? lit_not(fl) : fl);
+                }
+                clause.push_back(fout ? out : lit_not(out));
+                solver_->add_clause(clause);
+            }
+        }
+    }
+
+    Copy copy;
+    copy.pi.assign(pi_lits.begin(), pi_lits.end());
+    copy.po.reserve(static_cast<std::size_t>(nl.num_pos()));
+    for (int q = 0; q < nl.num_pos(); ++q) {
+        copy.po.push_back(value[static_cast<std::size_t>(nl.po(q))]);
+    }
+    return copy;
+}
+
+std::vector<int> CnfBuilder::config_from_model() const {
+    std::vector<int> config(static_cast<std::size_t>(netlist_->num_nodes()), -1);
+    for (int id = 0; id < netlist_->num_nodes(); ++id) {
+        const auto& sel = selector_[static_cast<std::size_t>(id)];
+        for (std::size_t j = 0; j < sel.size(); ++j) {
+            if (solver_->model_value(sel[j])) {
+                config[static_cast<std::size_t>(id)] = static_cast<int>(j);
+                break;
+            }
+        }
+    }
+    return config;
+}
+
+std::vector<Lit> CnfBuilder::config_assumptions(
+    const std::vector<int>& config) const {
+    std::vector<Lit> out;
+    for (int id = 0; id < netlist_->num_nodes(); ++id) {
+        const auto& sel = selector_[static_cast<std::size_t>(id)];
+        if (sel.empty()) continue;
+        const int j = config[static_cast<std::size_t>(id)];
+        assert(j >= 0 && j < static_cast<int>(sel.size()));
+        out.push_back(mk_lit(sel[static_cast<std::size_t>(j)]));
+    }
+    return out;
+}
+
+bool CnfBuilder::block_config(const std::vector<int>& config,
+                              const std::vector<bool>* only) {
+    std::vector<Lit> clause;
+    for (int id = 0; id < netlist_->num_nodes(); ++id) {
+        const auto& sel = selector_[static_cast<std::size_t>(id)];
+        if (sel.empty()) continue;
+        if (only && !(*only)[static_cast<std::size_t>(id)]) continue;
+        const int j = config[static_cast<std::size_t>(id)];
+        assert(j >= 0 && j < static_cast<int>(sel.size()));
+        clause.push_back(mk_lit(sel[static_cast<std::size_t>(j)], true));
+    }
+    return solver_->add_clause(clause);
+}
+
+}  // namespace mvf::sat

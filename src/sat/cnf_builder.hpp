@@ -1,0 +1,87 @@
+#pragma once
+// Tseitin CNF encoding of a camouflaged netlist.
+//
+// One CnfBuilder owns a *selector family*: a one-hot block of variables per
+// camouflaged cell choosing which plausible function the cell implements.
+// Any number of circuit *copies* can then be stamped against that family --
+// each copy gets fresh node-value variables but shares the selectors, so all
+// copies are constrained to the same dopant configuration.  This is the
+// common substrate of both attackers:
+//
+//   - the enumeration attacker (attack/plausibility) stamps one copy per
+//     input pattern with constant inputs and asserts the target outputs;
+//   - the oracle-guided CEGAR attacker (attack/oracle_attack) stamps two
+//     families into one solver, miters them over shared symbolic inputs, and
+//     stamps an extra constant-input copy per distinguishing pattern.
+//
+// Gate consistency is encoded per plausible function over its support pins:
+// selecting function j implies output == f_j(pins) minterm-by-minterm
+// (cells have <= 4 pins, so at most 16 clauses per function).
+
+#include <span>
+#include <vector>
+
+#include "camo/camo_netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace mvf::sat {
+
+class CnfBuilder {
+public:
+    /// Allocates the selector family (with exactly-one constraints) on
+    /// `solver`.  `fixed_nominal`, if non-null, marks nodes the attacker
+    /// knows are ordinary cells: their selector collapses to the nominal
+    /// function (index 0).  The builder stores both references; they must
+    /// outlive it.
+    CnfBuilder(const camo::CamoNetlist& netlist, Solver* solver,
+               const std::vector<bool>* fixed_nominal = nullptr);
+
+    /// PI/PO literals of one stamped circuit copy.
+    struct Copy {
+        std::vector<Lit> pi;
+        std::vector<Lit> po;
+    };
+
+    /// Stamps a copy over fresh primary-input variables.
+    Copy add_copy();
+
+    /// Stamps a copy with caller-supplied PI literals (shared miter inputs,
+    /// or lit_true()/lit_false() for a constant pattern).
+    Copy add_copy(std::span<const Lit> pi_lits);
+
+    /// Stamps a copy with the constant input pattern `bit i = inputs[i]`.
+    Copy add_copy(const std::vector<bool>& inputs);
+
+    /// Literal that is true/false in every model (backed by a unit clause).
+    Lit lit_true() const { return mk_lit(const_var_); }
+    Lit lit_false() const { return mk_lit(const_var_, true); }
+
+    const camo::CamoNetlist& netlist() const { return *netlist_; }
+
+    /// Selector variables of cell node `id` (empty for PIs).
+    const std::vector<Var>& selectors(int id) const {
+        return selector_[static_cast<std::size_t>(id)];
+    }
+
+    /// Decodes the solver model into a per-node plausible-index
+    /// configuration (-1 for non-cells), as consumed by sim::simulate_camo.
+    std::vector<int> config_from_model() const;
+
+    /// Assumption literals pinning the selector family to `config`.
+    std::vector<Lit> config_assumptions(const std::vector<int>& config) const;
+
+    /// Adds a clause ruling out exactly `config` (model enumeration).  With
+    /// `only`, the clause covers just the cells marked true -- enumeration
+    /// then projects onto that subset (e.g. the primary-output cone, with
+    /// the freedom of the remaining cells counted by multiplication).
+    bool block_config(const std::vector<int>& config,
+                      const std::vector<bool>* only = nullptr);
+
+private:
+    const camo::CamoNetlist* netlist_;
+    Solver* solver_;
+    Var const_var_;
+    std::vector<std::vector<Var>> selector_;  // per node; empty for PIs
+};
+
+}  // namespace mvf::sat

@@ -31,7 +31,68 @@ Var Solver::new_var() {
     seen_.push_back(false);
     watches_.emplace_back();
     watches_.emplace_back();
+    heap_pos_.push_back(-1);
+    heap_insert(v);
     return v;
+}
+
+void Solver::heap_up(int i) {
+    const Var v = heap_[static_cast<std::size_t>(i)];
+    while (i > 0) {
+        const int parent = (i - 1) / 2;
+        const Var pv = heap_[static_cast<std::size_t>(parent)];
+        if (activity_[static_cast<std::size_t>(pv)] >=
+            activity_[static_cast<std::size_t>(v)])
+            break;
+        heap_[static_cast<std::size_t>(i)] = pv;
+        heap_pos_[static_cast<std::size_t>(pv)] = i;
+        i = parent;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+void Solver::heap_down(int i) {
+    const Var v = heap_[static_cast<std::size_t>(i)];
+    const int size = static_cast<int>(heap_.size());
+    while (true) {
+        int child = 2 * i + 1;
+        if (child >= size) break;
+        if (child + 1 < size &&
+            activity_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(child + 1)])] >
+                activity_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(child)])]) {
+            ++child;
+        }
+        const Var cv = heap_[static_cast<std::size_t>(child)];
+        if (activity_[static_cast<std::size_t>(v)] >=
+            activity_[static_cast<std::size_t>(cv)])
+            break;
+        heap_[static_cast<std::size_t>(i)] = cv;
+        heap_pos_[static_cast<std::size_t>(cv)] = i;
+        i = child;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+void Solver::heap_insert(Var v) {
+    if (heap_pos_[static_cast<std::size_t>(v)] >= 0) return;
+    heap_.push_back(v);
+    heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size()) - 1;
+    heap_up(static_cast<int>(heap_.size()) - 1);
+}
+
+Var Solver::heap_pop() {
+    const Var top = heap_[0];
+    heap_pos_[static_cast<std::size_t>(top)] = -1;
+    const Var last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_[0] = last;
+        heap_pos_[static_cast<std::size_t>(last)] = 0;
+        heap_down(0);
+    }
+    return top;
 }
 
 bool Solver::add_clause(std::vector<Lit> lits) {
@@ -130,12 +191,81 @@ int Solver::propagate() {
 void Solver::bump_var(Var v) {
     activity_[static_cast<std::size_t>(v)] += var_inc_;
     if (activity_[static_cast<std::size_t>(v)] > 1e100) {
+        // Uniform rescale preserves the heap order.
         for (auto& a : activity_) a *= 1e-100;
         var_inc_ *= 1e-100;
+    }
+    if (heap_pos_[static_cast<std::size_t>(v)] >= 0) {
+        heap_up(heap_pos_[static_cast<std::size_t>(v)]);
     }
 }
 
 void Solver::decay_var_activity() { var_inc_ /= 0.95; }
+
+void Solver::bump_clause(int clause_idx) {
+    Clause& c = clauses_[static_cast<std::size_t>(clause_idx)];
+    if (!c.learned) return;
+    c.activity += cla_inc_;
+    if (c.activity > 1e20) {
+        for (auto& cl : clauses_) {
+            if (cl.learned) cl.activity *= 1e-20;
+        }
+        cla_inc_ *= 1e-20;
+    }
+}
+
+void Solver::decay_clause_activity() { cla_inc_ /= 0.999; }
+
+bool Solver::clause_locked(int clause_idx) const {
+    const Clause& c = clauses_[static_cast<std::size_t>(clause_idx)];
+    const Var v = lit_var(c.lits[0]);
+    return value(c.lits[0]) == Value::kTrue &&
+           reason_[static_cast<std::size_t>(v)] == clause_idx;
+}
+
+void Solver::reduce_db() {
+    assert(decision_level() == 0);
+    // Candidates: learned, longer than binary, and not the reason of a
+    // current (level-0) assignment.  The lowest-activity half goes.
+    std::vector<int> candidates;
+    for (int ci = 0; ci < static_cast<int>(clauses_.size()); ++ci) {
+        const Clause& c = clauses_[static_cast<std::size_t>(ci)];
+        if (c.learned && c.lits.size() > 2 && !clause_locked(ci)) {
+            candidates.push_back(ci);
+        }
+    }
+    std::sort(candidates.begin(), candidates.end(), [this](int a, int b) {
+        return clauses_[static_cast<std::size_t>(a)].activity <
+               clauses_[static_cast<std::size_t>(b)].activity;
+    });
+
+    std::vector<bool> drop(clauses_.size(), false);
+    const std::size_t victims = candidates.size() / 2;
+    for (std::size_t i = 0; i < victims; ++i) {
+        drop[static_cast<std::size_t>(candidates[i])] = true;
+    }
+    if (victims == 0) return;
+
+    // Compact the clause vector and remap every stored index.
+    std::vector<int> remap(clauses_.size(), -1);
+    std::vector<Clause> kept;
+    kept.reserve(clauses_.size() - victims);
+    num_learned_ = 0;
+    for (std::size_t i = 0; i < clauses_.size(); ++i) {
+        if (drop[i]) continue;
+        remap[i] = static_cast<int>(kept.size());
+        kept.push_back(std::move(clauses_[i]));
+        if (kept.back().learned) ++num_learned_;
+    }
+    clauses_ = std::move(kept);
+    for (auto& w : watches_) w.clear();
+    for (int ci = 0; ci < static_cast<int>(clauses_.size()); ++ci) attach(ci);
+    for (auto& r : reason_) {
+        if (r != kNoReason) r = remap[static_cast<std::size_t>(r)];
+    }
+    ++stats_.reduces;
+    stats_.learned_removed += victims;
+}
 
 void Solver::analyze(int conflict, std::vector<Lit>* learned_out,
                      int* backtrack_level) {
@@ -149,6 +279,7 @@ void Solver::analyze(int conflict, std::vector<Lit>* learned_out,
     std::vector<Var> marked;  // every var whose seen_ flag we set
 
     do {
+        bump_clause(ci);
         const Clause& c = clauses_[static_cast<std::size_t>(ci)];
         const std::size_t start = (p == -1) ? 0 : 1;
         for (std::size_t k = start; k < c.lits.size(); ++k) {
@@ -263,6 +394,7 @@ void Solver::backtrack(int target_level) {
         const Var v = lit_var(trail_[i - 1]);
         assigns_[static_cast<std::size_t>(v)] = Value::kUnknown;
         reason_[static_cast<std::size_t>(v)] = kNoReason;
+        heap_insert(v);
     }
     trail_.resize(limit);
     trail_lim_.resize(static_cast<std::size_t>(target_level));
@@ -270,17 +402,13 @@ void Solver::backtrack(int target_level) {
 }
 
 Lit Solver::pick_branch() {
-    Var best = -1;
-    double best_act = -1.0;
-    for (Var v = 0; v < num_vars(); ++v) {
-        if (assigns_[static_cast<std::size_t>(v)] != Value::kUnknown) continue;
-        if (activity_[static_cast<std::size_t>(v)] > best_act) {
-            best_act = activity_[static_cast<std::size_t>(v)];
-            best = v;
+    while (!heap_.empty()) {
+        const Var v = heap_pop();
+        if (assigns_[static_cast<std::size_t>(v)] == Value::kUnknown) {
+            return mk_lit(v, !polarity_[static_cast<std::size_t>(v)]);
         }
     }
-    if (best < 0) return -1;
-    return mk_lit(best, !polarity_[static_cast<std::size_t>(best)]);
+    return -1;
 }
 
 Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
@@ -289,6 +417,10 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
     if (propagate() >= 0) {
         ok_ = false;
         return Result::kUnsat;
+    }
+    if (learned_budget_ <= 0.0) {
+        learned_budget_ =
+            std::max(2000.0, static_cast<double>(clauses_.size()) / 3.0);
     }
 
     std::uint64_t restart_round = 0;
@@ -301,7 +433,15 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
         if (conflict >= 0) {
             ++stats_.conflicts;
             ++conflicts_this_round;
-            if (decision_level() == 0) return Result::kUnsat;
+            if (decision_level() == 0) {
+                // A level-0 conflict is independent of any assumptions: the
+                // clause database itself is contradictory.  Without ok_ the
+                // falsified clause would linger fully-assigned on the
+                // level-0 trail and later incremental solve() calls could
+                // report bogus models (the queue is already drained).
+                ok_ = false;
+                return Result::kUnsat;
+            }
             int bt_level = 0;
             analyze(conflict, &learned, &bt_level);
             backtrack(bt_level);
@@ -310,19 +450,34 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
             } else {
                 clauses_.push_back({learned, true, 0.0});
                 ++stats_.learned;
+                ++num_learned_;
                 attach(static_cast<int>(clauses_.size()) - 1);
+                bump_clause(static_cast<int>(clauses_.size()) - 1);
                 enqueue(learned[0], static_cast<int>(clauses_.size()) - 1);
             }
             decay_var_activity();
+            decay_clause_activity();
             continue;
         }
 
-        if (conflicts_this_round >= conflicts_until_restart) {
-            ++stats_.restarts;
-            ++restart_round;
-            conflicts_this_round = 0;
-            conflicts_until_restart = 64 * luby(restart_round);
+        // Restart on the Luby schedule, or early when the learned database
+        // outgrew its budget (reduction requires decision level 0).  The
+        // budget grows geometrically even when nothing was removable so a
+        // binary/locked-saturated database cannot stall the search.
+        const bool db_full =
+            num_learned_ >= static_cast<std::uint64_t>(learned_budget_);
+        if (conflicts_this_round >= conflicts_until_restart || db_full) {
+            if (conflicts_this_round >= conflicts_until_restart) {
+                ++stats_.restarts;
+                ++restart_round;
+                conflicts_this_round = 0;
+                conflicts_until_restart = 64 * luby(restart_round);
+            }
             backtrack(0);
+            if (db_full) {
+                reduce_db();
+                learned_budget_ *= 1.1;
+            }
             continue;
         }
 
@@ -333,7 +488,12 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
                 trail_lim_.push_back(static_cast<int>(trail_.size()));  // dummy level
                 continue;
             }
-            if (value(a) == Value::kFalse) return Result::kUnsat;
+            if (value(a) == Value::kFalse) {
+                // Leave the trail at level 0 so the instance stays usable
+                // incrementally after an assumption-failure UNSAT.
+                backtrack(0);
+                return Result::kUnsat;
+            }
             trail_lim_.push_back(static_cast<int>(trail_.size()));
             enqueue(a, kNoReason);
             continue;

@@ -1,12 +1,19 @@
 #pragma once
 // A compact CDCL SAT solver.
 //
-// Substrate for the de-camouflaging attacker (paper section I: deciding
+// Substrate for the de-camouflaging attackers (paper section I: deciding
 // whether a viable function is plausible is a QBF/SAT query in the style of
 // refs [11], [12], [14]).  Implements the standard modern kernel: two-watched
 // literals, first-UIP conflict learning with recursive minimization, VSIDS
-// activities, phase saving, and Luby restarts.  No clause-database reduction
-// (instances here are small).
+// activities, phase saving, and Luby restarts.
+//
+// The solver is incremental: clauses and variables may be added between
+// solve() calls (the trail is always at decision level 0 outside of solve),
+// which is what the CEGAR oracle attack leans on -- one solver instance
+// accumulates distinguishing-input constraints across hundreds of calls.
+// To keep long runs from degrading, the learned-clause database is reduced
+// periodically (MiniSat-style activity-sorted halving with locked/binary
+// clauses retained).
 
 #include <cstdint>
 #include <vector>
@@ -34,6 +41,8 @@ public:
         std::uint64_t propagations = 0;
         std::uint64_t restarts = 0;
         std::uint64_t learned = 0;
+        std::uint64_t reduces = 0;          ///< learned-DB reductions
+        std::uint64_t learned_removed = 0;  ///< clauses dropped by reductions
     };
 
     Var new_var();
@@ -54,6 +63,14 @@ public:
     bool model_value(Var v) const { return model_[static_cast<std::size_t>(v)]; }
 
     const Stats& stats() const { return stats_; }
+
+    /// Overrides the learned-clause budget (the count above which the
+    /// database is reduced; it grows geometrically after each reduction).
+    /// 0 restores the adaptive default of max(#problem clauses / 3, 2000).
+    /// Testing/tuning hook.
+    void set_learned_limit(std::uint64_t limit) {
+        learned_budget_ = static_cast<double>(limit);
+    }
 
 private:
     struct Clause {
@@ -77,7 +94,15 @@ private:
     Lit pick_branch();
     void bump_var(Var v);
     void decay_var_activity();
+    void bump_clause(int clause_idx);
+    void decay_clause_activity();
     void attach(int clause_idx);
+    void heap_insert(Var v);
+    Var heap_pop();
+    void heap_up(int i);
+    void heap_down(int i);
+    bool clause_locked(int clause_idx) const;
+    void reduce_db();  // requires decision level 0
 
     int decision_level() const { return static_cast<int>(trail_lim_.size()); }
 
@@ -93,7 +118,15 @@ private:
 
     std::vector<double> activity_;
     double var_inc_ = 1.0;
-    std::vector<int> order_;  // lazy heap substitute: vars sorted on demand
+    // Activity-ordered max-heap of branching candidates (indexed binary
+    // heap: heap_pos_[v] is v's slot or -1).  Assigned vars are popped
+    // lazily and re-inserted on backtrack.
+    std::vector<int> heap_;
+    std::vector<int> heap_pos_;
+
+    double cla_inc_ = 1.0;
+    std::uint64_t num_learned_ = 0;  // learned clauses currently in the DB
+    double learned_budget_ = 0.0;    // adaptive limit; grows after each reduce
 
     std::vector<bool> model_;
     bool ok_ = true;

@@ -92,6 +92,37 @@ std::vector<TruthTable> simulate_camo(const camo::CamoNetlist& netlist,
     return out;
 }
 
+std::vector<bool> simulate_camo_pattern(const camo::CamoNetlist& netlist,
+                                        const std::vector<int>& config,
+                                        const std::vector<bool>& inputs) {
+    assert(static_cast<int>(inputs.size()) == netlist.num_pis());
+    assert(static_cast<int>(config.size()) == netlist.num_nodes());
+    std::vector<bool> value(static_cast<std::size_t>(netlist.num_nodes()), false);
+    for (int i = 0; i < netlist.num_pis(); ++i) {
+        value[static_cast<std::size_t>(netlist.pi(i))] =
+            inputs[static_cast<std::size_t>(i)];
+    }
+    for (int id = 0; id < netlist.num_nodes(); ++id) {
+        const camo::CamoNetlist::Node& n = netlist.node(id);
+        if (n.kind != camo::CamoNetlist::NodeKind::kCell) continue;
+        const camo::CamoCell& cell = netlist.library().cell(n.camo_cell_id);
+        const int choice = config[static_cast<std::size_t>(id)];
+        assert(choice >= 0 && choice < static_cast<int>(cell.plausible.size()));
+        std::uint32_t pins = 0;
+        for (std::size_t p = 0; p < n.fanins.size(); ++p) {
+            if (value[static_cast<std::size_t>(n.fanins[p])]) pins |= 1u << p;
+        }
+        value[static_cast<std::size_t>(id)] =
+            cell.plausible[static_cast<std::size_t>(choice)].bit(pins);
+    }
+    std::vector<bool> out;
+    out.reserve(static_cast<std::size_t>(netlist.num_pos()));
+    for (int i = 0; i < netlist.num_pos(); ++i) {
+        out.push_back(value[static_cast<std::size_t>(netlist.po(i))]);
+    }
+    return out;
+}
+
 std::vector<TruthTable> simulate_camo_full(const camo::CamoNetlist& netlist,
                                            const std::vector<int>& config) {
     std::vector<TruthTable> pis;

@@ -33,4 +33,12 @@ std::vector<logic::TruthTable> simulate_camo(
 std::vector<logic::TruthTable> simulate_camo_full(
     const camo::CamoNetlist& netlist, const std::vector<int>& config);
 
+/// Single-pattern evaluation of the camouflaged netlist: `inputs[i]` is the
+/// value of PI i; returns one bool per PO.  This is the oracle-query path of
+/// the CEGAR attacker (a working chip evaluated on one input vector), so it
+/// avoids truth-table allocation entirely and runs in O(nodes).
+std::vector<bool> simulate_camo_pattern(const camo::CamoNetlist& netlist,
+                                        const std::vector<int>& config,
+                                        const std::vector<bool>& inputs);
+
 }  // namespace mvf::sim

@@ -1,0 +1,151 @@
+// Tests for the shared Tseitin CNF encoding of camouflaged netlists.
+//
+// The builder is the substrate of both attackers, so the key property is
+// agreement with the reference simulator: under any pinned configuration, a
+// stamped copy must evaluate exactly like sim::simulate_camo_pattern.
+
+#include <gtest/gtest.h>
+
+#include "attack/random_camo.hpp"
+#include "sat/cnf_builder.hpp"
+#include "sim/netlist_sim.hpp"
+#include "util/rng.hpp"
+
+namespace mvf::sat {
+namespace {
+
+using camo::CamoLibrary;
+using camo::CamoNetlist;
+
+CamoLibrary standard_camo_library() {
+    return CamoLibrary::from_gate_library(tech::GateLibrary::standard());
+}
+
+std::vector<int> random_config(const CamoNetlist& nl, util::Rng& rng) {
+    std::vector<int> config(static_cast<std::size_t>(nl.num_nodes()), -1);
+    for (int id = 0; id < nl.num_nodes(); ++id) {
+        const CamoNetlist::Node& n = nl.node(id);
+        if (n.kind != CamoNetlist::NodeKind::kCell) continue;
+        const int choices = static_cast<int>(
+            nl.library().cell(n.camo_cell_id).plausible.size());
+        config[static_cast<std::size_t>(id)] = rng.uniform_int(0, choices - 1);
+    }
+    return config;
+}
+
+TEST(CnfBuilder, CopyMatchesSimulatorUnderPinnedConfigs) {
+    const CamoLibrary lib = standard_camo_library();
+    util::Rng rng(42);
+    for (int trial = 0; trial < 25; ++trial) {
+        const int pis = 3 + rng.uniform_int(0, 2);
+        const CamoNetlist nl = attack::random_camo_netlist(
+            lib, pis, 1 + rng.uniform_int(0, 1), pis + rng.uniform_int(0, 3),
+            rng);
+        Solver solver;
+        CnfBuilder builder(nl, &solver);
+
+        // One symbolic copy; pin inputs and configuration via assumptions.
+        const CnfBuilder::Copy copy = builder.add_copy();
+        for (int round = 0; round < 8; ++round) {
+            const std::vector<int> config = random_config(nl, rng);
+            std::vector<bool> inputs(static_cast<std::size_t>(nl.num_pis()));
+            for (auto&& b : inputs) b = rng.coin(0.5);
+
+            std::vector<Lit> assumptions = builder.config_assumptions(config);
+            for (int i = 0; i < nl.num_pis(); ++i) {
+                const Lit l = copy.pi[static_cast<std::size_t>(i)];
+                assumptions.push_back(inputs[static_cast<std::size_t>(i)]
+                                          ? l
+                                          : lit_not(l));
+            }
+            ASSERT_EQ(solver.solve(assumptions), Solver::Result::kSat);
+            const std::vector<bool> expected =
+                sim::simulate_camo_pattern(nl, config, inputs);
+            for (int q = 0; q < nl.num_pos(); ++q) {
+                EXPECT_EQ(
+                    solver.model_value(lit_var(copy.po[static_cast<std::size_t>(q)])) !=
+                        lit_negated(copy.po[static_cast<std::size_t>(q)]),
+                    expected[static_cast<std::size_t>(q)])
+                    << "trial " << trial << " round " << round << " output " << q;
+            }
+        }
+    }
+}
+
+TEST(CnfBuilder, TwoCopiesOfOneFamilyAgreeOnEqualInputs) {
+    // Copies share the selector family, so with identical inputs their
+    // outputs are functionally bound: asserting a difference is UNSAT.
+    const CamoLibrary lib = standard_camo_library();
+    util::Rng rng(7);
+    for (int trial = 0; trial < 10; ++trial) {
+        const CamoNetlist nl =
+            attack::random_camo_netlist(lib, 4, 1, 4 + rng.uniform_int(0, 3), rng);
+        Solver solver;
+        CnfBuilder builder(nl, &solver);
+        const CnfBuilder::Copy a = builder.add_copy();
+        const CnfBuilder::Copy b = builder.add_copy(a.pi);
+        solver.add_binary(a.po[0], b.po[0]);
+        solver.add_binary(lit_not(a.po[0]), lit_not(b.po[0]));
+        EXPECT_EQ(solver.solve(), Solver::Result::kUnsat) << "trial " << trial;
+    }
+}
+
+TEST(CnfBuilder, BlockConfigEnumeratesWholeSelectorSpace) {
+    const CamoLibrary lib = standard_camo_library();
+    util::Rng rng(13);
+    const CamoNetlist nl = attack::random_camo_netlist(lib, 3, 1, 3, rng);
+    std::uint64_t space = 1;
+    for (int id = 0; id < nl.num_nodes(); ++id) {
+        const CamoNetlist::Node& n = nl.node(id);
+        if (n.kind != CamoNetlist::NodeKind::kCell) continue;
+        space *= nl.library().cell(n.camo_cell_id).plausible.size();
+    }
+    ASSERT_LE(space, 100000u);
+
+    Solver solver;
+    CnfBuilder builder(nl, &solver);  // no copies: selectors unconstrained
+    std::uint64_t models = 0;
+    while (solver.solve() == Solver::Result::kSat) {
+        ++models;
+        ASSERT_LE(models, space);
+        if (!builder.block_config(builder.config_from_model())) break;
+    }
+    EXPECT_EQ(models, space);
+}
+
+TEST(CnfBuilder, ConfigAssumptionsRoundTrip) {
+    const CamoLibrary lib = standard_camo_library();
+    util::Rng rng(3);
+    const CamoNetlist nl = attack::random_camo_netlist(lib, 4, 1, 5, rng);
+    Solver solver;
+    CnfBuilder builder(nl, &solver);
+    for (int round = 0; round < 10; ++round) {
+        const std::vector<int> config = random_config(nl, rng);
+        ASSERT_EQ(solver.solve(builder.config_assumptions(config)),
+                  Solver::Result::kSat);
+        EXPECT_EQ(builder.config_from_model(), config);
+    }
+}
+
+TEST(CnfBuilder, FixedNominalCollapsesSelectors) {
+    const CamoLibrary lib = standard_camo_library();
+    util::Rng rng(5);
+    const CamoNetlist nl = attack::random_camo_netlist(lib, 4, 1, 4, rng);
+    std::vector<bool> fixed(static_cast<std::size_t>(nl.num_nodes()), true);
+    Solver solver;
+    CnfBuilder builder(nl, &solver, &fixed);
+    for (int id = 0; id < nl.num_nodes(); ++id) {
+        if (nl.node(id).kind != CamoNetlist::NodeKind::kCell) continue;
+        EXPECT_EQ(builder.selectors(id).size(), 1u);
+    }
+    ASSERT_EQ(solver.solve(), Solver::Result::kSat);
+    // The only admissible configuration is all-nominal.
+    const std::vector<int> config = builder.config_from_model();
+    for (int id = 0; id < nl.num_nodes(); ++id) {
+        if (nl.node(id).kind != CamoNetlist::NodeKind::kCell) continue;
+        EXPECT_EQ(config[static_cast<std::size_t>(id)], 0);
+    }
+}
+
+}  // namespace
+}  // namespace mvf::sat

@@ -200,5 +200,134 @@ TEST(Sat, StatsAccumulate) {
     EXPECT_GT(s.stats().propagations, 0u);
 }
 
+// Brute-force satisfiability of a clause set over nv variables.
+bool brute_force_sat(int nv, const std::vector<std::vector<Lit>>& clauses) {
+    for (std::uint32_t a = 0; a < (1u << nv); ++a) {
+        bool all = true;
+        for (const auto& cl : clauses) {
+            bool sat = false;
+            for (const Lit l : cl) {
+                if ((((a >> lit_var(l)) & 1) != 0) != lit_negated(l)) {
+                    sat = true;
+                    break;
+                }
+            }
+            if (!sat) {
+                all = false;
+                break;
+            }
+        }
+        if (all) return true;
+    }
+    return false;
+}
+
+TEST(Sat, IncrementalClauseAdditionMatchesBruteForce) {
+    // The CEGAR attacker's usage pattern: grow one instance across many
+    // solve() calls and require each intermediate answer to stay exact.
+    util::Rng rng(2024);
+    for (int trial = 0; trial < 30; ++trial) {
+        const int nv = 6 + rng.uniform_int(0, 4);
+        Solver s;
+        for (int v = 0; v < nv; ++v) s.new_var();
+        std::vector<std::vector<Lit>> clauses;
+        bool expect_sat = true;
+        for (int stage = 0; stage < 6; ++stage) {
+            const int nc = 3 + rng.uniform_int(0, 6);
+            for (int c = 0; c < nc; ++c) {
+                std::vector<Lit> cl;
+                const int w = 1 + rng.uniform_int(0, 2);
+                for (int k = 0; k < w; ++k) {
+                    cl.push_back(mk_lit(rng.uniform_int(0, nv - 1), rng.coin(0.5)));
+                }
+                clauses.push_back(cl);
+                s.add_clause(cl);
+            }
+            expect_sat = brute_force_sat(nv, clauses);
+            ASSERT_EQ(s.solve() == Solver::Result::kSat, expect_sat)
+                << "trial " << trial << " stage " << stage;
+            if (!expect_sat) break;  // permanently UNSAT from here on
+        }
+    }
+}
+
+TEST(Sat, IncrementalSolvesUnderChangingAssumptions) {
+    util::Rng rng(55);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int nv = 5 + rng.uniform_int(0, 3);
+        Solver s;
+        for (int v = 0; v < nv; ++v) s.new_var();
+        std::vector<std::vector<Lit>> clauses;
+        for (int c = 0; c < 2 * nv; ++c) {
+            std::vector<Lit> cl;
+            const int w = 2 + rng.uniform_int(0, 1);
+            for (int k = 0; k < w; ++k) {
+                cl.push_back(mk_lit(rng.uniform_int(0, nv - 1), rng.coin(0.5)));
+            }
+            clauses.push_back(cl);
+            s.add_clause(cl);
+        }
+        for (int round = 0; round < 10; ++round) {
+            std::vector<Lit> assumptions;
+            std::vector<std::vector<Lit>> augmented = clauses;
+            for (int a = 0; a < 2; ++a) {
+                const Lit l = mk_lit(rng.uniform_int(0, nv - 1), rng.coin(0.5));
+                assumptions.push_back(l);
+                augmented.push_back({l});
+            }
+            ASSERT_EQ(s.solve(assumptions) == Solver::Result::kSat,
+                      brute_force_sat(nv, augmented))
+                << "trial " << trial << " round " << round;
+        }
+    }
+}
+
+TEST(Sat, AssumptionFailureLeavesSolverUsable) {
+    // Regression: an UNSAT return caused by a false assumption used to
+    // leave the trail above level 0, corrupting later add_clause() calls.
+    Solver s;
+    const Var a = s.new_var();
+    const Var b = s.new_var();
+    s.add_binary(mk_lit(a, true), mk_lit(b, true));
+    EXPECT_EQ(s.solve({mk_lit(a), mk_lit(b)}), Solver::Result::kUnsat);
+    EXPECT_TRUE(s.add_unit(mk_lit(a)));
+    ASSERT_EQ(s.solve(), Solver::Result::kSat);
+    EXPECT_TRUE(s.model_value(a));
+    EXPECT_FALSE(s.model_value(b));
+}
+
+TEST(Sat, ReduceDbPreservesUnsatResult) {
+    Solver s;
+    s.set_learned_limit(25);
+    add_pigeonhole(&s, 7, 6);
+    EXPECT_EQ(s.solve(), Solver::Result::kUnsat);
+    EXPECT_GT(s.stats().reduces, 0u);
+    EXPECT_GT(s.stats().learned_removed, 0u);
+}
+
+TEST(Sat, ReduceDbMatchesBruteForceOnRandomInstances) {
+    util::Rng rng(808);
+    for (int trial = 0; trial < 40; ++trial) {
+        const int nv = 8 + rng.uniform_int(0, 4);
+        const int nc = 4 * nv + rng.uniform_int(0, 3 * nv);
+        std::vector<std::vector<Lit>> clauses;
+        for (int c = 0; c < nc; ++c) {
+            std::vector<Lit> cl;
+            const int w = 2 + rng.uniform_int(0, 1);
+            for (int k = 0; k < w; ++k) {
+                cl.push_back(mk_lit(rng.uniform_int(0, nv - 1), rng.coin(0.5)));
+            }
+            clauses.push_back(cl);
+        }
+        Solver s;
+        s.set_learned_limit(5);  // reduce aggressively
+        for (int v = 0; v < nv; ++v) s.new_var();
+        for (const auto& cl : clauses) s.add_clause(cl);
+        EXPECT_EQ(s.solve() == Solver::Result::kSat,
+                  brute_force_sat(nv, clauses))
+            << "trial " << trial;
+    }
+}
+
 }  // namespace
 }  // namespace mvf::sat
