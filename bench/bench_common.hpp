@@ -3,10 +3,13 @@
 //
 // Every harness reproduces one table or figure of the paper, prints the
 // same rows/series the paper reports, and optionally appends CSV output.
-// Flags (all optional):
+// Flags are parsed HERE, uniformly, so every binary accepts the same set
+// (per-binary ad-hoc parsing is a bug):
 //   --quick   minimal budgets (CI smoke run)
 //   --paper   paper-scale GA budget (~9726 individuals per circuit; slow)
 //   --seed N  RNG seed (default 1)
+//   --jobs N  worker threads for harnesses that batch independent
+//             scenarios through flow::BatchRunner (default 1)
 //   --csv F   also write results to CSV file F
 
 #include <cstdint>
@@ -20,6 +23,7 @@ struct BenchArgs {
     bool quick = false;
     bool paper = false;
     std::uint64_t seed = 1;
+    int jobs = 1;
     std::string csv_path;
 
     static BenchArgs parse(int argc, char** argv) {
@@ -31,12 +35,16 @@ struct BenchArgs {
                 args.paper = true;
             } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
                 args.seed = std::strtoull(argv[++i], nullptr, 10);
+            } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+                args.jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+                if (args.jobs < 1) args.jobs = 1;
             } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
                 args.csv_path = argv[++i];
             } else {
-                std::fprintf(stderr,
-                             "usage: %s [--quick] [--paper] [--seed N] [--csv F]\n",
-                             argv[0]);
+                std::fprintf(
+                    stderr,
+                    "usage: %s [--quick] [--paper] [--seed N] [--jobs N] [--csv F]\n",
+                    argv[0]);
                 std::exit(2);
             }
         }

@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "flow/obfuscation_flow.hpp"
+#include "flow/batch_runner.hpp"
 #include "sbox/sbox_data.hpp"
 #include "util/csv.hpp"
 #include "util/stopwatch.hpp"
@@ -49,7 +49,6 @@ int main(int argc, char** argv) {
     const benchx::BenchArgs args = benchx::BenchArgs::parse(argc, argv);
     benchx::print_header("Table I: area comparison for merged S-box circuits");
 
-    flow::ObfuscationFlow obfuscator;
     std::unique_ptr<util::CsvWriter> csv;
     if (!args.csv_path.empty()) {
         csv = std::make_unique<util::CsvWriter>(args.csv_path);
@@ -63,44 +62,59 @@ int main(int argc, char** argv) {
     std::printf("--------------------------------------------------------------"
                 "---------------------------------------------\n");
 
-    util::Stopwatch total;
+    // One scenario per table row, executed through the batch runner (rows
+    // are independent, so --jobs N parallelizes the table).
+    std::vector<flow::Scenario> scenarios;
     for (const Row& row : kPaperRows) {
         const bool present = std::string(row.family) == "PRESENT";
-        const auto sboxes = present ? sbox::present_viable_set(row.n)
-                                    : sbox::des_viable_set(row.n);
-        const auto fns = flow::from_sboxes(sboxes);
-
-        flow::FlowParams params;
-        params.seed = args.seed;
+        flow::Scenario s;
+        s.name = std::string(row.family) + ":" + std::to_string(row.n);
+        s.family = present ? "present" : "des";
+        s.n = row.n;
+        s.params.seed = args.seed;
         if (args.paper) {
             // Matches the paper's evaluation budget of 9726 individuals.
-            params.ga.population = 54;
-            params.ga.generations = 180;
+            s.params.ga.population = 54;
+            s.params.ga.generations = 180;
         } else if (args.quick) {
-            params.ga.population = 8;
-            params.ga.generations = present ? 5 : 3;
+            s.params.ga.population = 8;
+            s.params.ga.generations = present ? 5 : 3;
         } else {
-            params.ga.population = 16;
-            params.ga.generations = present ? 15 : 12;
+            s.params.ga.population = 16;
+            s.params.ga.generations = present ? 15 : 12;
         }
+        scenarios.push_back(std::move(s));
+    }
 
-        util::Stopwatch sw;
-        const flow::FlowResult r = obfuscator.run(fns, params);
+    util::Stopwatch total;
+    flow::BatchParams batch;
+    batch.jobs = args.jobs;
+    const std::vector<flow::ScenarioRecord> records =
+        flow::BatchRunner(batch).run(scenarios);
+
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const Row& row = kPaperRows[i];
+        const flow::ScenarioRecord& r = records[i];
+        if (!r.ok) {
+            std::printf("%-8s %3d | FAILED: %s\n", row.family, row.n,
+                        r.error.c_str());
+            continue;
+        }
         const double paper_impr =
             (row.paper_best - row.paper_tm) / row.paper_best * 100.0;
         std::printf(
             "%-8s %3d | %8.1f %8.1f %8.1f %8.1f %8.1f | %-8s | %6.0f/%4.0f/%4.0f/%5.0f/%4.0f%%  (%.0fs)\n",
             row.family, row.n, r.random_avg, r.random_best, r.ga_area,
-            r.ga_tm_area, r.improvement_percent(), r.verified ? "yes" : "NO",
+            r.ga_tm_area, r.improvement_percent, r.verified ? "yes" : "NO",
             row.paper_avg, row.paper_best, row.paper_ga, row.paper_tm,
-            paper_impr, sw.elapsed_seconds());
+            paper_impr, r.seconds);
         if (csv) {
             csv->write_row({row.family, util::CsvWriter::field(row.n),
                             util::CsvWriter::field(r.random_avg),
                             util::CsvWriter::field(r.random_best),
                             util::CsvWriter::field(r.ga_area),
                             util::CsvWriter::field(r.ga_tm_area),
-                            util::CsvWriter::field(r.improvement_percent()),
+                            util::CsvWriter::field(r.improvement_percent),
                             r.verified ? "1" : "0",
                             util::CsvWriter::field(row.paper_avg),
                             util::CsvWriter::field(row.paper_best),

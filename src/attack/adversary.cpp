@@ -1,0 +1,192 @@
+#include "attack/adversary.hpp"
+
+#include <stdexcept>
+
+#include "attack/plausibility.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mvf::attack {
+
+namespace {
+
+void accumulate(sat::Solver::Stats* into, const sat::Solver::Stats& from) {
+    into->conflicts += from.conflicts;
+    into->decisions += from.decisions;
+    into->propagations += from.propagations;
+    into->restarts += from.restarts;
+    into->learned += from.learned;
+    into->reduces += from.reduces;
+    into->learned_removed += from.learned_removed;
+}
+
+const char* status_name(OracleAttackResult::Status s) {
+    switch (s) {
+        case OracleAttackResult::Status::kSolved: return "solved";
+        case OracleAttackResult::Status::kNoSurvivor: return "no survivor";
+        case OracleAttackResult::Status::kIterationLimit: return "iteration limit";
+        case OracleAttackResult::Status::kSurvivorLimit: return "survivor limit";
+    }
+    return "unknown";
+}
+
+}  // namespace
+
+std::string_view knowledge_name(Knowledge k) {
+    switch (k) {
+        case Knowledge::kNetlistOnly: return "netlist-only";
+        case Knowledge::kViableSet: return "viable-set";
+        case Knowledge::kWorkingChip: return "working-chip";
+    }
+    return "unknown";
+}
+
+report::Json AdversaryReport::to_json() const {
+    report::Json j = report::Json::object();
+    j.set("adversary", adversary);
+    j.set("success", success);
+    j.set("outcome", outcome);
+    j.set("queries", queries);
+    j.set("survivors", survivors);
+    j.set("seconds", seconds);
+    report::Json s = report::Json::object();
+    s.set("conflicts", sat.conflicts);
+    s.set("decisions", sat.decisions);
+    s.set("propagations", sat.propagations);
+    s.set("restarts", sat.restarts);
+    s.set("learned", sat.learned);
+    s.set("reduces", sat.reduces);
+    s.set("learned_removed", sat.learned_removed);
+    j.set("sat", std::move(s));
+    return j;
+}
+
+AdversaryReport AdversaryReport::from_json(const report::Json& j) {
+    AdversaryReport r;
+    r.adversary = j.at("adversary").as_string();
+    r.success = j.at("success").as_bool();
+    r.outcome = j.at("outcome").as_string();
+    r.queries = static_cast<int>(j.at("queries").as_int());
+    r.survivors = j.at("survivors").as_uint();
+    r.seconds = j.at("seconds").as_number();
+    const report::Json& s = j.at("sat");
+    r.sat.conflicts = s.at("conflicts").as_uint();
+    r.sat.decisions = s.at("decisions").as_uint();
+    r.sat.propagations = s.at("propagations").as_uint();
+    r.sat.restarts = s.at("restarts").as_uint();
+    r.sat.learned = s.at("learned").as_uint();
+    r.sat.reduces = s.at("reduces").as_uint();
+    r.sat.learned_removed = s.at("learned_removed").as_uint();
+    return r;
+}
+
+bool AdversaryReport::operator==(const AdversaryReport& o) const {
+    return adversary == o.adversary && success == o.success &&
+           outcome == o.outcome && queries == o.queries &&
+           survivors == o.survivors && seconds == o.seconds &&
+           sat.conflicts == o.sat.conflicts && sat.decisions == o.sat.decisions &&
+           sat.propagations == o.sat.propagations &&
+           sat.restarts == o.sat.restarts && sat.learned == o.sat.learned &&
+           sat.reduces == o.sat.reduces &&
+           sat.learned_removed == o.sat.learned_removed;
+}
+
+AdversaryReport PlausibilityAdversary::attack(const camo::CamoNetlist& netlist,
+                                              Oracle* /*oracle*/) {
+    if (targets_.empty()) {
+        throw std::invalid_argument(
+            "PlausibilityAdversary: the viable-set threat model requires "
+            "viable_targets; none were provided");
+    }
+    util::Stopwatch sw;
+    AdversaryReport report;
+    report.adversary = std::string(name());
+    std::uint64_t plausible = 0;
+    for (const auto& targets : targets_) {
+        const PlausibilityResult res = is_plausible(netlist, targets);
+        if (res.plausible) ++plausible;
+        accumulate(&report.sat, res.sat_stats);
+        ++report.queries;
+    }
+    report.survivors = plausible;
+    report.success = plausible < targets_.size();
+    report.outcome =
+        std::to_string(plausible) + " of " + std::to_string(targets_.size()) +
+        " viable functions remain plausible";
+    report.seconds = sw.elapsed_seconds();
+    return report;
+}
+
+AdversaryReport CegarAdversary::attack(const camo::CamoNetlist& netlist,
+                                       Oracle* oracle) {
+    if (oracle == nullptr) {
+        throw std::invalid_argument(
+            "CegarAdversary: the working-chip threat model requires an "
+            "oracle; none was provided");
+    }
+    const OracleAttackResult res = oracle_attack(netlist, *oracle, params_);
+    AdversaryReport report;
+    report.adversary = std::string(name());
+    report.success = res.solved();
+    report.outcome = status_name(res.status);
+    report.queries = res.queries;
+    report.survivors = res.surviving_configs;
+    report.seconds = res.seconds;
+    report.sat = res.sat_stats;
+    last_result_ = res;
+    return report;
+}
+
+AdversaryRegistry::AdversaryRegistry() {
+    factories_.emplace_back("plausibility", [](const AdversaryOptions& opt) {
+        return std::make_unique<PlausibilityAdversary>(opt.viable_targets);
+    });
+    factories_.emplace_back("cegar", [](const AdversaryOptions& opt) {
+        return std::make_unique<CegarAdversary>(opt.oracle);
+    });
+}
+
+AdversaryRegistry& AdversaryRegistry::instance() {
+    static AdversaryRegistry registry;
+    return registry;
+}
+
+void AdversaryRegistry::register_adversary(std::string name,
+                                           AdversaryFactory factory) {
+    for (auto& [existing, f] : factories_) {
+        if (existing == name) {
+            f = std::move(factory);
+            return;
+        }
+    }
+    factories_.emplace_back(std::move(name), std::move(factory));
+}
+
+bool AdversaryRegistry::contains(const std::string& name) const {
+    for (const auto& [existing, f] : factories_) {
+        if (existing == name) return true;
+    }
+    return false;
+}
+
+std::unique_ptr<Adversary> AdversaryRegistry::create(
+    const std::string& name, const AdversaryOptions& options) const {
+    for (const auto& [existing, factory] : factories_) {
+        if (existing == name) return factory(options);
+    }
+    std::string known;
+    for (const std::string& n : names()) {
+        if (!known.empty()) known += ", ";
+        known += n;
+    }
+    throw std::invalid_argument("unknown adversary \"" + name +
+                                "\" (registered: " + known + ")");
+}
+
+std::vector<std::string> AdversaryRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) out.push_back(name);
+    return out;
+}
+
+}  // namespace mvf::attack

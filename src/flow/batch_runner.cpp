@@ -1,0 +1,287 @@
+#include "flow/batch_runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <stdexcept>
+
+#include "sbox/sbox_data.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mvf::flow {
+
+namespace {
+
+[[noreturn]] void spec_error(int line, const std::string& what) {
+    throw std::invalid_argument("scenario spec line " + std::to_string(line) +
+                                ": " + what);
+}
+
+bool parse_flag(const std::string& value, int line, const std::string& key) {
+    if (value == "1" || value == "true") return true;
+    if (value == "0" || value == "false") return false;
+    spec_error(line, "flag " + key + " must be 0/1/true/false, got \"" + value +
+                         "\"");
+}
+
+int parse_int(const std::string& value, int line, const std::string& key) {
+    try {
+        std::size_t used = 0;
+        const int parsed = std::stoi(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        spec_error(line, key + " is not a number: \"" + value + "\"");
+    }
+}
+
+std::uint64_t parse_u64(const std::string& value, int line,
+                        const std::string& key) {
+    try {
+        std::size_t used = 0;
+        const std::uint64_t parsed = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        spec_error(line, key + " is not a number: \"" + value + "\"");
+    }
+}
+
+std::vector<std::string> split_csv(const std::string& value) {
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream in(value);
+    while (std::getline(in, item, ',')) {
+        if (!item.empty()) out.push_back(item);
+    }
+    return out;
+}
+
+ScenarioRecord run_one(const Scenario& scenario, int index) {
+    ScenarioRecord record;
+    record.index = index;
+    record.name = scenario.name;
+    record.family = scenario.family;
+    record.n = scenario.n;
+    record.seed = scenario.params.seed;
+
+    util::Stopwatch sw;
+    try {
+        const std::vector<ViableFunction> functions =
+            scenario_functions(scenario);
+        // Private engine => private synthesis/matching caches: scenario
+        // results cannot depend on what ran before or concurrently.
+        ObfuscationFlow engine;
+        FlowContext ctx(engine, functions, scenario.params);
+        Pipeline::standard(scenario.params).run(ctx);
+
+        const FlowResult& r = ctx.result;
+        record.random_avg = r.random_avg;
+        record.random_best = r.random_best;
+        record.ga_area = r.ga_area;
+        record.ga_tm_area = r.ga_tm_area;
+        record.improvement_percent = r.improvement_percent();
+        record.verified = r.verified;
+        record.camo_cells = r.camo_stats.num_cells;
+        record.config_space_bits = r.camo_stats.config_space_bits;
+        record.attacks = r.attack_reports;
+        record.ok = true;
+    } catch (const std::exception& e) {
+        record.ok = false;
+        record.error = e.what();
+    }
+    record.seconds = sw.elapsed_seconds();
+    return record;
+}
+
+}  // namespace
+
+std::vector<ViableFunction> scenario_functions(const Scenario& scenario) {
+    if (scenario.family == "present") {
+        if (scenario.n < 1 || scenario.n > 16) {
+            throw std::invalid_argument(
+                "scenario \"" + scenario.name +
+                "\": present merge width must be 1..16");
+        }
+        return from_sboxes(sbox::present_viable_set(scenario.n));
+    }
+    if (scenario.family == "des") {
+        if (scenario.n < 1 || scenario.n > 8) {
+            throw std::invalid_argument("scenario \"" + scenario.name +
+                                        "\": des merge width must be 1..8");
+        }
+        return from_sboxes(sbox::des_viable_set(scenario.n));
+    }
+    throw std::invalid_argument("scenario \"" + scenario.name +
+                                "\": unknown function family \"" +
+                                scenario.family + "\" (present, des)");
+}
+
+std::vector<Scenario> parse_scenario_spec(const std::string& text) {
+    std::vector<Scenario> scenarios;
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        const std::size_t hash = raw.find('#');
+        if (hash != std::string::npos) raw.resize(hash);
+        std::istringstream tokens(raw);
+        std::string token;
+        Scenario s;
+        bool any = false;
+        while (tokens >> token) {
+            any = true;
+            const std::size_t eq = token.find('=');
+            if (eq == std::string::npos) {
+                spec_error(line_no, "expected key=value, got \"" + token + "\"");
+            }
+            const std::string key = token.substr(0, eq);
+            const std::string value = token.substr(eq + 1);
+            if (key == "name") {
+                s.name = value;
+            } else if (key == "funcs") {
+                const std::size_t colon = value.find(':');
+                if (colon == std::string::npos) {
+                    spec_error(line_no, "funcs must be family:n, got \"" +
+                                            value + "\"");
+                }
+                s.family = value.substr(0, colon);
+                s.n = parse_int(value.substr(colon + 1), line_no, "funcs width");
+            } else if (key == "seed") {
+                s.params.seed = parse_u64(value, line_no, key);
+            } else if (key == "population" || key == "pop") {
+                s.params.ga.population = parse_int(value, line_no, key);
+            } else if (key == "generations" || key == "gens") {
+                s.params.ga.generations = parse_int(value, line_no, key);
+            } else if (key == "attack") {
+                if (value == "none") {
+                    s.params.adversaries.clear();
+                    s.params.run_oracle_attack = false;
+                } else {
+                    s.params.adversaries = split_csv(value);
+                }
+            } else if (key == "baseline") {
+                s.params.run_random_baseline = parse_flag(value, line_no, key);
+            } else if (key == "camo") {
+                s.params.run_camo_mapping = parse_flag(value, line_no, key);
+            } else if (key == "verify") {
+                s.params.verify = parse_flag(value, line_no, key);
+            } else if (key == "final_best") {
+                s.params.final_best_of_builds = parse_flag(value, line_no, key);
+            } else if (key == "max_survivors") {
+                // Cap on the CEGAR survivor enumeration; small values keep
+                // attack scenarios fast on huge configuration spaces.
+                s.params.oracle.max_survivors = parse_u64(value, line_no, key);
+            } else if (key == "enum_survivors") {
+                s.params.oracle.enumerate_survivors =
+                    parse_flag(value, line_no, key);
+            } else {
+                spec_error(line_no,
+                           "unknown key \"" + key +
+                               "\" (name funcs seed population generations "
+                               "attack baseline camo verify final_best "
+                               "max_survivors enum_survivors)");
+            }
+        }
+        if (!any) continue;  // blank/comment line
+        if (s.name.empty()) {
+            s.name = s.family + std::to_string(s.n) + "-s" +
+                     std::to_string(s.params.seed);
+        }
+        scenarios.push_back(std::move(s));
+    }
+    return scenarios;
+}
+
+std::vector<Scenario> load_scenario_spec(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw std::invalid_argument("cannot open scenario spec: " + path);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse_scenario_spec(text.str());
+}
+
+report::Json ScenarioRecord::to_json() const {
+    report::Json j = report::Json::object();
+    j.set("index", index);
+    j.set("name", name);
+    j.set("family", family);
+    j.set("n", n);
+    j.set("seed", seed);
+    j.set("ok", ok);
+    if (!ok) j.set("error", error);
+    j.set("seconds", seconds);
+    j.set("random_avg", random_avg);
+    j.set("random_best", random_best);
+    j.set("ga_area", ga_area);
+    j.set("ga_tm_area", ga_tm_area);
+    j.set("improvement_percent", improvement_percent);
+    j.set("verified", verified);
+    j.set("camo_cells", camo_cells);
+    j.set("config_space_bits", config_space_bits);
+    report::Json attacks_json = report::Json::array();
+    for (const attack::AdversaryReport& a : attacks) {
+        attacks_json.push_back(a.to_json());
+    }
+    j.set("attacks", std::move(attacks_json));
+    return j;
+}
+
+std::vector<ScenarioRecord> BatchRunner::run(
+    const std::vector<Scenario>& scenarios) const {
+    std::vector<ScenarioRecord> records(scenarios.size());
+    const int count = static_cast<int>(scenarios.size());
+    const auto report_progress = [this](const ScenarioRecord& r, int total) {
+        if (!params_.verbose) return;
+        std::fprintf(stderr, "[%d/%d] %s: %s (%.1fs)\n", r.index + 1, total,
+                     r.name.c_str(), r.ok ? "ok" : r.error.c_str(), r.seconds);
+    };
+
+    if (params_.jobs <= 1 || count <= 1) {
+        for (int i = 0; i < count; ++i) {
+            records[static_cast<std::size_t>(i)] =
+                run_one(scenarios[static_cast<std::size_t>(i)], i);
+            report_progress(records[static_cast<std::size_t>(i)], count);
+        }
+        return records;
+    }
+
+    util::ThreadPool pool(std::min(params_.jobs, count));
+    std::vector<std::future<void>> futures;
+    futures.reserve(scenarios.size());
+    for (int i = 0; i < count; ++i) {
+        futures.push_back(pool.submit([&scenarios, &records, i] {
+            records[static_cast<std::size_t>(i)] =
+                run_one(scenarios[static_cast<std::size_t>(i)], i);
+        }));
+    }
+    for (int i = 0; i < count; ++i) {
+        futures[static_cast<std::size_t>(i)].get();
+        report_progress(records[static_cast<std::size_t>(i)], count);
+    }
+    return records;
+}
+
+report::Json batch_report(const std::vector<ScenarioRecord>& records,
+                          double total_seconds) {
+    report::Json j = report::Json::object();
+    int failures = 0;
+    report::Json arr = report::Json::array();
+    for (const ScenarioRecord& r : records) {
+        if (!r.ok) ++failures;
+        arr.push_back(r.to_json());
+    }
+    j.set("scenario_count", static_cast<int>(records.size()));
+    j.set("failures", failures);
+    j.set("total_seconds", total_seconds);
+    j.set("scenarios", std::move(arr));
+    return j;
+}
+
+}  // namespace mvf::flow

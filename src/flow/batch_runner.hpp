@@ -1,0 +1,100 @@
+#pragma once
+// Parallel batch execution of independent flow scenarios.
+//
+// A Scenario names a viable-function set (S-box family x merge width), the
+// FlowParams to run it under, and a seed; BatchRunner executes N scenarios
+// on a util::ThreadPool with one isolated FlowContext + ObfuscationFlow
+// (i.e. private synthesis caches) per scenario, so results are bit-identical
+// regardless of --jobs and scheduling order.  Each scenario yields a
+// structured ScenarioRecord that serializes to JSON (report::JsonWriter),
+// the machine-readable counterpart of the benches' CSV.
+//
+// Scenario specs are plain text so new workloads need zero C++ (consumed by
+// `mvf batch`, documented in the README):
+//
+//   # one scenario per line; '#' starts a comment
+//   name=p4 funcs=present:4 seed=3 population=8 generations=4 attack=cegar
+//   funcs=des:2 seed=7 attack=cegar,plausibility camo=1 baseline=0
+
+#include <string>
+#include <vector>
+
+#include "flow/pipeline.hpp"
+#include "report/json.hpp"
+
+namespace mvf::flow {
+
+/// One independent experiment: function set x params x seed.
+struct Scenario {
+    std::string name;          ///< defaults to "<family><n>-s<seed>"
+    std::string family = "present";  ///< "present" or "des"
+    int n = 2;                 ///< merge width (viable functions)
+    FlowParams params;
+};
+
+/// Builds the scenario's viable-function set; throws std::invalid_argument
+/// on an unknown family or out-of-range width.
+std::vector<ViableFunction> scenario_functions(const Scenario& scenario);
+
+/// Parses the spec format above; throws std::invalid_argument with a line
+/// number on malformed input.  Recognized keys: name, funcs=family:n, seed,
+/// population, generations, attack (comma-separated adversaries or "none"),
+/// baseline, camo, verify, final_best (0/1 flags), max_survivors,
+/// enum_survivors.
+std::vector<Scenario> parse_scenario_spec(const std::string& text);
+
+/// parse_scenario_spec over a file's contents.
+std::vector<Scenario> load_scenario_spec(const std::string& path);
+
+/// Outcome of one scenario (always produced; `ok` distinguishes results
+/// from failures so one bad scenario cannot sink a batch).
+struct ScenarioRecord {
+    int index = 0;  ///< position in the input batch
+    std::string name;
+    std::string family;
+    int n = 0;
+    std::uint64_t seed = 0;
+    bool ok = false;
+    std::string error;  ///< exception text when !ok
+    double seconds = 0.0;
+
+    // Flow summary (Table-I shaped).
+    double random_avg = 0.0;
+    double random_best = 0.0;
+    double ga_area = 0.0;
+    double ga_tm_area = 0.0;
+    double improvement_percent = 0.0;
+    bool verified = false;
+    int camo_cells = 0;
+    double config_space_bits = 0.0;
+
+    std::vector<attack::AdversaryReport> attacks;
+
+    report::Json to_json() const;
+};
+
+struct BatchParams {
+    /// Worker threads; 1 = serial in the calling thread.
+    int jobs = 1;
+    /// Per-scenario progress line on stderr.
+    bool verbose = false;
+};
+
+class BatchRunner {
+public:
+    explicit BatchRunner(BatchParams params = {}) : params_(params) {}
+
+    /// Runs every scenario; records come back in input order.  Scenario
+    /// failures are captured in their record, never thrown.
+    std::vector<ScenarioRecord> run(const std::vector<Scenario>& scenarios) const;
+
+private:
+    BatchParams params_;
+};
+
+/// Wraps records as the batch report document: {"scenarios": [...],
+/// "total_seconds": ..., "failures": ...}.
+report::Json batch_report(const std::vector<ScenarioRecord>& records,
+                          double total_seconds);
+
+}  // namespace mvf::flow

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "flow/pipeline.hpp"
 #include "sim/netlist_sim.hpp"
 
 namespace mvf::flow {
@@ -42,63 +43,11 @@ double ObfuscationFlow::evaluate_area(const std::vector<ViableFunction>& functio
 
 FlowResult ObfuscationFlow::run(const std::vector<ViableFunction>& functions,
                                 const FlowParams& params) {
-    FlowResult result;
-    const int n = static_cast<int>(functions.size());
-    const int m = functions.front().num_inputs;
-    const int r = functions.front().num_outputs;
-
-    const ga::FitnessFn fitness = [&](const ga::PinAssignment& pa) {
-        return evaluate_area(functions, pa, params.fitness_effort,
-                             params.fitness_build);
-    };
-
-    // Phase II: genetic algorithm.
-    ga::GaParams ga_params = params.ga;
-    ga_params.seed = params.seed;
-    result.ga = ga::run_ga(n, m, r, fitness, ga_params);
-
-    // Equal-budget random baseline (Fig. 4a / Table I "Random" columns).
-    if (params.run_random_baseline) {
-        const int count = params.random_count > 0
-                              ? params.random_count
-                              : result.ga.history.evaluations;
-        const ga::RandomSearchResult rs =
-            random_search(n, m, r, fitness, count, params.seed ^ 0xabcdef12345ull);
-        result.random_avg = rs.avg_area;
-        result.random_best = rs.best_area;
-        result.random_areas = rs.all_areas;
-    }
-
-    // Final synthesis of the GA winner at higher effort.
-    const MergedSpec best_spec(functions, result.ga.best);
-    tech::Netlist mapped =
-        params.final_best_of_builds
-            ? synthesize_best(best_spec, params.final_effort, params.map)
-            : synthesize(best_spec, params.final_effort, params.map,
-                         params.fitness_build);
-    result.ga_area = mapped.area();
-    // The paper reports the GA column from synthesis; keep the smaller of
-    // fitness-effort and final-effort areas as "GA".
-    result.ga_area = std::min(result.ga_area, result.ga.best_area);
-
-    // Phase III: camouflage covering (Algorithm 1).
-    if (params.run_camo_mapping) {
-        camo::CamoMapResult cm = camo::camo_map(mapped, camo_lib_, n, params.camo);
-        result.ga_tm_area = cm.stats.area;
-        result.camo_stats = cm.stats;
-        if (params.verify) {
-            result.verified = verify_configurations(best_spec, cm.netlist);
-        }
-        if (params.run_oracle_attack) {
-            attack::SimOracle oracle(cm.netlist,
-                                     cm.netlist.configuration_for_code(0));
-            result.oracle_attack =
-                attack::oracle_attack(cm.netlist, oracle, params.oracle);
-        }
-        result.camouflaged = std::move(cm.netlist);
-    }
-    result.synthesized = std::move(mapped);
-    return result;
+    // Thin compatibility wrapper over the staged pipeline (flow/pipeline.hpp);
+    // tests/test_pipeline.cpp proves the results are identical at fixed seed.
+    FlowContext ctx(*this, functions, params);
+    Pipeline::standard(params).run(ctx);
+    return std::move(ctx.result);
 }
 
 bool ObfuscationFlow::verify_configurations(const MergedSpec& spec,

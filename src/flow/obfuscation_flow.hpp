@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "attack/adversary.hpp"
 #include "attack/oracle_attack.hpp"
 #include "camo/camo_cell.hpp"
 #include "camo/camo_map.hpp"
@@ -55,8 +56,16 @@ struct FlowParams {
     /// queries de-camouflaging takes and how many configurations survive.
     /// Off by default; it models a STRONGER adversary (working chip in
     /// hand) than the paper's viable-set attacker.
+    ///
+    /// Requires run_camo_mapping: configuring the attack with camouflage
+    /// mapping disabled throws std::invalid_argument from the attack stage
+    /// (it used to be silently skipped).
     bool run_oracle_attack = false;
     attack::OracleAttackParams oracle;
+    /// Registered adversaries the attack stage should run (see
+    /// attack::AdversaryRegistry).  When non-empty this supersedes
+    /// run_oracle_attack's implicit {"cegar"} panel.
+    std::vector<std::string> adversaries;
     std::uint64_t seed = 1;
 };
 
@@ -83,6 +92,10 @@ struct FlowResult {
 
     /// Oracle-attack report (when FlowParams::run_oracle_attack).
     std::optional<attack::OracleAttackResult> oracle_attack;
+
+    /// Uniform per-adversary reports from the attack stage, in run order
+    /// (one per requested adversary; includes the CEGAR attacker's).
+    std::vector<attack::AdversaryReport> attack_reports;
 };
 
 class ObfuscationFlow {
@@ -108,7 +121,9 @@ public:
                          synth::Effort effort = synth::Effort::kFast,
                          BuildStyle style = BuildStyle::kFactored);
 
-    /// Full Phases I-III plus baseline and validation.
+    /// Full Phases I-III plus baseline and validation.  Compatibility
+    /// wrapper over flow::Pipeline::standard (see flow/pipeline.hpp for the
+    /// staged API; results are identical at fixed seed).
     FlowResult run(const std::vector<ViableFunction>& functions,
                    const FlowParams& params);
 

@@ -1,0 +1,196 @@
+#include "flow/pipeline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/stopwatch.hpp"
+
+namespace mvf::flow {
+
+CancelToken::CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+void CancelToken::cancel() { flag_->store(true, std::memory_order_relaxed); }
+
+bool CancelToken::cancelled() const {
+    return flag_->load(std::memory_order_relaxed);
+}
+
+FlowContext::FlowContext(ObfuscationFlow& engine,
+                         const std::vector<ViableFunction>& fns,
+                         FlowParams p)
+    : flow(&engine), functions(&fns), params(std::move(p)) {
+    if (fns.empty()) {
+        throw std::invalid_argument("FlowContext: empty viable-function set");
+    }
+}
+
+void FlowContext::set_timeout(double seconds) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(seconds));
+}
+
+bool FlowContext::should_stop() const {
+    if (cancel.cancelled()) return true;
+    return deadline && std::chrono::steady_clock::now() >= *deadline;
+}
+
+void PinSearchStage::run(FlowContext& ctx) {
+    const std::vector<ViableFunction>& functions = *ctx.functions;
+    const int n = static_cast<int>(functions.size());
+    const int m = functions.front().num_inputs;
+    const int r = functions.front().num_outputs;
+
+    const ga::FitnessFn fitness = [&](const ga::PinAssignment& pa) {
+        return ctx.flow->evaluate_area(functions, pa, ctx.params.fitness_effort,
+                                       ctx.params.fitness_build);
+    };
+
+    ga::GaParams ga_params = ctx.params.ga;
+    ga_params.seed = ctx.params.seed;
+    ctx.result.ga = ga::run_ga(n, m, r, fitness, ga_params);
+
+    if (ctx.params.run_random_baseline) {
+        const int count = ctx.params.random_count > 0
+                              ? ctx.params.random_count
+                              : ctx.result.ga.history.evaluations;
+        const ga::RandomSearchResult rs = random_search(
+            n, m, r, fitness, count, ctx.params.seed ^ 0xabcdef12345ull);
+        ctx.result.random_avg = rs.avg_area;
+        ctx.result.random_best = rs.best_area;
+        ctx.result.random_areas = rs.all_areas;
+    }
+}
+
+void SynthesizeStage::run(FlowContext& ctx) {
+    const std::vector<ViableFunction>& functions = *ctx.functions;
+    // Standalone invocation (no pin search): the identity assignment.
+    // (A default-constructed PinAssignment is empty, which valid() accepts
+    // vacuously -- hence the function-count check.)
+    const int n = static_cast<int>(functions.size());
+    if (ctx.result.ga.best.num_functions() != n || !ctx.result.ga.best.valid()) {
+        ctx.result.ga.best = ga::PinAssignment::identity(
+            n, functions.front().num_inputs, functions.front().num_outputs);
+    }
+
+    ctx.best_spec.emplace(functions, ctx.result.ga.best);
+    tech::Netlist mapped =
+        ctx.params.final_best_of_builds
+            ? ctx.flow->synthesize_best(*ctx.best_spec, ctx.params.final_effort,
+                                        ctx.params.map)
+            : ctx.flow->synthesize(*ctx.best_spec, ctx.params.final_effort,
+                                   ctx.params.map, ctx.params.fitness_build);
+    ctx.result.ga_area = mapped.area();
+    // The paper reports the GA column from synthesis; keep the smaller of
+    // fitness-effort and final-effort areas as "GA" (when a search ran).
+    if (ctx.result.ga.best_area > 0.0) {
+        ctx.result.ga_area = std::min(ctx.result.ga_area, ctx.result.ga.best_area);
+    }
+    ctx.result.synthesized = std::move(mapped);
+}
+
+void CamoCoverStage::run(FlowContext& ctx) {
+    if (!ctx.result.synthesized) {
+        throw std::logic_error(
+            "CamoCoverStage: no synthesized netlist in the context (run "
+            "SynthesizeStage first)");
+    }
+    const int n = static_cast<int>(ctx.functions->size());
+    camo::CamoMapResult cm = camo::camo_map(
+        *ctx.result.synthesized, ctx.flow->camo_library(), n, ctx.params.camo);
+    ctx.result.ga_tm_area = cm.stats.area;
+    ctx.result.camo_stats = cm.stats;
+    ctx.result.camouflaged = std::move(cm.netlist);
+}
+
+void ValidateStage::run(FlowContext& ctx) {
+    if (!ctx.result.camouflaged || !ctx.best_spec) {
+        throw std::logic_error(
+            "ValidateStage: needs a camouflaged netlist and its merged "
+            "specification (run SynthesizeStage and CamoCoverStage first)");
+    }
+    ctx.result.verified = ObfuscationFlow::verify_configurations(
+        *ctx.best_spec, *ctx.result.camouflaged);
+}
+
+void AttackStage::run(FlowContext& ctx) {
+    if (!ctx.result.camouflaged) {
+        throw std::invalid_argument(
+            "AttackStage: no camouflaged netlist to attack -- the flow was "
+            "configured with run_camo_mapping=false (or CamoCoverStage was "
+            "not run).  Enable camouflage mapping or drop the attack stage; "
+            "this combination used to be silently ignored.");
+    }
+    const camo::CamoNetlist& netlist = *ctx.result.camouflaged;
+
+    attack::AdversaryOptions options;
+    options.oracle = ctx.params.oracle;
+
+    attack::SimOracle oracle(netlist, netlist.configuration_for_code(0));
+    for (const std::string& name : adversaries_) {
+        std::unique_ptr<attack::Adversary> adversary =
+            attack::AdversaryRegistry::instance().create(name, options);
+        // The per-code truth-table extraction is only paid when a
+        // viable-set adversary is actually in the panel (and only once).
+        if (adversary->knowledge() == attack::Knowledge::kViableSet &&
+            options.viable_targets.empty() && ctx.best_spec) {
+            for (int code = 0; code < ctx.best_spec->num_functions(); ++code) {
+                options.viable_targets.push_back(
+                    ctx.best_spec->expected_outputs_for_code(code));
+            }
+            adversary = attack::AdversaryRegistry::instance().create(name, options);
+        }
+        const bool grant_oracle =
+            adversary->knowledge() == attack::Knowledge::kWorkingChip;
+        ctx.result.attack_reports.push_back(
+            adversary->attack(netlist, grant_oracle ? &oracle : nullptr));
+        // Keep the typed CEGAR result flowing into the legacy field.
+        if (const auto* cegar =
+                dynamic_cast<const attack::CegarAdversary*>(adversary.get())) {
+            ctx.result.oracle_attack = cegar->last_result();
+        }
+    }
+}
+
+Pipeline& Pipeline::add(std::unique_ptr<Stage> stage) {
+    stages_.push_back(std::move(stage));
+    return *this;
+}
+
+PipelineStatus Pipeline::run(FlowContext& ctx) const {
+    PipelineStatus status;
+    const int total = num_stages();
+    for (int i = 0; i < total; ++i) {
+        Stage& stage = *stages_[static_cast<std::size_t>(i)];
+        if (ctx.should_stop()) {
+            status.completed = false;
+            status.stopped_before = std::string(stage.name());
+            return status;
+        }
+        util::Stopwatch sw;
+        stage.run(ctx);
+        ++status.stages_run;
+        if (ctx.progress) {
+            ctx.progress(StageEvent{stage.name(), i, total, sw.elapsed_seconds()});
+        }
+    }
+    return status;
+}
+
+Pipeline Pipeline::standard(const FlowParams& params) {
+    Pipeline p;
+    p.add_stage<PinSearchStage>();
+    p.add_stage<SynthesizeStage>();
+    if (params.run_camo_mapping) {
+        p.add_stage<CamoCoverStage>();
+        if (params.verify) p.add_stage<ValidateStage>();
+    }
+    if (!params.adversaries.empty()) {
+        p.add_stage<AttackStage>(params.adversaries);
+    } else if (params.run_oracle_attack) {
+        p.add_stage<AttackStage>();
+    }
+    return p;
+}
+
+}  // namespace mvf::flow

@@ -1,0 +1,390 @@
+#include "report/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace mvf::report {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw JsonError(what); }
+
+void append_escaped(std::string* out, const std::string& s) {
+    out->push_back('"');
+    for (const char ch : s) {
+        switch (ch) {
+            case '"': *out += "\\\""; break;
+            case '\\': *out += "\\\\"; break;
+            case '\b': *out += "\\b"; break;
+            case '\f': *out += "\\f"; break;
+            case '\n': *out += "\\n"; break;
+            case '\r': *out += "\\r"; break;
+            case '\t': *out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(ch)));
+                    *out += buf;
+                } else {
+                    out->push_back(ch);
+                }
+        }
+    }
+    out->push_back('"');
+}
+
+void append_number(std::string* out, double v) {
+    if (!std::isfinite(v)) fail("Json: cannot serialize non-finite number");
+    // Integral values within the exactly-representable range print without
+    // a fractional part (counts, seeds, survivor totals).
+    constexpr double kExactLimit = 9007199254740992.0;  // 2^53
+    if (v == std::floor(v) && std::fabs(v) < kExactLimit) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+        *out += buf;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    *out += buf;
+}
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Json parse_document() {
+        Json value = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) error("trailing characters after document");
+        return value;
+    }
+
+private:
+    [[noreturn]] void error(const std::string& what) {
+        fail("Json parse error at offset " + std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) error("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (pos_ >= text_.size() || text_[pos_] != c) {
+            error(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool consume_literal(const char* lit) {
+        std::size_t n = 0;
+        while (lit[n] != '\0') ++n;
+        if (text_.compare(pos_, n, lit) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json parse_value() {
+        skip_ws();
+        const char c = peek();
+        switch (c) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Json(parse_string());
+            case 't':
+                if (!consume_literal("true")) error("invalid literal");
+                return Json(true);
+            case 'f':
+                if (!consume_literal("false")) error("invalid literal");
+                return Json(false);
+            case 'n':
+                if (!consume_literal("null")) error("invalid literal");
+                return Json();
+            default: return parse_number();
+        }
+    }
+
+    Json parse_object() {
+        expect('{');
+        Json obj = Json::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skip_ws();
+            if (peek() != '"') error("expected member name");
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            obj.set(key, parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Json parse_array() {
+        expect('[');
+        Json arr = Json::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) error("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) error("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) error("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else error("invalid \\u escape");
+                    }
+                    // UTF-8 encode the BMP code point (surrogate pairs are
+                    // not needed by our own reports; pass them through as
+                    // separate code points).
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    } else {
+                        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    }
+                    break;
+                }
+                default: error("invalid escape character");
+            }
+        }
+    }
+
+    Json parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) error("invalid value");
+        double v = 0.0;
+        const auto [ptr, ec] =
+            std::from_chars(text_.data() + start, text_.data() + pos_, v);
+        if (ec != std::errc() || ptr != text_.data() + pos_) {
+            error("invalid number");
+        }
+        return Json(v);
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+    if (type_ != Type::kBool) fail("Json: not a bool");
+    return bool_;
+}
+
+double Json::as_number() const {
+    if (type_ != Type::kNumber) fail("Json: not a number");
+    return num_;
+}
+
+std::int64_t Json::as_int() const {
+    return static_cast<std::int64_t>(as_number());
+}
+
+std::uint64_t Json::as_uint() const {
+    const double v = as_number();
+    if (v < 0) fail("Json: negative value for unsigned field");
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string& Json::as_string() const {
+    if (type_ != Type::kString) fail("Json: not a string");
+    return str_;
+}
+
+std::size_t Json::size() const {
+    if (type_ == Type::kArray) return arr_.size();
+    if (type_ == Type::kObject) return obj_.size();
+    fail("Json: size() on a scalar");
+}
+
+void Json::push_back(Json value) {
+    if (type_ == Type::kNull) type_ = Type::kArray;
+    if (type_ != Type::kArray) fail("Json: push_back on a non-array");
+    arr_.push_back(std::move(value));
+}
+
+const Json& Json::at(std::size_t i) const {
+    if (type_ != Type::kArray) fail("Json: element access on a non-array");
+    if (i >= arr_.size()) fail("Json: array index out of range");
+    return arr_[i];
+}
+
+const std::vector<Json>& Json::items() const {
+    if (type_ != Type::kArray) fail("Json: items() on a non-array");
+    return arr_;
+}
+
+void Json::set(const std::string& key, Json value) {
+    if (type_ == Type::kNull) type_ = Type::kObject;
+    if (type_ != Type::kObject) fail("Json: set() on a non-object");
+    for (auto& [k, v] : obj_) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(value));
+}
+
+bool Json::contains(const std::string& key) const {
+    return find(key) != nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+    const Json* found = find(key);
+    if (!found) fail("Json: missing member \"" + key + "\"");
+    return *found;
+}
+
+const Json* Json::find(const std::string& key) const {
+    if (type_ != Type::kObject) return nullptr;
+    for (const auto& [k, v] : obj_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+    if (type_ != Type::kObject) fail("Json: members() on a non-object");
+    return obj_;
+}
+
+void Json::dump_to(std::string* out, int indent, int depth) const {
+    const bool pretty = indent >= 0;
+    const auto newline_pad = [&](int d) {
+        if (!pretty) return;
+        out->push_back('\n');
+        out->append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (type_) {
+        case Type::kNull: *out += "null"; break;
+        case Type::kBool: *out += bool_ ? "true" : "false"; break;
+        case Type::kNumber: append_number(out, num_); break;
+        case Type::kString: append_escaped(out, str_); break;
+        case Type::kArray: {
+            if (arr_.empty()) {
+                *out += "[]";
+                break;
+            }
+            out->push_back('[');
+            for (std::size_t i = 0; i < arr_.size(); ++i) {
+                if (i > 0) out->push_back(',');
+                newline_pad(depth + 1);
+                arr_[i].dump_to(out, indent, depth + 1);
+            }
+            newline_pad(depth);
+            out->push_back(']');
+            break;
+        }
+        case Type::kObject: {
+            if (obj_.empty()) {
+                *out += "{}";
+                break;
+            }
+            out->push_back('{');
+            for (std::size_t i = 0; i < obj_.size(); ++i) {
+                if (i > 0) out->push_back(',');
+                newline_pad(depth + 1);
+                append_escaped(out, obj_[i].first);
+                *out += pretty ? ": " : ":";
+                obj_[i].second.dump_to(out, indent, depth + 1);
+            }
+            newline_pad(depth);
+            out->push_back('}');
+            break;
+        }
+    }
+}
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    dump_to(&out, indent, 0);
+    return out;
+}
+
+Json Json::parse(const std::string& text) {
+    return Parser(text).parse_document();
+}
+
+bool JsonWriter::write(const Json& document, int indent) const {
+    std::ofstream out(path_);
+    if (!out) return false;
+    out << document.dump(indent) << '\n';
+    return static_cast<bool>(out);
+}
+
+}  // namespace mvf::report

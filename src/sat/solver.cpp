@@ -127,8 +127,12 @@ bool Solver::add_clause(std::vector<Lit> lits) {
 
 void Solver::attach(int clause_idx) {
     const Clause& c = clauses_[static_cast<std::size_t>(clause_idx)];
-    watches_[static_cast<std::size_t>(lit_not(c.lits[0]))].push_back(clause_idx);
-    watches_[static_cast<std::size_t>(lit_not(c.lits[1]))].push_back(clause_idx);
+    // The sibling watched literal doubles as the blocker: for binary
+    // clauses it is exact, and for longer ones it is a good first guess.
+    watches_[static_cast<std::size_t>(lit_not(c.lits[0]))].push_back(
+        {clause_idx, c.lits[1]});
+    watches_[static_cast<std::size_t>(lit_not(c.lits[1]))].push_back(
+        {clause_idx, c.lits[0]});
 }
 
 void Solver::enqueue(Lit l, int reason) {
@@ -146,17 +150,27 @@ int Solver::propagate() {
     while (qhead_ < trail_.size()) {
         const Lit p = trail_[qhead_++];
         ++stats_.propagations;
-        std::vector<int>& watch_list = watches_[static_cast<std::size_t>(p)];
+        std::vector<Watcher>& watch_list = watches_[static_cast<std::size_t>(p)];
         std::size_t keep = 0;
         for (std::size_t i = 0; i < watch_list.size(); ++i) {
-            const int ci = watch_list[i];
+            const Watcher w = watch_list[i];
+            // Satisfied via the blocking literal: done without touching the
+            // clause (the common case on long CEGAR runs).
+            if (value(w.blocker) == Value::kTrue) {
+                watch_list[keep++] = w;
+                continue;
+            }
+            const int ci = w.clause;
             Clause& c = clauses_[static_cast<std::size_t>(ci)];
             // Make sure the falsified literal is lits[1].
             const Lit not_p = lit_not(p);
             if (c.lits[0] == not_p) std::swap(c.lits[0], c.lits[1]);
             assert(c.lits[1] == not_p);
-            if (value(c.lits[0]) == Value::kTrue) {
-                watch_list[keep++] = ci;  // clause satisfied; keep watch
+            const Lit first = c.lits[0];
+            if (first != w.blocker && value(first) == Value::kTrue) {
+                // Satisfied by the other watched literal; remember it as
+                // the blocker for next time.
+                watch_list[keep++] = {ci, first};
                 continue;
             }
             // Look for a new literal to watch.
@@ -164,15 +178,16 @@ int Solver::propagate() {
             for (std::size_t k = 2; k < c.lits.size(); ++k) {
                 if (value(c.lits[k]) != Value::kFalse) {
                     std::swap(c.lits[1], c.lits[k]);
-                    watches_[static_cast<std::size_t>(lit_not(c.lits[1]))].push_back(ci);
+                    watches_[static_cast<std::size_t>(lit_not(c.lits[1]))]
+                        .push_back({ci, first});
                     moved = true;
                     break;
                 }
             }
             if (moved) continue;
             // Unit or conflicting.
-            watch_list[keep++] = ci;
-            if (value(c.lits[0]) == Value::kFalse) {
+            watch_list[keep++] = {ci, first};
+            if (value(first) == Value::kFalse) {
                 // Conflict: restore remaining watches and report.
                 for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
                     watch_list[keep++] = watch_list[j];
@@ -181,7 +196,7 @@ int Solver::propagate() {
                 qhead_ = trail_.size();
                 return ci;
             }
-            enqueue(c.lits[0], ci);
+            enqueue(first, ci);
         }
         watch_list.resize(keep);
     }

@@ -1,0 +1,456 @@
+// Tests for the composable pipeline API: the staged flow, the adversary
+// registry, the batch runner, and the JSON report layer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "flow/batch_runner.hpp"
+#include "flow/pipeline.hpp"
+#include "report/json.hpp"
+#include "sbox/sbox_data.hpp"
+
+namespace mvf::flow {
+namespace {
+
+FlowParams tiny_params(std::uint64_t seed = 1) {
+    FlowParams p;
+    p.ga.population = 8;
+    p.ga.generations = 3;
+    p.seed = seed;
+    return p;
+}
+
+// Exact (bitwise) comparison of everything ObfuscationFlow::run reports.
+void expect_identical_results(const FlowResult& a, const FlowResult& b) {
+    EXPECT_EQ(a.random_avg, b.random_avg);
+    EXPECT_EQ(a.random_best, b.random_best);
+    EXPECT_EQ(a.random_areas, b.random_areas);
+    EXPECT_EQ(a.ga_area, b.ga_area);
+    EXPECT_EQ(a.ga_tm_area, b.ga_tm_area);
+    EXPECT_EQ(a.ga.best, b.ga.best);
+    EXPECT_EQ(a.ga.best_area, b.ga.best_area);
+    EXPECT_EQ(a.ga.history.best_per_generation, b.ga.history.best_per_generation);
+    EXPECT_EQ(a.ga.history.avg_per_generation, b.ga.history.avg_per_generation);
+    EXPECT_EQ(a.ga.history.evaluations, b.ga.history.evaluations);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_EQ(a.camo_stats.area, b.camo_stats.area);
+    EXPECT_EQ(a.camo_stats.num_cells, b.camo_stats.num_cells);
+    EXPECT_EQ(a.camo_stats.config_space_bits, b.camo_stats.config_space_bits);
+    EXPECT_EQ(a.camo_stats.selects_eliminated, b.camo_stats.selects_eliminated);
+    ASSERT_EQ(a.synthesized.has_value(), b.synthesized.has_value());
+    if (a.synthesized) {
+        EXPECT_EQ(a.synthesized->area(), b.synthesized->area());
+        EXPECT_EQ(a.synthesized->num_nodes(), b.synthesized->num_nodes());
+    }
+    ASSERT_EQ(a.camouflaged.has_value(), b.camouflaged.has_value());
+    if (a.camouflaged) {
+        EXPECT_EQ(a.camouflaged->area(), b.camouflaged->area());
+        EXPECT_EQ(a.camouflaged->num_cells(), b.camouflaged->num_cells());
+        EXPECT_EQ(a.camouflaged->num_pis(), b.camouflaged->num_pis());
+    }
+    ASSERT_EQ(a.oracle_attack.has_value(), b.oracle_attack.has_value());
+    if (a.oracle_attack) {
+        EXPECT_EQ(a.oracle_attack->status, b.oracle_attack->status);
+        EXPECT_EQ(a.oracle_attack->queries, b.oracle_attack->queries);
+        EXPECT_EQ(a.oracle_attack->surviving_configs,
+                  b.oracle_attack->surviving_configs);
+        EXPECT_EQ(a.oracle_attack->distinguishing_inputs,
+                  b.oracle_attack->distinguishing_inputs);
+    }
+}
+
+TEST(Pipeline, StagedRunMatchesObfuscationFlowRun) {
+    // Acceptance gate: the manually composed staged pipeline reproduces the
+    // monolithic-entry results exactly at fixed seed (fresh caches on both
+    // sides so the comparison is cache-state independent).
+    const auto fns = from_sboxes(sbox::present_viable_set(2));
+    FlowParams params = tiny_params(21);
+    params.run_oracle_attack = true;
+    params.oracle.max_survivors = 64;
+
+    ObfuscationFlow monolithic;
+    const FlowResult expected = monolithic.run(fns, params);
+
+    ObfuscationFlow staged;
+    FlowContext ctx(staged, fns, params);
+    Pipeline pipeline;
+    pipeline.add_stage<PinSearchStage>()
+        .add_stage<SynthesizeStage>()
+        .add_stage<CamoCoverStage>()
+        .add_stage<ValidateStage>()
+        .add_stage<AttackStage>();
+    const PipelineStatus status = pipeline.run(ctx);
+    EXPECT_TRUE(status.completed);
+    EXPECT_EQ(status.stages_run, 5);
+
+    expect_identical_results(ctx.result, expected);
+}
+
+TEST(Pipeline, StandardPipelineStagesFollowParams) {
+    FlowParams all = tiny_params();
+    all.run_oracle_attack = true;
+    const Pipeline p1 = Pipeline::standard(all);
+    ASSERT_EQ(p1.num_stages(), 5);
+    EXPECT_EQ(p1.stage(0).name(), "pin-search");
+    EXPECT_EQ(p1.stage(1).name(), "synthesize");
+    EXPECT_EQ(p1.stage(2).name(), "camo-cover");
+    EXPECT_EQ(p1.stage(3).name(), "validate");
+    EXPECT_EQ(p1.stage(4).name(), "attack");
+
+    FlowParams no_camo = tiny_params();
+    no_camo.run_camo_mapping = false;
+    EXPECT_EQ(Pipeline::standard(no_camo).num_stages(), 2);
+
+    FlowParams no_verify = tiny_params();
+    no_verify.verify = false;
+    EXPECT_EQ(Pipeline::standard(no_verify).num_stages(), 3);
+}
+
+TEST(Pipeline, ProgressEventsArriveInStageOrder) {
+    const auto fns = from_sboxes(sbox::present_viable_set(2));
+    ObfuscationFlow engine;
+    FlowContext ctx(engine, fns, tiny_params(3));
+    std::vector<std::string> seen;
+    ctx.progress = [&](const StageEvent& e) {
+        EXPECT_EQ(e.total, 4);
+        EXPECT_EQ(e.index, static_cast<int>(seen.size()));
+        EXPECT_GE(e.seconds, 0.0);
+        seen.emplace_back(e.stage);
+    };
+    Pipeline::standard(ctx.params).run(ctx);
+    EXPECT_EQ(seen, (std::vector<std::string>{"pin-search", "synthesize",
+                                              "camo-cover", "validate"}));
+}
+
+TEST(Pipeline, CancellationStopsBetweenStages) {
+    const auto fns = from_sboxes(sbox::present_viable_set(2));
+    ObfuscationFlow engine;
+    FlowContext ctx(engine, fns, tiny_params(5));
+    ctx.progress = [&](const StageEvent& e) {
+        if (e.stage == "pin-search") ctx.cancel.cancel();
+    };
+    const PipelineStatus status = Pipeline::standard(ctx.params).run(ctx);
+    EXPECT_FALSE(status.completed);
+    EXPECT_EQ(status.stages_run, 1);
+    EXPECT_EQ(status.stopped_before, "synthesize");
+    // Phase II ran, the rest did not.
+    EXPECT_GT(ctx.result.ga.best_area, 0.0);
+    EXPECT_FALSE(ctx.result.synthesized.has_value());
+}
+
+TEST(Pipeline, ExpiredDeadlineStopsImmediately) {
+    const auto fns = from_sboxes(sbox::present_viable_set(2));
+    ObfuscationFlow engine;
+    FlowContext ctx(engine, fns, tiny_params(5));
+    ctx.set_timeout(0.0);
+    const PipelineStatus status = Pipeline::standard(ctx.params).run(ctx);
+    EXPECT_FALSE(status.completed);
+    EXPECT_EQ(status.stages_run, 0);
+    EXPECT_EQ(status.stopped_before, "pin-search");
+}
+
+TEST(Pipeline, SynthesizeStageStandaloneUsesIdentityAssignment) {
+    const auto fns = from_sboxes(sbox::present_viable_set(2));
+    ObfuscationFlow engine;
+    FlowContext ctx(engine, fns, tiny_params(7));
+    SynthesizeStage().run(ctx);
+    ASSERT_TRUE(ctx.result.synthesized.has_value());
+    EXPECT_GT(ctx.result.ga_area, 0.0);
+    EXPECT_EQ(ctx.result.ga.best,
+              ga::PinAssignment::identity(2, 4, 4));
+}
+
+// Regression for the old silent path: run_oracle_attack=true with
+// run_camo_mapping=false used to return a FlowResult whose oracle_attack
+// was quietly absent; the attack stage now fails fast with a diagnostic.
+TEST(Pipeline, AttackWithoutCamoMappingFailsFast) {
+    const auto fns = from_sboxes(sbox::present_viable_set(2));
+    FlowParams params = tiny_params(9);
+    params.run_camo_mapping = false;
+    params.run_oracle_attack = true;
+    ObfuscationFlow engine;
+    EXPECT_THROW(engine.run(fns, params), std::invalid_argument);
+}
+
+TEST(Pipeline, AttackStageRunsRequestedAdversarySubset) {
+    const auto fns = from_sboxes(sbox::present_viable_set(2));
+    FlowParams params = tiny_params(11);
+    params.adversaries = {"plausibility"};
+    ObfuscationFlow engine;
+    const FlowResult r = engine.run(fns, params);
+    ASSERT_EQ(r.attack_reports.size(), 1u);
+    EXPECT_EQ(r.attack_reports[0].adversary, "plausibility");
+    // The paper's defense: no viable function can be ruled out.
+    EXPECT_FALSE(r.attack_reports[0].success);
+    EXPECT_EQ(r.attack_reports[0].survivors, 2u);
+    // No CEGAR adversary ran, so the legacy field stays empty.
+    EXPECT_FALSE(r.oracle_attack.has_value());
+}
+
+TEST(Pipeline, LegacyOracleAttackFlagStillPopulatesTypedResult) {
+    const auto fns = from_sboxes(sbox::present_viable_set(2));
+    FlowParams params = tiny_params(13);
+    params.run_oracle_attack = true;
+    params.oracle.max_survivors = 32;
+    ObfuscationFlow engine;
+    const FlowResult r = engine.run(fns, params);
+    ASSERT_EQ(r.attack_reports.size(), 1u);
+    EXPECT_EQ(r.attack_reports[0].adversary, "cegar");
+    ASSERT_TRUE(r.oracle_attack.has_value());
+    EXPECT_EQ(r.attack_reports[0].queries, r.oracle_attack->queries);
+    EXPECT_EQ(r.attack_reports[0].survivors, r.oracle_attack->surviving_configs);
+}
+
+TEST(Pipeline, UnknownAdversaryNameIsDiagnosed) {
+    const auto fns = from_sboxes(sbox::present_viable_set(2));
+    FlowParams params = tiny_params(15);
+    params.adversaries = {"quantum"};
+    ObfuscationFlow engine;
+    try {
+        engine.run(fns, params);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("quantum"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("cegar"), std::string::npos);
+    }
+}
+
+// ------------------------------------------------------------ batch runner --
+
+std::vector<Scenario> eight_scenarios() {
+    // All PRESENT-family (4 data inputs): the merged-DES plausibility CNFs
+    // are big enough to push this determinism test into minutes.
+    std::vector<Scenario> scenarios;
+    for (int i = 0; i < 8; ++i) {
+        Scenario s;
+        s.n = (i % 2 == 0) ? 2 : 4;
+        s.name = "s" + std::to_string(i);
+        s.params = tiny_params(static_cast<std::uint64_t>(100 + i));
+        s.params.ga.population = 6;
+        s.params.ga.generations = 2;
+        if (i % 3 == 0) {
+            s.params.adversaries = {"plausibility"};
+        }
+        scenarios.push_back(std::move(s));
+    }
+    return scenarios;
+}
+
+// Timing fields are the only legitimately nondeterministic part.
+void strip_timing(std::vector<ScenarioRecord>* records) {
+    for (ScenarioRecord& r : *records) {
+        r.seconds = 0.0;
+        for (attack::AdversaryReport& a : r.attacks) a.seconds = 0.0;
+    }
+}
+
+TEST(BatchRunner, ParallelExecutionMatchesSerial) {
+    const std::vector<Scenario> scenarios = eight_scenarios();
+
+    BatchParams serial;
+    serial.jobs = 1;
+    std::vector<ScenarioRecord> serial_records =
+        BatchRunner(serial).run(scenarios);
+
+    BatchParams parallel;
+    parallel.jobs = 4;
+    std::vector<ScenarioRecord> parallel_records =
+        BatchRunner(parallel).run(scenarios);
+
+    ASSERT_EQ(serial_records.size(), parallel_records.size());
+    strip_timing(&serial_records);
+    strip_timing(&parallel_records);
+    for (std::size_t i = 0; i < serial_records.size(); ++i) {
+        const ScenarioRecord& a = serial_records[i];
+        const ScenarioRecord& b = parallel_records[i];
+        EXPECT_EQ(a.index, b.index);
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.ok, b.ok) << a.name << ": " << a.error << " / " << b.error;
+        EXPECT_EQ(a.random_avg, b.random_avg) << a.name;
+        EXPECT_EQ(a.random_best, b.random_best) << a.name;
+        EXPECT_EQ(a.ga_area, b.ga_area) << a.name;
+        EXPECT_EQ(a.ga_tm_area, b.ga_tm_area) << a.name;
+        EXPECT_EQ(a.verified, b.verified) << a.name;
+        EXPECT_EQ(a.camo_cells, b.camo_cells) << a.name;
+        EXPECT_EQ(a.config_space_bits, b.config_space_bits) << a.name;
+        ASSERT_EQ(a.attacks.size(), b.attacks.size()) << a.name;
+        for (std::size_t k = 0; k < a.attacks.size(); ++k) {
+            EXPECT_TRUE(a.attacks[k] == b.attacks[k]) << a.name;
+        }
+    }
+}
+
+TEST(BatchRunner, ScenarioFailureIsCapturedNotThrown) {
+    Scenario bad;
+    bad.name = "contradiction";
+    bad.params = tiny_params(1);
+    bad.params.run_camo_mapping = false;
+    bad.params.adversaries = {"cegar"};
+    Scenario good;
+    good.name = "fine";
+    good.params = tiny_params(2);
+
+    const std::vector<ScenarioRecord> records =
+        BatchRunner().run({bad, good});
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_FALSE(records[0].ok);
+    EXPECT_NE(records[0].error.find("camouflaged"), std::string::npos);
+    EXPECT_TRUE(records[1].ok) << records[1].error;
+}
+
+TEST(BatchRunner, SpecParsingRoundTrip) {
+    const std::string spec =
+        "# comment only\n"
+        "\n"
+        "name=a funcs=present:4 seed=7 population=10 generations=5 "
+        "attack=cegar,plausibility max_survivors=99\n"
+        "funcs=des:2 camo=0 baseline=false verify=1\n";
+    const std::vector<Scenario> scenarios = parse_scenario_spec(spec);
+    ASSERT_EQ(scenarios.size(), 2u);
+    EXPECT_EQ(scenarios[0].name, "a");
+    EXPECT_EQ(scenarios[0].family, "present");
+    EXPECT_EQ(scenarios[0].n, 4);
+    EXPECT_EQ(scenarios[0].params.seed, 7u);
+    EXPECT_EQ(scenarios[0].params.ga.population, 10);
+    EXPECT_EQ(scenarios[0].params.ga.generations, 5);
+    EXPECT_EQ(scenarios[0].params.adversaries,
+              (std::vector<std::string>{"cegar", "plausibility"}));
+    EXPECT_EQ(scenarios[0].params.oracle.max_survivors, 99u);
+    EXPECT_EQ(scenarios[1].name, "des2-s1");  // derived default name
+    EXPECT_FALSE(scenarios[1].params.run_camo_mapping);
+    EXPECT_FALSE(scenarios[1].params.run_random_baseline);
+
+    EXPECT_THROW(parse_scenario_spec("bogus\n"), std::invalid_argument);
+    EXPECT_THROW(parse_scenario_spec("funcs=present\n"), std::invalid_argument);
+    EXPECT_THROW(parse_scenario_spec("color=red\n"), std::invalid_argument);
+    EXPECT_THROW(parse_scenario_spec("camo=maybe\n"), std::invalid_argument);
+}
+
+TEST(BatchRunner, UnknownFamilyFailsTheScenarioOnly) {
+    Scenario s;
+    s.name = "martian";
+    s.family = "martian";
+    const std::vector<ScenarioRecord> records = BatchRunner().run({s});
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_FALSE(records[0].ok);
+    EXPECT_NE(records[0].error.find("martian"), std::string::npos);
+}
+
+// ------------------------------------------------- adversary JSON reports --
+
+TEST(Adversary, EveryRegisteredAdversaryReportRoundTripsThroughJson) {
+    // Run a tiny flow through EVERY registered adversary, then serialize
+    // each report to JSON text and parse it back: the result must compare
+    // equal field-for-field.
+    const std::vector<std::string> names =
+        attack::AdversaryRegistry::instance().names();
+    ASSERT_GE(names.size(), 2u);
+
+    const auto fns = from_sboxes(sbox::present_viable_set(2));
+    FlowParams params = tiny_params(17);
+    params.adversaries = names;
+    params.oracle.max_survivors = 32;
+    ObfuscationFlow engine;
+    const FlowResult r = engine.run(fns, params);
+    ASSERT_EQ(r.attack_reports.size(), names.size());
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const attack::AdversaryReport& report = r.attack_reports[i];
+        EXPECT_EQ(report.adversary, names[i]);
+        const std::string text = report.to_json().dump(2);
+        const attack::AdversaryReport parsed =
+            attack::AdversaryReport::from_json(report::Json::parse(text));
+        EXPECT_TRUE(parsed == report) << names[i] << "\n" << text;
+    }
+}
+
+TEST(Adversary, RegistryRejectsUnknownAndListsKnown) {
+    attack::AdversaryRegistry& registry = attack::AdversaryRegistry::instance();
+    EXPECT_TRUE(registry.contains("cegar"));
+    EXPECT_TRUE(registry.contains("plausibility"));
+    EXPECT_FALSE(registry.contains("nope"));
+    EXPECT_THROW(registry.create("nope", {}), std::invalid_argument);
+}
+
+TEST(Adversary, CegarRequiresOracle) {
+    attack::CegarAdversary adversary;
+    const auto fns = from_sboxes(sbox::present_viable_set(2));
+    ObfuscationFlow engine;
+    FlowParams params = tiny_params(19);
+    const FlowResult r = engine.run(fns, params);
+    ASSERT_TRUE(r.camouflaged.has_value());
+    EXPECT_THROW(adversary.attack(*r.camouflaged, nullptr),
+                 std::invalid_argument);
+}
+
+// ------------------------------------------------------------ report JSON --
+
+TEST(Json, ScalarsAndContainersRoundTrip) {
+    report::Json doc = report::Json::object();
+    doc.set("bool", true);
+    doc.set("int", 42);
+    doc.set("neg", -7);
+    doc.set("big", std::uint64_t{1} << 52);
+    doc.set("real", 3.25);
+    doc.set("tiny", 1.0e-8);
+    doc.set("text", std::string("quote \" backslash \\ newline \n tab \t"));
+    doc.set("null", report::Json());
+    report::Json arr = report::Json::array();
+    arr.push_back(1);
+    arr.push_back("two");
+    arr.push_back(report::Json::object());
+    doc.set("arr", std::move(arr));
+
+    for (const int indent : {-1, 0, 2}) {
+        const report::Json parsed = report::Json::parse(doc.dump(indent));
+        EXPECT_EQ(parsed, doc) << "indent=" << indent;
+    }
+    EXPECT_EQ(report::Json::parse(doc.dump()).at("big").as_uint(),
+              std::uint64_t{1} << 52);
+}
+
+TEST(Json, MalformedInputsThrow) {
+    EXPECT_THROW(report::Json::parse(""), report::JsonError);
+    EXPECT_THROW(report::Json::parse("{"), report::JsonError);
+    EXPECT_THROW(report::Json::parse("[1,]"), report::JsonError);
+    EXPECT_THROW(report::Json::parse("{\"a\":1} trailing"), report::JsonError);
+    EXPECT_THROW(report::Json::parse("{'a':1}"), report::JsonError);
+    EXPECT_THROW(report::Json::parse("nul"), report::JsonError);
+    EXPECT_THROW(report::Json::parse("\"unterminated"), report::JsonError);
+    EXPECT_THROW(report::Json::parse("12e"), report::JsonError);
+}
+
+TEST(Json, AccessorsDiagnoseTypeMismatches) {
+    const report::Json doc = report::Json::parse("{\"a\": [1, 2]}");
+    EXPECT_THROW(doc.at("missing"), report::JsonError);
+    EXPECT_THROW(doc.at("a").as_string(), report::JsonError);
+    EXPECT_EQ(doc.at("a").size(), 2u);
+    EXPECT_EQ(doc.at("a").at(1).as_int(), 2);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, BatchReportValidatesLikeCheckReport) {
+    Scenario s;
+    s.name = "one";
+    s.params = tiny_params(23);
+    s.params.adversaries = {"plausibility"};
+    const std::vector<ScenarioRecord> records = BatchRunner().run({s});
+    const report::Json doc =
+        report::Json::parse(batch_report(records, 1.5).dump(2));
+    EXPECT_EQ(doc.at("scenario_count").as_int(), 1);
+    EXPECT_EQ(doc.at("failures").as_int(), 0);
+    const report::Json& rec = doc.at("scenarios").at(0);
+    EXPECT_EQ(rec.at("name").as_string(), "one");
+    EXPECT_TRUE(rec.at("ok").as_bool());
+    ASSERT_EQ(rec.at("attacks").size(), 1u);
+    const attack::AdversaryReport report =
+        attack::AdversaryReport::from_json(rec.at("attacks").at(0));
+    EXPECT_EQ(report.adversary, "plausibility");
+}
+
+}  // namespace
+}  // namespace mvf::flow

@@ -1,0 +1,364 @@
+// mvf -- experiment driver for the multiple-viable-function flow.
+//
+// New workloads need zero C++: scenarios are described by flags or a plain
+// text spec file and executed through the same flow::Pipeline /
+// flow::BatchRunner API the library exposes.
+//
+//   mvf run    [scenario flags]           one scenario, human-readable summary
+//   mvf attack [scenario flags]           run + red-team with --adversaries
+//   mvf batch  --spec FILE --jobs N       N-way parallel scenario batch
+//   mvf adversaries                       list the registered adversaries
+//   mvf check-report FILE                 validate a batch JSON report
+//
+// Scenario flags (run/attack): --funcs FAMILY:N --seed S --population P
+// --generations G --quick --no-baseline --no-camo --no-verify
+// --adversaries a,b --json FILE
+//
+// Exit codes: 0 success; 1 scenario/validation failure; 2 usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/adversary.hpp"
+#include "flow/batch_runner.hpp"
+#include "report/json.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace mvf;
+
+int usage() {
+    std::fprintf(
+        stderr,
+        "usage: mvf <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  run          run one scenario end to end\n"
+        "  attack       run one scenario and red-team it (default: every\n"
+        "               registered adversary)\n"
+        "  batch        run a scenario spec file, optionally in parallel\n"
+        "  adversaries  list the registered adversaries\n"
+        "  check-report validate a batch JSON report\n"
+        "\n"
+        "scenario options (run/attack):\n"
+        "  --funcs FAMILY:N   viable set: present:2..16 or des:1..8 (default present:2)\n"
+        "  --seed S           RNG seed (default 1)\n"
+        "  --population P     GA population (default 48)\n"
+        "  --generations G    GA generations (default 60)\n"
+        "  --quick            small budgets (population 8, generations 4)\n"
+        "  --no-baseline      skip the equal-budget random baseline\n"
+        "  --no-camo          skip camouflage covering (Phase III)\n"
+        "  --no-verify        skip configuration replay validation\n"
+        "  --adversaries A,B  adversaries for the attack stage\n"
+        "  --max-survivors N  cap the CEGAR survivor count (--quick: 256)\n"
+        "  --no-enumerate     skip survivor counting entirely\n"
+        "  --json FILE        also write the JSON record(s) to FILE\n"
+        "\n"
+        "batch options:\n"
+        "  --spec FILE        scenario spec (required); see README for the format\n"
+        "  --jobs N           worker threads (default 1)\n"
+        "  --json FILE        write the batch report to FILE\n"
+        "  --verbose          per-scenario progress on stderr\n");
+    return 2;
+}
+
+bool next_value(int argc, char** argv, int* i, std::string* out) {
+    if (*i + 1 >= argc) {
+        std::fprintf(stderr, "mvf: %s needs a value\n", argv[*i]);
+        return false;
+    }
+    *out = argv[++*i];
+    return true;
+}
+
+/// Parses the shared scenario flags into `scenario`; `json_path` receives
+/// --json.  Returns false (after printing) on a bad flag.
+bool parse_scenario_flags(int argc, char** argv, int start,
+                          flow::Scenario* scenario, std::string* json_path,
+                          int* jobs, std::string* spec_path, bool* verbose) {
+    // --quick provides defaults, applied after the loop so an explicit
+    // --population/--generations/--max-survivors wins regardless of the
+    // order the flags appear in.
+    bool quick = false;
+    bool population_set = false;
+    bool generations_set = false;
+    bool survivors_set = false;
+    for (int i = start; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--funcs") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            const std::size_t colon = value.find(':');
+            if (colon == std::string::npos) {
+                std::fprintf(stderr, "mvf: --funcs expects FAMILY:N\n");
+                return false;
+            }
+            scenario->family = value.substr(0, colon);
+            try {
+                scenario->n = std::stoi(value.substr(colon + 1));
+            } catch (const std::exception&) {
+                std::fprintf(stderr, "mvf: bad --funcs width in \"%s\"\n",
+                             value.c_str());
+                return false;
+            }
+        } else if (arg == "--seed") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            scenario->params.seed = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (arg == "--population") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            scenario->params.ga.population = std::stoi(value);
+            population_set = true;
+        } else if (arg == "--generations") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            scenario->params.ga.generations = std::stoi(value);
+            generations_set = true;
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--max-survivors") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            scenario->params.oracle.max_survivors =
+                std::strtoull(value.c_str(), nullptr, 10);
+            survivors_set = true;
+        } else if (arg == "--no-enumerate") {
+            scenario->params.oracle.enumerate_survivors = false;
+        } else if (arg == "--no-baseline") {
+            scenario->params.run_random_baseline = false;
+        } else if (arg == "--no-camo") {
+            scenario->params.run_camo_mapping = false;
+        } else if (arg == "--no-verify") {
+            scenario->params.verify = false;
+        } else if (arg == "--adversaries") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            scenario->params.adversaries.clear();
+            std::istringstream in(value);
+            std::string item;
+            while (std::getline(in, item, ',')) {
+                if (!item.empty()) scenario->params.adversaries.push_back(item);
+            }
+        } else if (arg == "--json" && json_path) {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            *json_path = value;
+        } else if (arg == "--jobs" && jobs) {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            *jobs = std::stoi(value);
+        } else if (arg == "--spec" && spec_path) {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            *spec_path = value;
+        } else if (arg == "--verbose" && verbose) {
+            *verbose = true;
+        } else {
+            std::fprintf(stderr, "mvf: unknown option %s\n", arg.c_str());
+            return false;
+        }
+    }
+    if (quick) {
+        if (!population_set) scenario->params.ga.population = 8;
+        if (!generations_set) scenario->params.ga.generations = 4;
+        // Counting a million survivors dominates quick runs on big
+        // configuration spaces; a small cap still shows the shape.
+        if (!survivors_set) scenario->params.oracle.max_survivors = 256;
+    }
+    return true;
+}
+
+void print_record(const flow::ScenarioRecord& r) {
+    std::printf("scenario %s (funcs=%s:%d seed=%llu)\n", r.name.c_str(),
+                r.family.c_str(), r.n,
+                static_cast<unsigned long long>(r.seed));
+    if (!r.ok) {
+        std::printf("  FAILED: %s\n", r.error.c_str());
+        return;
+    }
+    if (r.random_best > 0.0) {
+        std::printf("  random      %8.1f GE avg, %8.1f GE best\n", r.random_avg,
+                    r.random_best);
+    }
+    std::printf("  GA          %8.1f GE\n", r.ga_area);
+    if (r.ga_tm_area > 0.0) {
+        std::printf("  GA+TM       %8.1f GE  (%.0f%% vs best random)\n",
+                    r.ga_tm_area, r.improvement_percent);
+        std::printf("  camouflage  %d cells, configuration space 2^%.0f, %s\n",
+                    r.camo_cells, r.config_space_bits,
+                    r.verified ? "all configurations verified"
+                               : "NOT verified");
+    }
+    for (const attack::AdversaryReport& a : r.attacks) {
+        std::printf("  adversary %-13s %-7s %s: %d queries, %llu survivors, %.2fs\n",
+                    a.adversary.c_str(), a.success ? "SUCCESS" : "failed",
+                    a.outcome.c_str(), a.queries,
+                    static_cast<unsigned long long>(a.survivors), a.seconds);
+    }
+    std::printf("  %.1fs\n", r.seconds);
+}
+
+int write_report(const std::string& path,
+                 const std::vector<flow::ScenarioRecord>& records,
+                 double total_seconds) {
+    const report::JsonWriter writer(path);
+    if (!writer.write(flow::batch_report(records, total_seconds))) {
+        std::fprintf(stderr, "mvf: cannot write %s\n", path.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+int run_scenarios(const std::vector<flow::Scenario>& scenarios, int jobs,
+                  bool verbose, const std::string& json_path) {
+    util::Stopwatch sw;
+    flow::BatchParams batch;
+    batch.jobs = jobs;
+    batch.verbose = verbose;
+    const std::vector<flow::ScenarioRecord> records =
+        flow::BatchRunner(batch).run(scenarios);
+    const double total = sw.elapsed_seconds();
+
+    int failures = 0;
+    for (const flow::ScenarioRecord& r : records) {
+        print_record(r);
+        if (!r.ok) ++failures;
+    }
+    std::printf("%d scenario%s, %d failure%s, %.1fs (jobs=%d)\n",
+                static_cast<int>(records.size()),
+                records.size() == 1 ? "" : "s", failures,
+                failures == 1 ? "" : "s", total, jobs);
+    if (!json_path.empty()) {
+        const int rc = write_report(json_path, records, total);
+        if (rc != 0) return rc;
+        std::printf("report written to %s\n", json_path.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int cmd_run(int argc, char** argv, bool force_attack) {
+    flow::Scenario scenario;
+    std::string json_path;
+    if (!parse_scenario_flags(argc, argv, 2, &scenario, &json_path, nullptr,
+                              nullptr, nullptr)) {
+        return 2;
+    }
+    if (force_attack && scenario.params.adversaries.empty()) {
+        scenario.params.adversaries =
+            attack::AdversaryRegistry::instance().names();
+    }
+    if (scenario.name.empty()) {
+        scenario.name = scenario.family + std::to_string(scenario.n) + "-s" +
+                        std::to_string(scenario.params.seed);
+    }
+    return run_scenarios({scenario}, /*jobs=*/1, /*verbose=*/false, json_path);
+}
+
+int cmd_batch(int argc, char** argv) {
+    flow::Scenario ignored;
+    std::string json_path;
+    std::string spec_path;
+    int jobs = 1;
+    bool verbose = false;
+    if (!parse_scenario_flags(argc, argv, 2, &ignored, &json_path, &jobs,
+                              &spec_path, &verbose)) {
+        return 2;
+    }
+    if (spec_path.empty()) {
+        std::fprintf(stderr, "mvf batch: --spec FILE is required\n");
+        return 2;
+    }
+    std::vector<flow::Scenario> scenarios;
+    try {
+        scenarios = flow::load_scenario_spec(spec_path);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "mvf batch: %s\n", e.what());
+        return 2;
+    }
+    if (scenarios.empty()) {
+        std::fprintf(stderr, "mvf batch: %s contains no scenarios\n",
+                     spec_path.c_str());
+        return 2;
+    }
+    return run_scenarios(scenarios, jobs, verbose, json_path);
+}
+
+int cmd_adversaries() {
+    attack::AdversaryRegistry& registry = attack::AdversaryRegistry::instance();
+    const attack::AdversaryOptions probe;  // factories only need options at attack time
+    for (const std::string& name : registry.names()) {
+        const auto adversary = registry.create(name, probe);
+        std::printf("%-14s knowledge: %s\n", name.c_str(),
+                    std::string(knowledge_name(adversary->knowledge())).c_str());
+    }
+    return 0;
+}
+
+int cmd_check_report(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: mvf check-report FILE\n");
+        return 2;
+    }
+    const std::string path = argv[2];
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "mvf check-report: cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        const report::Json doc = report::Json::parse(text.str());
+        const std::size_t declared = doc.at("scenario_count").as_uint();
+        const report::Json& scenarios = doc.at("scenarios");
+        if (scenarios.size() != declared) {
+            std::fprintf(stderr,
+                         "mvf check-report: scenario_count %zu != %zu records\n",
+                         declared, scenarios.size());
+            return 1;
+        }
+        int failures = 0;
+        for (const report::Json& s : scenarios.items()) {
+            // Field presence/type checks; throws JsonError when malformed.
+            s.at("name").as_string();
+            s.at("seconds").as_number();
+            if (!s.at("ok").as_bool()) ++failures;
+            for (const report::Json& a : s.at("attacks").items()) {
+                attack::AdversaryReport::from_json(a);  // full round-trip check
+            }
+        }
+        if (failures != doc.at("failures").as_int()) {
+            std::fprintf(stderr,
+                         "mvf check-report: failure count mismatch\n");
+            return 1;
+        }
+        if (failures > 0) {
+            std::fprintf(stderr, "mvf check-report: %d scenario(s) failed\n",
+                         failures);
+            return 1;
+        }
+        std::printf("%s: %zu scenario record(s), all ok\n", path.c_str(),
+                    scenarios.size());
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "mvf check-report: malformed report: %s\n",
+                     e.what());
+        return 1;
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    if (command == "run") return cmd_run(argc, argv, /*force_attack=*/false);
+    if (command == "attack") return cmd_run(argc, argv, /*force_attack=*/true);
+    if (command == "batch") return cmd_batch(argc, argv);
+    if (command == "adversaries") return cmd_adversaries();
+    if (command == "check-report") return cmd_check_report(argc, argv);
+    if (command == "--help" || command == "-h" || command == "help") {
+        usage();
+        return 0;
+    }
+    std::fprintf(stderr, "mvf: unknown command \"%s\"\n", command.c_str());
+    return usage();
+}
