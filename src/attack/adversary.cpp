@@ -17,6 +17,10 @@ void accumulate(sat::Solver::Stats* into, const sat::Solver::Stats& from) {
     into->learned += from.learned;
     into->reduces += from.reduces;
     into->learned_removed += from.learned_removed;
+    into->preprocess_runs += from.preprocess_runs;
+    into->eliminated_vars += from.eliminated_vars;
+    into->subsumed_clauses += from.subsumed_clauses;
+    into->strengthened_lits += from.strengthened_lits;
 }
 
 const char* status_name(OracleAttackResult::Status s) {
@@ -56,6 +60,10 @@ report::Json AdversaryReport::to_json() const {
     s.set("learned", sat.learned);
     s.set("reduces", sat.reduces);
     s.set("learned_removed", sat.learned_removed);
+    s.set("preprocess_runs", sat.preprocess_runs);
+    s.set("eliminated_vars", sat.eliminated_vars);
+    s.set("subsumed_clauses", sat.subsumed_clauses);
+    s.set("strengthened_lits", sat.strengthened_lits);
     j.set("sat", std::move(s));
     return j;
 }
@@ -76,6 +84,20 @@ AdversaryReport AdversaryReport::from_json(const report::Json& j) {
     r.sat.learned = s.at("learned").as_uint();
     r.sat.reduces = s.at("reduces").as_uint();
     r.sat.learned_removed = s.at("learned_removed").as_uint();
+    // Preprocessing counters postdate the first report format; tolerate
+    // their absence so archived reports keep parsing.
+    if (const report::Json* f = s.find("preprocess_runs")) {
+        r.sat.preprocess_runs = f->as_uint();
+    }
+    if (const report::Json* f = s.find("eliminated_vars")) {
+        r.sat.eliminated_vars = f->as_uint();
+    }
+    if (const report::Json* f = s.find("subsumed_clauses")) {
+        r.sat.subsumed_clauses = f->as_uint();
+    }
+    if (const report::Json* f = s.find("strengthened_lits")) {
+        r.sat.strengthened_lits = f->as_uint();
+    }
     return r;
 }
 
@@ -87,7 +109,11 @@ bool AdversaryReport::operator==(const AdversaryReport& o) const {
            sat.propagations == o.sat.propagations &&
            sat.restarts == o.sat.restarts && sat.learned == o.sat.learned &&
            sat.reduces == o.sat.reduces &&
-           sat.learned_removed == o.sat.learned_removed;
+           sat.learned_removed == o.sat.learned_removed &&
+           sat.preprocess_runs == o.sat.preprocess_runs &&
+           sat.eliminated_vars == o.sat.eliminated_vars &&
+           sat.subsumed_clauses == o.sat.subsumed_clauses &&
+           sat.strengthened_lits == o.sat.strengthened_lits;
 }
 
 AdversaryReport PlausibilityAdversary::attack(const camo::CamoNetlist& netlist,

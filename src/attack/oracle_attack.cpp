@@ -16,13 +16,48 @@ std::vector<bool> SimOracle::query(const std::vector<bool>& inputs) {
 
 namespace {
 
+void pin_outputs(sat::Solver* solver, const sat::CnfBuilder::Copy& copy,
+                 const std::vector<bool>& outputs) {
+    for (std::size_t q = 0; q < copy.po.size(); ++q) {
+        solver->add_unit(outputs[q] ? copy.po[q] : sat::lit_not(copy.po[q]));
+    }
+}
+
 // Stamps a constant-input copy and pins its outputs to the oracle's answer.
 void add_io_constraint(sat::Solver* solver, sat::CnfBuilder* builder,
                        const std::vector<bool>& inputs,
-                       const std::vector<bool>& outputs) {
-    const sat::CnfBuilder::Copy copy = builder->add_copy(inputs);
-    for (std::size_t q = 0; q < copy.po.size(); ++q) {
-        solver->add_unit(outputs[q] ? copy.po[q] : sat::lit_not(copy.po[q]));
+                       const std::vector<bool>& outputs, bool fold) {
+    pin_outputs(solver, builder->add_copy(inputs, fold), outputs);
+}
+
+/// Replaces the model's distinguishing input with the lexicographically
+/// smallest one admitted by the current constraints (PI 0 is the most
+/// significant position).  Walks the bits in order, keeping the latest
+/// model as a witness: a witness 0 needs no solver call, a witness 1 costs
+/// one incremental solve to test whether 0 is feasible under the fixed
+/// prefix.  `assumptions` carries any standing activation literals and is
+/// extended in place with the prefix.
+void canonicalize_pattern(sat::Solver* solver,
+                          const std::vector<sat::Lit>& shared_x,
+                          std::vector<sat::Lit>* assumptions,
+                          std::vector<bool>* pattern) {
+    const int m = static_cast<int>(shared_x.size());
+    for (int i = 0; i < m; ++i) {
+        const sat::Lit xi = shared_x[static_cast<std::size_t>(i)];
+        if (!(*pattern)[static_cast<std::size_t>(i)]) {
+            assumptions->push_back(sat::lit_not(xi));
+            continue;
+        }
+        assumptions->push_back(sat::lit_not(xi));
+        if (solver->solve(*assumptions) == sat::Solver::Result::kSat) {
+            (*pattern)[static_cast<std::size_t>(i)] = false;
+            for (int j = i + 1; j < m; ++j) {
+                (*pattern)[static_cast<std::size_t>(j)] = solver->model_value(
+                    sat::lit_var(shared_x[static_cast<std::size_t>(j)]));
+            }
+        } else {
+            assumptions->back() = xi;  // 0 infeasible under this prefix
+        }
     }
 }
 
@@ -45,13 +80,23 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
     std::vector<sat::Lit> shared_x;
     shared_x.reserve(static_cast<std::size_t>(m));
     for (int i = 0; i < m; ++i) shared_x.push_back(sat::mk_lit(solver.new_var()));
-    const sat::CnfBuilder::Copy miter_a = family_a.add_copy(shared_x);
-    const sat::CnfBuilder::Copy miter_b = family_b.add_copy(shared_x);
+    sat::CnfBuilder::Copy miter_a, miter_b;
+    if (params.shared_miter) {
+        sat::CnfBuilder::SharedCopy sc =
+            sat::CnfBuilder::add_shared_copies(family_a, family_b, shared_x);
+        result.shared_cells += static_cast<std::uint64_t>(sc.shared_cells);
+        miter_a = std::move(sc.a);
+        miter_b = std::move(sc.b);
+    } else {
+        miter_a = family_a.add_copy(shared_x);
+        miter_b = family_b.add_copy(shared_x);
+    }
 
     // diff_q -> (a_q != b_q); at least one diff_q holds.  One direction of
     // the XOR suffices: any model must exhibit a real output difference.
     std::vector<sat::Lit> any_diff;
     any_diff.reserve(static_cast<std::size_t>(r));
+    std::vector<sat::Lit> assumptions;
     for (int q = 0; q < r; ++q) {
         const sat::Lit d = sat::mk_lit(solver.new_var());
         const sat::Lit a = miter_a.po[static_cast<std::size_t>(q)];
@@ -62,28 +107,75 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
     }
     solver.add_clause(any_diff);
 
+    // Preprocess the miter core once (BVE + subsumption + strengthening),
+    // then run the light sweep whenever the database has outgrown the last
+    // simplified size: the per-pattern copies below get pinned down by
+    // level-0 propagation, and physically removing the satisfied clauses
+    // keeps watch lists short without disturbing the learned database.
+    const auto make_preprocessor = [&]() {
+        sat::Preprocessor pre(&solver, params.solver);
+        const std::vector<sat::Var> fa = family_a.frozen_vars();
+        const std::vector<sat::Var> fb = family_b.frozen_vars();
+        pre.freeze_all(fa);
+        pre.freeze_all(fb);
+        pre.freeze_lits(shared_x);
+        return pre;
+    };
+    std::size_t preprocessed_size = 0;
+    if (params.solver.preprocess) {
+        make_preprocessor().run();
+        preprocessed_size = solver.num_clauses();
+    }
+
     // CEGAR refinement: each distinguishing input and the oracle's answer
     // constrain BOTH families, shrinking the still-viable set on each side.
     std::vector<bool> pattern(static_cast<std::size_t>(m));
     std::vector<std::vector<bool>> answers;
-    while (solver.solve() == sat::Solver::Result::kSat) {
+    while (true) {
+        assumptions.clear();
+        if (solver.solve() != sat::Solver::Result::kSat) break;
         if (params.max_iterations > 0 &&
             result.queries >= params.max_iterations) {
             result.status = OracleAttackResult::Status::kIterationLimit;
             break;
         }
-        for (int i = 0; i < m; ++i) {
-            pattern[static_cast<std::size_t>(i)] =
-                solver.model_value(sat::lit_var(shared_x[static_cast<std::size_t>(i)]));
+        if (params.forced_queries &&
+            static_cast<std::size_t>(result.queries) < params.forced_queries->size()) {
+            pattern = (*params.forced_queries)[static_cast<std::size_t>(result.queries)];
+            assert(static_cast<int>(pattern.size()) == m);
+        } else {
+            for (int i = 0; i < m; ++i) {
+                pattern[static_cast<std::size_t>(i)] = solver.model_value(
+                    sat::lit_var(shared_x[static_cast<std::size_t>(i)]));
+            }
+            if (params.canonical_inputs) {
+                canonicalize_pattern(&solver, shared_x, &assumptions, &pattern);
+            }
         }
         std::vector<bool> answer = oracle.query(pattern);
         assert(static_cast<int>(answer.size()) == r);
         ++result.queries;
-        add_io_constraint(&solver, &family_a, pattern, answer);
-        add_io_constraint(&solver, &family_b, pattern, answer);
+        if (params.shared_miter) {
+            sat::CnfBuilder::SharedCopy sc =
+                sat::CnfBuilder::add_shared_copies(family_a, family_b, pattern);
+            result.shared_cells += static_cast<std::uint64_t>(sc.shared_cells);
+            pin_outputs(&solver, sc.a, answer);
+            pin_outputs(&solver, sc.b, answer);
+        } else {
+            add_io_constraint(&solver, &family_a, pattern, answer, false);
+            add_io_constraint(&solver, &family_b, pattern, answer, false);
+        }
         result.distinguishing_inputs.push_back(pattern);
         answers.push_back(std::move(answer));
+        if (params.solver.preprocess && params.solver.inprocess_growth > 1.0 &&
+            static_cast<double>(solver.num_clauses()) >
+                params.solver.inprocess_growth *
+                    static_cast<double>(preprocessed_size)) {
+            make_preprocessor().run_light();
+            preprocessed_size = solver.num_clauses();
+        }
     }
+
     result.sat_stats = solver.stats();
 
     // UNSAT: every configuration consistent with the collected I/O pairs is
@@ -92,7 +184,9 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
     // enumeration over a single fresh selector family, projected onto the
     // cells with a structural path to a PO: a cell outside every output
     // cone cannot influence any output, so its choices multiply the count
-    // exactly instead of being enumerated one by one.
+    // exactly instead of being enumerated one by one.  With shared_miter
+    // the copies fold their selector-independent constant cones; with
+    // preprocessing the instance is simplified before the model loop.
     if (result.status != OracleAttackResult::Status::kIterationLimit &&
         params.enumerate_survivors) {
         std::vector<bool> in_po_cone(static_cast<std::size_t>(netlist.num_nodes()),
@@ -111,7 +205,13 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
         sat::CnfBuilder family(netlist, &counter, params.fixed_nominal);
         for (std::size_t i = 0; i < answers.size(); ++i) {
             add_io_constraint(&counter, &family, result.distinguishing_inputs[i],
-                              answers[i]);
+                              answers[i], params.shared_miter);
+        }
+        if (params.solver.preprocess) {
+            sat::Preprocessor pre(&counter, params.solver);
+            const std::vector<sat::Var> fv = family.frozen_vars();
+            pre.freeze_all(fv);
+            pre.run();
         }
         unsigned __int128 dead_freedom = 1;
         for (int id = 0; id < netlist.num_nodes(); ++id) {

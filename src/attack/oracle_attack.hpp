@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "camo/camo_netlist.hpp"
+#include "sat/simplify.hpp"
 #include "sat/solver.hpp"
 
 namespace mvf::attack {
@@ -58,6 +59,35 @@ struct OracleAttackParams {
     bool enumerate_survivors = true;
     /// Nodes the attacker knows are ordinary cells (as in is_plausible).
     const std::vector<bool>* fixed_nominal = nullptr;
+    /// SAT-layer knobs: CNF preprocessing before the CEGAR loop, periodic
+    /// inprocessing as the per-pattern circuit copies accumulate, and
+    /// preprocessing of the enumeration instance.
+    sat::SolverConfig solver;
+    /// Structure-shared encoding: selector-independent cone cells
+    /// (fixed_nominal cells, plus anything else whose selector collapsed
+    /// to one choice) are encoded once per miter/pattern stamp instead of
+    /// once per family, and constant cones fold away without allocating
+    /// variables.  Off reproduces the legacy two-copy encoding exactly.
+    bool shared_miter = true;
+    /// Canonicalize each distinguishing input to the lexicographically
+    /// smallest one (by PI index) before querying the oracle.  This makes
+    /// the query sequence -- and with it every attack outcome -- a function
+    /// of the problem instead of the CNF encoding and solver trajectory,
+    /// so runs are bit-identical across preprocessing/sharing settings.
+    /// Each canonicalized bit can cost an incremental UNSAT proof, which
+    /// is affordable for small input widths (the exhaustive differential
+    /// tests run it up to 6 PIs) but multiplies runtime at 16+; hence off
+    /// by default.
+    bool canonical_inputs = false;
+    /// Replay transcript: while set, iteration k queries the oracle on
+    /// (*forced_queries)[k] instead of the solver model (the per-iteration
+    /// solve still runs, so the CEGAR work is identical -- only the
+    /// pattern choice is pinned).  Any prefix of a valid run's
+    /// distinguishing_inputs is itself a valid distinguishing sequence, so
+    /// replaying one against the same oracle converges to bit-identical
+    /// outcomes; bench_oracle_attack uses this to time different
+    /// SolverConfigs on identical attack transcripts.
+    const std::vector<std::vector<bool>>* forced_queries = nullptr;
 };
 
 struct OracleAttackResult {
@@ -84,6 +114,9 @@ struct OracleAttackResult {
     std::vector<std::vector<bool>> distinguishing_inputs;
 
     sat::Solver::Stats sat_stats;  ///< CEGAR solver (miter + I/O constraints)
+    /// Cells encoded once instead of per-family across all shared stamps
+    /// (0 when shared_miter is off or nothing was shareable).
+    std::uint64_t shared_cells = 0;
     double seconds = 0.0;
 
     bool solved() const { return status == Status::kSolved; }

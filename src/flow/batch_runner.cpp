@@ -179,12 +179,21 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
             } else if (key == "enum_survivors") {
                 s.params.oracle.enumerate_survivors =
                     parse_flag(value, line_no, key);
+            } else if (key == "preprocess") {
+                s.params.oracle.solver.preprocess =
+                    parse_flag(value, line_no, key);
+            } else if (key == "shared_miter") {
+                s.params.oracle.shared_miter = parse_flag(value, line_no, key);
+            } else if (key == "canonical_inputs") {
+                s.params.oracle.canonical_inputs =
+                    parse_flag(value, line_no, key);
             } else {
                 spec_error(line_no,
                            "unknown key \"" + key +
                                "\" (name funcs seed population generations "
                                "attack baseline camo verify final_best "
-                               "max_survivors enum_survivors)");
+                               "max_survivors enum_survivors preprocess "
+                               "shared_miter canonical_inputs)");
             }
         }
         if (!any) continue;  // blank/comment line

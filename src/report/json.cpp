@@ -57,6 +57,12 @@ class Parser {
 public:
     explicit Parser(const std::string& text) : text_(text) {}
 
+    /// Containers deeper than this are rejected instead of letting the
+    /// recursive-descent parser run the thread out of stack on adversarial
+    /// input (e.g. a megabyte of '[').  Far above anything our reports or
+    /// any sane hand-written document nest to.
+    static constexpr int kMaxDepth = 200;
+
     Json parse_document() {
         Json value = parse_value();
         skip_ws();
@@ -119,10 +125,12 @@ private:
 
     Json parse_object() {
         expect('{');
+        if (++depth_ > kMaxDepth) error("nesting deeper than 200 levels");
         Json obj = Json::object();
         skip_ws();
         if (peek() == '}') {
             ++pos_;
+            --depth_;
             return obj;
         }
         while (true) {
@@ -131,6 +139,7 @@ private:
             std::string key = parse_string();
             skip_ws();
             expect(':');
+            // Duplicate member names follow set() semantics: last one wins.
             obj.set(key, parse_value());
             skip_ws();
             if (peek() == ',') {
@@ -138,16 +147,19 @@ private:
                 continue;
             }
             expect('}');
+            --depth_;
             return obj;
         }
     }
 
     Json parse_array() {
         expect('[');
+        if (++depth_ > kMaxDepth) error("nesting deeper than 200 levels");
         Json arr = Json::array();
         skip_ws();
         if (peek() == ']') {
             ++pos_;
+            --depth_;
             return arr;
         }
         while (true) {
@@ -158,6 +170,7 @@ private:
                 continue;
             }
             expect(']');
+            --depth_;
             return arr;
         }
     }
@@ -236,6 +249,7 @@ private:
 
     const std::string& text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 }  // namespace

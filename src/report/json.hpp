@@ -83,7 +83,10 @@ public:
     std::string dump(int indent = -1) const;
 
     /// Parses a complete JSON document (trailing garbage is an error).
-    /// Throws JsonError with an offset-annotated message on malformed input.
+    /// Throws JsonError with an offset-annotated message on malformed
+    /// input, including containers nested deeper than 200 levels (the
+    /// recursive parser refuses rather than exhausting the stack).
+    /// Duplicate object keys follow set() semantics: the last value wins.
     static Json parse(const std::string& text);
 
     bool operator==(const Json&) const = default;

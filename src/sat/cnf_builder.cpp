@@ -47,34 +47,84 @@ CnfBuilder::Copy CnfBuilder::add_copy() {
     return add_copy(pi_lits);
 }
 
-CnfBuilder::Copy CnfBuilder::add_copy(const std::vector<bool>& inputs) {
+CnfBuilder::Copy CnfBuilder::add_copy(const std::vector<bool>& inputs,
+                                      bool fold) {
     assert(static_cast<int>(inputs.size()) == netlist_->num_pis());
     std::vector<Lit> pi_lits;
     pi_lits.reserve(inputs.size());
     for (const bool b : inputs) pi_lits.push_back(b ? lit_true() : lit_false());
-    return add_copy(pi_lits);
+    return stamp(pi_lits, fold, nullptr, nullptr, nullptr, nullptr);
 }
 
 CnfBuilder::Copy CnfBuilder::add_copy(std::span<const Lit> pi_lits) {
+    return stamp(pi_lits, /*fold=*/false, nullptr, nullptr, nullptr, nullptr);
+}
+
+CnfBuilder::Copy CnfBuilder::stamp(std::span<const Lit> pi_lits, bool fold,
+                                   const ShareSource* share,
+                                   std::vector<Lit>* values_out,
+                                   std::vector<signed char>* known_out,
+                                   int* shared_cells_out) {
     assert(static_cast<int>(pi_lits.size()) == netlist_->num_pis());
     const CamoNetlist& nl = *netlist_;
 
     // Node ids are topological (fanins precede users by construction), so a
-    // single forward sweep assigns every node its value literal.
+    // single forward sweep assigns every node its value literal.  `known`
+    // tracks literals that are constant in every model (the unit-backed
+    // constant variable), which lets single-choice cells fold away.
     std::vector<Lit> value(static_cast<std::size_t>(nl.num_nodes()), -1);
+    std::vector<signed char> known(static_cast<std::size_t>(nl.num_nodes()), -1);
     for (int i = 0; i < nl.num_pis(); ++i) {
-        value[static_cast<std::size_t>(nl.pi(i))] =
-            pi_lits[static_cast<std::size_t>(i)];
+        const Lit pl = pi_lits[static_cast<std::size_t>(i)];
+        const std::size_t id = static_cast<std::size_t>(nl.pi(i));
+        value[id] = pl;
+        if (pl == lit_true()) known[id] = 1;
+        if (pl == lit_false()) known[id] = 0;
+        if (share && pl == (*share->values)[id]) known[id] = (*share->known)[id];
     }
 
     std::vector<Lit> clause;
     for (int id = 0; id < nl.num_nodes(); ++id) {
         const CamoNetlist::Node& n = nl.node(id);
         if (n.kind != CamoNetlist::NodeKind::kCell) continue;
+        const std::size_t sid = static_cast<std::size_t>(id);
+        if (share && (*share->mask)[sid]) {
+            // Selector-independent cone cell already encoded by the partner
+            // stamp: reuse its literal outright.
+            value[sid] = (*share->values)[sid];
+            known[sid] = (*share->known)[sid];
+            if (shared_cells_out) ++*shared_cells_out;
+            continue;
+        }
         const camo::CamoCell& cell = nl.library().cell(n.camo_cell_id);
-        const auto& sel = selector_[static_cast<std::size_t>(id)];
+        const auto& sel = selector_[sid];
+
+        if (fold && sel.size() == 1) {
+            // Single plausible function: if the support is constant, so is
+            // the output -- no variable, no clauses.
+            const TruthTable& f0 = cell.plausible[0];
+            const std::vector<int> support = f0.support();
+            std::uint32_t pins = 0;
+            bool all_known = true;
+            for (const int pin : support) {
+                const std::size_t fid = static_cast<std::size_t>(
+                    n.fanins[static_cast<std::size_t>(pin)]);
+                if (known[fid] < 0) {
+                    all_known = false;
+                    break;
+                }
+                if (known[fid]) pins |= 1u << pin;
+            }
+            if (all_known) {
+                const bool fout = f0.bit(pins);
+                value[sid] = fout ? lit_true() : lit_false();
+                known[sid] = fout ? 1 : 0;
+                continue;
+            }
+        }
+
         const Lit out = mk_lit(solver_->new_var());
-        value[static_cast<std::size_t>(id)] = out;
+        value[sid] = out;
 
         // Selecting function j binds the output to f_j of the fanin values,
         // one clause per minterm of f_j's support.
@@ -112,7 +162,63 @@ CnfBuilder::Copy CnfBuilder::add_copy(std::span<const Lit> pi_lits) {
     for (int q = 0; q < nl.num_pos(); ++q) {
         copy.po.push_back(value[static_cast<std::size_t>(nl.po(q))]);
     }
+    if (values_out) *values_out = std::move(value);
+    if (known_out) *known_out = std::move(known);
     return copy;
+}
+
+CnfBuilder::SharedCopy CnfBuilder::add_shared_copies(
+    CnfBuilder& a, CnfBuilder& b, std::span<const Lit> pi_lits) {
+    assert(a.netlist_ == b.netlist_ && a.solver_ == b.solver_);
+    const CamoNetlist& nl = *a.netlist_;
+
+    // A node's value is family-independent when its cell has a single
+    // plausible choice in both families and its whole fanin cone does too.
+    std::vector<bool> mask(static_cast<std::size_t>(nl.num_nodes()), false);
+    for (int id = 0; id < nl.num_nodes(); ++id) {
+        const CamoNetlist::Node& n = nl.node(id);
+        const std::size_t sid = static_cast<std::size_t>(id);
+        if (n.kind == CamoNetlist::NodeKind::kPi) {
+            mask[sid] = true;
+            continue;
+        }
+        assert(a.selector_[sid].size() == b.selector_[sid].size());
+        if (a.selector_[sid].size() != 1) continue;
+        bool fanins_shared = true;
+        for (const int f : n.fanins) {
+            if (!mask[static_cast<std::size_t>(f)]) {
+                fanins_shared = false;
+                break;
+            }
+        }
+        mask[sid] = fanins_shared;
+    }
+
+    SharedCopy sc;
+    std::vector<Lit> values;
+    std::vector<signed char> known;
+    sc.a = a.stamp(pi_lits, /*fold=*/true, nullptr, &values, &known, nullptr);
+    const ShareSource source{&values, &known, &mask};
+    sc.b = b.stamp(pi_lits, /*fold=*/true, &source, nullptr, nullptr,
+                   &sc.shared_cells);
+    return sc;
+}
+
+CnfBuilder::SharedCopy CnfBuilder::add_shared_copies(
+    CnfBuilder& a, CnfBuilder& b, const std::vector<bool>& inputs) {
+    assert(static_cast<int>(inputs.size()) == a.netlist_->num_pis());
+    std::vector<Lit> pi_lits;
+    pi_lits.reserve(inputs.size());
+    for (const bool v : inputs) {
+        pi_lits.push_back(v ? a.lit_true() : a.lit_false());
+    }
+    return add_shared_copies(a, b, pi_lits);
+}
+
+std::vector<Var> CnfBuilder::frozen_vars() const {
+    std::vector<Var> out{const_var_};
+    for (const auto& sel : selector_) out.insert(out.end(), sel.begin(), sel.end());
+    return out;
 }
 
 std::vector<int> CnfBuilder::config_from_model() const {

@@ -50,7 +50,30 @@ public:
     Copy add_copy(std::span<const Lit> pi_lits);
 
     /// Stamps a copy with the constant input pattern `bit i = inputs[i]`.
-    Copy add_copy(const std::vector<bool>& inputs);
+    /// With `fold`, cells whose single plausible function is fully
+    /// determined by constant support pins become constants instead of
+    /// fresh variables (no-op on fully camouflaged netlists).
+    Copy add_copy(const std::vector<bool>& inputs, bool fold = false);
+
+    /// One copy in each of two selector families over shared PI literals,
+    /// with the selector-independent cone encoded once.  A node is shared
+    /// when its cell's selector is collapsed to a single choice in BOTH
+    /// families (fixed_nominal cells) and all its fanins are shared; the
+    /// shared cone gets one set of value variables instead of two, and
+    /// cells whose (single) function is fully determined by constant
+    /// inputs fold to the constant without allocating anything.  Both
+    /// builders must target the same netlist and solver.  `a`'s copy is
+    /// stamped first with variable allocation identical to add_copy(), so
+    /// with nothing shareable the encoding degenerates to exactly the
+    /// legacy two-copy form.
+    struct SharedCopy {
+        Copy a, b;
+        int shared_cells = 0;  ///< cells encoded once instead of twice
+    };
+    static SharedCopy add_shared_copies(CnfBuilder& a, CnfBuilder& b,
+                                        std::span<const Lit> pi_lits);
+    static SharedCopy add_shared_copies(CnfBuilder& a, CnfBuilder& b,
+                                        const std::vector<bool>& inputs);
 
     /// Literal that is true/false in every model (backed by a unit clause).
     Lit lit_true() const { return mk_lit(const_var_); }
@@ -77,7 +100,22 @@ public:
     bool block_config(const std::vector<int>& config,
                       const std::vector<bool>* only = nullptr);
 
+    /// Variables a sat::Preprocessor must not eliminate for this builder to
+    /// stay usable: the constant variable and every selector (later stamps
+    /// and block_config/config_assumptions reference them).
+    std::vector<Var> frozen_vars() const;
+
 private:
+    /// Share-source handed from one stamp to its partner stamp.
+    struct ShareSource {
+        const std::vector<Lit>* values;        ///< per-node value literal
+        const std::vector<signed char>* known;  ///< -1 unknown, else 0/1
+        const std::vector<bool>* mask;          ///< nodes safe to reuse
+    };
+    Copy stamp(std::span<const Lit> pi_lits, bool fold,
+               const ShareSource* share, std::vector<Lit>* values_out,
+               std::vector<signed char>* known_out, int* shared_cells_out);
+
     const camo::CamoNetlist* netlist_;
     Solver* solver_;
     Var const_var_;

@@ -29,6 +29,7 @@ Var Solver::new_var() {
     reason_.push_back(kNoReason);
     activity_.push_back(0.0);
     seen_.push_back(false);
+    eliminated_.push_back(false);
     watches_.emplace_back();
     watches_.emplace_back();
     heap_pos_.push_back(-1);
@@ -76,6 +77,7 @@ void Solver::heap_down(int i) {
 }
 
 void Solver::heap_insert(Var v) {
+    if (eliminated_[static_cast<std::size_t>(v)]) return;
     if (heap_pos_[static_cast<std::size_t>(v)] >= 0) return;
     heap_.push_back(v);
     heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size()) - 1;
@@ -98,6 +100,11 @@ Var Solver::heap_pop() {
 bool Solver::add_clause(std::vector<Lit> lits) {
     if (!ok_) return false;
     assert(decision_level() == 0);
+#ifndef NDEBUG
+    // Clauses referencing an eliminated variable would silently bypass the
+    // constraints removed with it; callers must freeze such variables.
+    for (const Lit l : lits) assert(!eliminated_[static_cast<std::size_t>(lit_var(l))]);
+#endif
     // Simplify: drop duplicate/false literals, detect tautologies/sat.
     std::sort(lits.begin(), lits.end());
     std::vector<Lit> out;
@@ -419,15 +426,56 @@ void Solver::backtrack(int target_level) {
 Lit Solver::pick_branch() {
     while (!heap_.empty()) {
         const Var v = heap_pop();
-        if (assigns_[static_cast<std::size_t>(v)] == Value::kUnknown) {
+        if (assigns_[static_cast<std::size_t>(v)] == Value::kUnknown &&
+            !eliminated_[static_cast<std::size_t>(v)]) {
             return mk_lit(v, !polarity_[static_cast<std::size_t>(v)]);
         }
     }
     return -1;
 }
 
+void Solver::extend_model() const {
+    // Walk the eliminations newest-first: a variable's stored clauses only
+    // mention variables that were still present when it was eliminated,
+    // i.e. variables eliminated LATER (already reconstructed here) or
+    // never.  Default the variable so the stored occurrence literal is
+    // false (which satisfies the unstored side outright); flip it when a
+    // stored clause is not covered by its other literals -- the resolvents
+    // the search satisfied guarantee the unstored side stays covered.
+    model_extended_ = true;
+    const auto model_true = [this](Lit l) {
+        return model_[static_cast<std::size_t>(lit_var(l))] != lit_negated(l);
+    };
+    for (auto it = eliminations_.rbegin(); it != eliminations_.rend(); ++it) {
+        model_[static_cast<std::size_t>(it->var)] = it->negated;
+        bool flip = false;
+        for (const std::vector<Lit>& clause : it->clauses) {
+            bool covered = false;
+            for (const Lit l : clause) {
+                if (lit_var(l) == it->var) continue;
+                if (model_true(l)) {
+                    covered = true;
+                    break;
+                }
+            }
+            if (!covered) {
+                flip = true;
+                break;
+            }
+        }
+        if (flip) model_[static_cast<std::size_t>(it->var)] = !it->negated;
+    }
+}
+
 Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
     if (!ok_) return Result::kUnsat;
+#ifndef NDEBUG
+    for (const Lit a : assumptions) {
+        assert(!eliminated_[static_cast<std::size_t>(lit_var(a))] &&
+               "assumption on an eliminated variable; freeze it before "
+               "preprocessing");
+    }
+#endif
     backtrack(0);
     if (propagate() >= 0) {
         ok_ = false;
@@ -516,12 +564,14 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
 
         const Lit next = pick_branch();
         if (next < 0) {
-            // Full model.
+            // Full model.  Eliminated variables are reconstructed lazily
+            // by model_value() if anything actually reads them.
             model_.assign(static_cast<std::size_t>(num_vars()), false);
             for (Var v = 0; v < num_vars(); ++v) {
                 model_[static_cast<std::size_t>(v)] =
                     assigns_[static_cast<std::size_t>(v)] == Value::kTrue;
             }
+            model_extended_ = eliminations_.empty();
             backtrack(0);
             return Result::kSat;
         }

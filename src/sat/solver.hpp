@@ -20,6 +20,8 @@
 
 namespace mvf::sat {
 
+class Preprocessor;  // sat/simplify.hpp
+
 using Var = int;
 /// Literal encoding: 2*var for the positive literal, 2*var+1 for negated.
 using Lit = int;
@@ -43,10 +45,19 @@ public:
         std::uint64_t learned = 0;
         std::uint64_t reduces = 0;          ///< learned-DB reductions
         std::uint64_t learned_removed = 0;  ///< clauses dropped by reductions
+        // Preprocessing (sat::Preprocessor) totals, accumulated over every
+        // run() against this solver.
+        std::uint64_t preprocess_runs = 0;
+        std::uint64_t eliminated_vars = 0;     ///< vars removed by BVE
+        std::uint64_t subsumed_clauses = 0;    ///< clauses killed by subsumption
+        std::uint64_t strengthened_lits = 0;   ///< lits removed by self-subsumption
     };
 
     Var new_var();
     int num_vars() const { return static_cast<int>(assigns_.size()); }
+    /// Clauses currently in the database (problem + learned); the CEGAR
+    /// attack uses growth of this figure to schedule inprocessing.
+    std::size_t num_clauses() const { return clauses_.size(); }
 
     /// Adds a clause (copied).  Returns false if the clause is trivially
     /// unsatisfiable at level 0 (solver becomes permanently UNSAT).
@@ -59,8 +70,28 @@ public:
 
     Result solve(const std::vector<Lit>& assumptions = {});
 
-    /// Model access after kSat.
-    bool model_value(Var v) const { return model_[static_cast<std::size_t>(v)]; }
+    /// Model access after kSat.  Covers every variable, including those
+    /// removed by preprocessing: their values are reconstructed lazily
+    /// from the stored eliminated clauses on first access after each SAT
+    /// answer (model enumeration loops that only read frozen variables --
+    /// the attack's selector families -- never pay for the extension).
+    bool model_value(Var v) const {
+        if (!model_extended_ && eliminated_[static_cast<std::size_t>(v)]) {
+            extend_model();
+        }
+        return model_[static_cast<std::size_t>(v)];
+    }
+
+    /// True once `v` was removed by Preprocessor variable elimination.
+    /// Such variables must not appear in later clauses or assumptions;
+    /// freeze anything the caller intends to reference again.
+    bool var_eliminated(Var v) const {
+        return eliminated_[static_cast<std::size_t>(v)];
+    }
+
+    /// False once the clause database is contradictory at level 0 (every
+    /// later solve() returns kUnsat).
+    bool ok() const { return ok_; }
 
     const Stats& stats() const { return stats_; }
 
@@ -73,10 +104,21 @@ public:
     }
 
 private:
+    friend class Preprocessor;  // rewrites clauses_/watches_ wholesale
+
     struct Clause {
         std::vector<Lit> lits;
         bool learned = false;
         double activity = 0.0;
+    };
+    /// Model-extension record for one variable removed by bounded variable
+    /// elimination: the original clauses in which the variable occurred
+    /// with polarity `negated` (the smaller occurrence side).  The other
+    /// side is implied by the resolvents -- see Solver::extend_model().
+    struct Elimination {
+        Var var;
+        bool negated;  ///< stored clauses contain mk_lit(var, negated)
+        std::vector<std::vector<Lit>> clauses;
     };
     /// Watch-list entry: the clause plus a cached "blocking literal" (some
     /// other literal of the clause).  If the blocker is already true the
@@ -112,6 +154,7 @@ private:
     void heap_down(int i);
     bool clause_locked(int clause_idx) const;
     void reduce_db();  // requires decision level 0
+    void extend_model() const;  // reconstruct eliminated vars (lazy, after kSat)
 
     int decision_level() const { return static_cast<int>(trail_lim_.size()); }
 
@@ -137,7 +180,10 @@ private:
     std::uint64_t num_learned_ = 0;  // learned clauses currently in the DB
     double learned_budget_ = 0.0;    // adaptive limit; grows after each reduce
 
-    std::vector<bool> model_;
+    mutable std::vector<bool> model_;
+    mutable bool model_extended_ = true;   ///< lazy-extension dirty flag
+    std::vector<bool> eliminated_;         ///< per var; set by Preprocessor
+    std::vector<Elimination> eliminations_;  ///< in elimination order
     bool ok_ = true;
     Stats stats_;
 

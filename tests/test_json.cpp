@@ -1,0 +1,204 @@
+// Edge-case tests for the report/json parser and writer.
+//
+// The round-trip behavior (reports emitted by the batch runner parse back
+// to equal values) is covered by test_pipeline; these tests pin down the
+// parser's behavior on the inputs nobody intends to feed it: malformed
+// documents, exotic string escapes, adversarially deep nesting, and
+// duplicate member names.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "report/json.hpp"
+
+namespace mvf::report {
+namespace {
+
+// ---------------------------------------------------------------- malformed
+
+TEST(JsonEdge, EmptyAndWhitespaceOnlyDocumentsThrow) {
+    EXPECT_THROW(Json::parse(""), JsonError);
+    EXPECT_THROW(Json::parse("   \t\n\r  "), JsonError);
+}
+
+TEST(JsonEdge, TrailingGarbageThrows) {
+    EXPECT_THROW(Json::parse("1 2"), JsonError);
+    EXPECT_THROW(Json::parse("{} {}"), JsonError);
+    EXPECT_THROW(Json::parse("[1,2]x"), JsonError);
+    EXPECT_THROW(Json::parse("null null"), JsonError);
+}
+
+TEST(JsonEdge, TruncatedContainersThrow) {
+    EXPECT_THROW(Json::parse("["), JsonError);
+    EXPECT_THROW(Json::parse("[1, 2"), JsonError);
+    EXPECT_THROW(Json::parse("[1, 2,"), JsonError);
+    EXPECT_THROW(Json::parse("{"), JsonError);
+    EXPECT_THROW(Json::parse("{\"a\""), JsonError);
+    EXPECT_THROW(Json::parse("{\"a\":"), JsonError);
+    EXPECT_THROW(Json::parse("{\"a\": 1"), JsonError);
+    EXPECT_THROW(Json::parse("{\"a\": 1,"), JsonError);
+}
+
+TEST(JsonEdge, MalformedLiteralsThrow) {
+    EXPECT_THROW(Json::parse("tru"), JsonError);
+    EXPECT_THROW(Json::parse("falsy"), JsonError);
+    EXPECT_THROW(Json::parse("nul"), JsonError);
+    EXPECT_THROW(Json::parse("True"), JsonError);
+}
+
+TEST(JsonEdge, MalformedNumbersThrow) {
+    EXPECT_THROW(Json::parse("-"), JsonError);
+    EXPECT_THROW(Json::parse("1.2.3"), JsonError);
+    EXPECT_THROW(Json::parse("1e"), JsonError);
+    EXPECT_THROW(Json::parse("+1"), JsonError);
+    EXPECT_THROW(Json::parse("0x10"), JsonError);
+}
+
+TEST(JsonEdge, MissingMemberNameOrColonThrows) {
+    EXPECT_THROW(Json::parse("{1: 2}"), JsonError);
+    EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);
+    EXPECT_THROW(Json::parse("{a: 1}"), JsonError);
+}
+
+TEST(JsonEdge, ErrorMessagesCarryTheOffset) {
+    try {
+        Json::parse("[1, 2, oops]");
+        FAIL() << "expected JsonError";
+    } catch (const JsonError& e) {
+        EXPECT_NE(std::string(e.what()).find("offset 7"), std::string::npos)
+            << e.what();
+    }
+}
+
+// ------------------------------------------------------------------ strings
+
+TEST(JsonEdge, StandardEscapesRoundTrip) {
+    const std::string text = R"("a\"b\\c\/d\b\f\n\r\t")";
+    const Json j = Json::parse(text);
+    EXPECT_EQ(j.as_string(), "a\"b\\c/d\b\f\n\r\t");
+}
+
+TEST(JsonEdge, ControlCharactersAreEscapedOnOutputAndParseBack) {
+    const Json j(std::string("line1\nline2\x01" "end"));
+    const std::string dumped = j.dump();
+    EXPECT_NE(dumped.find("\\n"), std::string::npos);
+    EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+    EXPECT_EQ(Json::parse(dumped), j);
+}
+
+TEST(JsonEdge, UnicodeEscapesDecodeToUtf8) {
+    EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+    EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");   // é
+    EXPECT_EQ(Json::parse(R"("€")").as_string(), "\xe2\x82\xac");  // €
+    // Case-insensitive hex digits.
+    EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");
+}
+
+TEST(JsonEdge, BadEscapesThrow) {
+    EXPECT_THROW(Json::parse(R"("\q")"), JsonError);
+    EXPECT_THROW(Json::parse(R"("\u12")"), JsonError);    // truncated \u
+    EXPECT_THROW(Json::parse(R"("\u12zz")"), JsonError);  // bad hex
+    EXPECT_THROW(Json::parse("\"abc"), JsonError);        // unterminated
+    EXPECT_THROW(Json::parse("\"abc\\"), JsonError);      // dangling backslash
+}
+
+// ------------------------------------------------------------ deep nesting
+
+std::string nested(const std::string& open, const std::string& close, int n,
+                   const std::string& core) {
+    std::string out;
+    for (int i = 0; i < n; ++i) out += open;
+    out += core;
+    for (int i = 0; i < n; ++i) out += close;
+    return out;
+}
+
+TEST(JsonEdge, NestingUpToTheLimitParses) {
+    const Json j = Json::parse(nested("[", "]", 200, "1"));
+    const Json* cur = &j;
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_TRUE(cur->is_array());
+        cur = &cur->at(std::size_t{0});
+    }
+    EXPECT_EQ(cur->as_int(), 1);
+}
+
+TEST(JsonEdge, NestingBeyondTheLimitThrowsInsteadOfOverflowing) {
+    EXPECT_THROW(Json::parse(nested("[", "]", 201, "1")), JsonError);
+    // A megabyte of '[' must fail cleanly, not crash the process.
+    EXPECT_THROW(Json::parse(std::string(1 << 20, '[')), JsonError);
+    // Mixed object/array nesting counts against the same limit.
+    EXPECT_THROW(Json::parse(nested("{\"k\":[", "]}", 150, "0")), JsonError);
+}
+
+TEST(JsonEdge, WideDocumentsAreNotDepthLimited) {
+    std::string text = "[";
+    for (int i = 0; i < 10000; ++i) {
+        if (i > 0) text += ",";
+        text += "[0]";
+    }
+    text += "]";
+    EXPECT_EQ(Json::parse(text).size(), 10000u);
+}
+
+TEST(JsonEdge, EmptyContainersDoNotLeakDepth) {
+    // Regression: the empty-object fast path used to return without
+    // releasing its depth level, so a flat array of 200+ `{}` members
+    // (real depth 2) was falsely rejected as nested beyond the limit.
+    std::string objs = "[";
+    std::string arrs = "[";
+    for (int i = 0; i < 500; ++i) {
+        if (i > 0) {
+            objs += ",";
+            arrs += ",";
+        }
+        objs += "{}";
+        arrs += "[]";
+    }
+    objs += "]";
+    arrs += "]";
+    EXPECT_EQ(Json::parse(objs).size(), 500u);
+    EXPECT_EQ(Json::parse(arrs).size(), 500u);
+}
+
+// ---------------------------------------------------------- duplicate keys
+
+TEST(JsonEdge, DuplicateKeysLastOneWins) {
+    const Json j = Json::parse(R"({"a": 1, "b": 2, "a": 3})");
+    EXPECT_EQ(j.size(), 2u);  // "a" is overwritten, not duplicated
+    EXPECT_EQ(j.at("a").as_int(), 3);
+    EXPECT_EQ(j.at("b").as_int(), 2);
+}
+
+TEST(JsonEdge, DuplicateKeyKeepsFirstPosition) {
+    // set() overwrites in place, so member order stays insertion order of
+    // first appearance (reports rely on stable ordering to diff cleanly).
+    const Json j = Json::parse(R"({"a": 1, "b": 2, "a": 3})");
+    EXPECT_EQ(j.members()[0].first, "a");
+    EXPECT_EQ(j.members()[1].first, "b");
+}
+
+// ------------------------------------------------------- accessor mismatch
+
+TEST(JsonEdge, TypedAccessorsRejectWrongTypes) {
+    const Json j = Json::parse(R"({"n": 1.5, "s": "x", "neg": -4})");
+    EXPECT_THROW(j.at("s").as_number(), JsonError);
+    EXPECT_THROW(j.at("n").as_string(), JsonError);
+    EXPECT_THROW(j.at("n").as_bool(), JsonError);
+    EXPECT_THROW(j.at("neg").as_uint(), JsonError);
+    EXPECT_THROW(j.at("missing"), JsonError);
+    EXPECT_THROW(j.at(std::size_t{0}), JsonError);
+    EXPECT_THROW(j.items(), JsonError);
+}
+
+TEST(JsonEdge, NumbersSurviveRoundTripAtIntegerBoundaries) {
+    const Json big(std::uint64_t{1} << 52);
+    EXPECT_EQ(Json::parse(big.dump()).as_uint(), std::uint64_t{1} << 52);
+    const Json j = Json::parse("-0.0");
+    EXPECT_EQ(j.as_number(), 0.0);
+    EXPECT_EQ(Json::parse("1e3").as_int(), 1000);
+}
+
+}  // namespace
+}  // namespace mvf::report

@@ -1,0 +1,367 @@
+// Differential fuzz harness for the SAT preprocessor (sat/simplify).
+//
+// Solver-level transformations are exactly the kind of change that
+// silently corrupts results downstream -- a wrong verdict here turns into
+// a wrong "surviving configurations" claim in the attack layer with
+// nothing else failing.  This harness therefore cross-checks a
+// preprocessed solver against a plain one on >= 500 seeded random
+// instances (mixed random-width CNF, 3-SAT near the phase transition, and
+// structured pigeonhole/parity/gadget formulas), verifies every SAT model
+// against the ORIGINAL clause set (model extension must reconstruct
+// eliminated variables), and exercises the incremental contract:
+// clause additions over frozen/fresh variables and solve-under-assumptions
+// after preprocessing, including repeated (inprocessing-style) runs.
+//
+// Labeled "slow" in CMake: excluded from the sanitizer CI job, always part
+// of the release-mode suite.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sat/simplify.hpp"
+#include "util/rng.hpp"
+
+namespace mvf::sat {
+namespace {
+
+using Clauses = std::vector<std::vector<Lit>>;
+
+bool model_satisfies(const Solver& s, const Clauses& clauses) {
+    for (const auto& cl : clauses) {
+        bool sat = false;
+        for (const Lit l : cl) {
+            if (s.model_value(lit_var(l)) != lit_negated(l)) {
+                sat = true;
+                break;
+            }
+        }
+        if (!sat) return false;
+    }
+    return true;
+}
+
+std::vector<Lit> random_clause(util::Rng& rng, int nv, int min_w, int max_w) {
+    std::vector<Lit> cl;
+    const int w = min_w + rng.uniform_int(0, max_w - min_w);
+    for (int k = 0; k < w; ++k) {
+        cl.push_back(mk_lit(rng.uniform_int(0, nv - 1), rng.coin(0.5)));
+    }
+    return cl;
+}
+
+/// Generates one instance of the mixed family.  kind cycles through
+/// random-width CNF, 3-SAT at ~4.2 clauses/var, pigeonhole (UNSAT and SAT
+/// shapes), and xor/parity chains -- the structured ones stress long
+/// resolution and strengthening, the random ones cover the verdict space.
+Clauses make_instance(util::Rng& rng, int kind, int* nv_out) {
+    Clauses clauses;
+    switch (kind % 4) {
+        case 0: {  // random width 1-4
+            const int nv = 5 + rng.uniform_int(0, 15);
+            const int nc = 3 + rng.uniform_int(0, 5 * nv);
+            for (int c = 0; c < nc; ++c) {
+                clauses.push_back(random_clause(rng, nv, 1, 4));
+            }
+            *nv_out = nv;
+            return clauses;
+        }
+        case 1: {  // 3-SAT near the phase transition
+            const int nv = 8 + rng.uniform_int(0, 12);
+            const int nc = static_cast<int>(4.2 * nv) + rng.uniform_int(-nv, nv);
+            for (int c = 0; c < nc; ++c) {
+                clauses.push_back(random_clause(rng, nv, 3, 3));
+            }
+            *nv_out = nv;
+            return clauses;
+        }
+        case 2: {  // pigeonhole: p pigeons into h holes
+            const int h = 2 + rng.uniform_int(0, 3);
+            const int p = h + rng.uniform_int(0, 1);  // SAT or UNSAT shape
+            const int nv = p * h;
+            for (int i = 0; i < p; ++i) {
+                std::vector<Lit> at_least;
+                for (int j = 0; j < h; ++j) at_least.push_back(mk_lit(i * h + j));
+                clauses.push_back(at_least);
+            }
+            for (int j = 0; j < h; ++j) {
+                for (int a = 0; a < p; ++a) {
+                    for (int b = a + 1; b < p; ++b) {
+                        clauses.push_back(
+                            {mk_lit(a * h + j, true), mk_lit(b * h + j, true)});
+                    }
+                }
+            }
+            *nv_out = nv;
+            return clauses;
+        }
+        default: {  // xor chain x0^x1, x1^x2, ... with random parities
+            const int nv = 6 + rng.uniform_int(0, 10);
+            for (int i = 0; i + 1 < nv; ++i) {
+                const bool parity = rng.coin(0.5);
+                // x_i ^ x_{i+1} = parity as two binary clauses
+                clauses.push_back({mk_lit(i, parity), mk_lit(i + 1, false)});
+                clauses.push_back({mk_lit(i, !parity), mk_lit(i + 1, true)});
+            }
+            // A few random ternaries on top to vary the verdict.
+            for (int c = 0; c < nv / 2; ++c) {
+                clauses.push_back(random_clause(rng, nv, 2, 3));
+            }
+            *nv_out = nv;
+            return clauses;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- verdicts
+
+class SatFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatFuzz, PreprocessedVerdictMatchesPlainAndModelsAreReal) {
+    // 8 shards x 100 instances = 800 differential cases.
+    util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6364136223846793005ull + 17);
+    for (int trial = 0; trial < 100; ++trial) {
+        int nv = 0;
+        const Clauses clauses = make_instance(rng, trial, &nv);
+
+        Solver plain;
+        Solver pre;
+        for (int v = 0; v < nv; ++v) {
+            plain.new_var();
+            pre.new_var();
+        }
+        for (const auto& cl : clauses) {
+            plain.add_clause(cl);
+            pre.add_clause(cl);
+        }
+
+        SolverConfig config;
+        config.elim_occ_limit = 4 + rng.uniform_int(0, 40);
+        config.elim_growth = rng.uniform_int(0, 8);
+        config.elim_resolvent_limit = 4 + rng.uniform_int(0, 40);
+        config.max_rounds = 1 + rng.uniform_int(0, 4);
+        Preprocessor preprocessor(&pre, config);
+        const int frozen = rng.uniform_int(0, nv / 2);
+        for (int i = 0; i < frozen; ++i) {
+            preprocessor.freeze(rng.uniform_int(0, nv - 1));
+        }
+        preprocessor.run();
+
+        const bool plain_sat = plain.solve() == Solver::Result::kSat;
+        const bool pre_sat = pre.solve() == Solver::Result::kSat;
+        ASSERT_EQ(plain_sat, pre_sat)
+            << "verdict diverged: shard " << GetParam() << " trial " << trial;
+        if (pre_sat) {
+            // The extended model must satisfy the ORIGINAL clauses,
+            // eliminated variables included.
+            EXPECT_TRUE(model_satisfies(pre, clauses))
+                << "model violates an original clause: shard " << GetParam()
+                << " trial " << trial;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, SatFuzz, ::testing::Range(0, 8));
+
+// ------------------------------------------------------------- incremental
+
+bool brute_force_sat(int nv, const Clauses& clauses) {
+    for (std::uint32_t a = 0; a < (1u << nv); ++a) {
+        bool all = true;
+        for (const auto& cl : clauses) {
+            bool sat = false;
+            for (const Lit l : cl) {
+                if ((((a >> lit_var(l)) & 1) != 0) != lit_negated(l)) {
+                    sat = true;
+                    break;
+                }
+            }
+            if (!sat) {
+                all = false;
+                break;
+            }
+        }
+        if (all) return true;
+    }
+    return false;
+}
+
+class SatFuzzIncremental : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatFuzzIncremental, SolveUnderAssumptionsAfterPreprocessing) {
+    // The CEGAR usage pattern: preprocess once, then interleave clause
+    // additions (over frozen + fresh variables) with assumption solves,
+    // with occasional re-preprocessing.  Cross-checked against brute force
+    // over the full (original + added) clause set.
+    util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ull + 99);
+    for (int trial = 0; trial < 40; ++trial) {
+        const int nv = 5 + rng.uniform_int(0, 4);  // + 5 fresh vars, brute-forced
+        Solver s;
+        for (int v = 0; v < nv; ++v) s.new_var();
+
+        Clauses clauses;
+        const int nc = 4 + rng.uniform_int(0, 3 * nv);
+        for (int c = 0; c < nc; ++c) {
+            clauses.push_back(random_clause(rng, nv, 1, 3));
+            s.add_clause(clauses.back());
+        }
+
+        std::vector<Var> frozen;
+        for (int v = 0; v < nv; ++v) {
+            if (rng.coin(0.5)) frozen.push_back(v);
+        }
+        {
+            Preprocessor preprocessor(&s);
+            preprocessor.freeze_all(frozen);
+            preprocessor.run();
+        }
+
+        for (int stage = 0; stage < 5; ++stage) {
+            // Add clauses over fresh variables wired to frozen ones (the
+            // shape of a stamped circuit copy).
+            if (!frozen.empty()) {
+                const Var fresh = s.new_var();
+                const Var anchor = frozen[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<int>(frozen.size()) - 1))];
+                clauses.push_back(
+                    {mk_lit(fresh, true), mk_lit(anchor, rng.coin(0.5))});
+                s.add_clause(clauses.back());
+                clauses.push_back({mk_lit(fresh), mk_lit(anchor, rng.coin(0.5))});
+                s.add_clause(clauses.back());
+            }
+            // Occasional inprocessing between solves.
+            if (stage == 2) {
+                Preprocessor preprocessor(&s);
+                preprocessor.freeze_all(frozen);
+                if (rng.coin(0.5)) {
+                    preprocessor.run_light();
+                } else {
+                    // Full rerun: everything still referenced is frozen.
+                    for (Var v = nv; v < s.num_vars(); ++v) preprocessor.freeze(v);
+                    preprocessor.run();
+                }
+            }
+
+            std::vector<Lit> assumptions;
+            Clauses augmented = clauses;
+            for (int a = 0; a < 2 && !frozen.empty(); ++a) {
+                const Lit l = mk_lit(
+                    frozen[static_cast<std::size_t>(rng.uniform_int(
+                        0, static_cast<int>(frozen.size()) - 1))],
+                    rng.coin(0.5));
+                assumptions.push_back(l);
+                augmented.push_back({l});
+            }
+            const bool want = brute_force_sat(s.num_vars(), augmented);
+            const bool got = s.solve(assumptions) == Solver::Result::kSat;
+            ASSERT_EQ(got, want) << "shard " << GetParam() << " trial " << trial
+                                 << " stage " << stage;
+            if (got && assumptions.empty()) {
+                EXPECT_TRUE(model_satisfies(s, clauses));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, SatFuzzIncremental, ::testing::Range(0, 4));
+
+// ----------------------------------------------------- targeted edge cases
+
+TEST(SatPreprocess, UnsatDetectedDuringPreprocessingStaysUnsat) {
+    Solver s;
+    const Var a = s.new_var();
+    const Var b = s.new_var();
+    s.add_binary(mk_lit(a), mk_lit(b));
+    s.add_binary(mk_lit(a), mk_lit(b, true));
+    s.add_binary(mk_lit(a, true), mk_lit(b));
+    s.add_binary(mk_lit(a, true), mk_lit(b, true));
+    Preprocessor pre(&s);
+    EXPECT_FALSE(pre.run());
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.solve(), Solver::Result::kUnsat);
+}
+
+TEST(SatPreprocess, PureLiteralEliminationExtendsModels) {
+    // `a` occurs only positively and the clause pair resists
+    // self-subsumption (c/d differ), so BVE removes it as a pure literal
+    // with zero resolvents; the extended model must still satisfy both
+    // original clauses, i.e. reconstruct a = true when b picks false.
+    Solver s;
+    const Var a = s.new_var();  // pure positive
+    const Var b = s.new_var();
+    const Var c = s.new_var();
+    const Var d = s.new_var();
+    s.add_ternary(mk_lit(a), mk_lit(b), mk_lit(c));
+    s.add_ternary(mk_lit(a), mk_lit(b, true), mk_lit(d));
+    Preprocessor pre(&s);
+    EXPECT_TRUE(pre.run());
+    EXPECT_GE(s.stats().eliminated_vars, 1u);
+    EXPECT_TRUE(s.var_eliminated(a));
+    ASSERT_EQ(s.solve(), Solver::Result::kSat);
+    EXPECT_TRUE(s.model_value(a));  // the only value satisfying both clauses
+}
+
+TEST(SatPreprocess, FrozenVariablesSurviveElimination) {
+    Solver s;
+    std::vector<Var> vars;
+    for (int i = 0; i < 8; ++i) vars.push_back(s.new_var());
+    for (int i = 0; i + 1 < 8; ++i) {
+        s.add_binary(mk_lit(vars[static_cast<std::size_t>(i)], true),
+                     mk_lit(vars[static_cast<std::size_t>(i) + 1]));
+    }
+    Preprocessor pre(&s);
+    pre.freeze(vars[0]);
+    pre.freeze(vars[7]);
+    EXPECT_TRUE(pre.run());
+    EXPECT_FALSE(s.var_eliminated(vars[0]));
+    EXPECT_FALSE(s.var_eliminated(vars[7]));
+    // The implication chain must survive the middle being eliminated.
+    ASSERT_EQ(s.solve({mk_lit(vars[0])}), Solver::Result::kSat);
+    EXPECT_TRUE(s.model_value(vars[7]));
+}
+
+TEST(SatPreprocess, StatsAreReported) {
+    util::Rng rng(3);
+    Solver s;
+    const int nv = 30;
+    for (int v = 0; v < nv; ++v) s.new_var();
+    for (int c = 0; c < 90; ++c) {
+        s.add_clause(random_clause(rng, nv, 2, 4));
+    }
+    Preprocessor pre(&s);
+    pre.run();
+    EXPECT_EQ(s.stats().preprocess_runs, 1u);
+    EXPECT_EQ(s.stats().eliminated_vars, pre.stats().eliminated_vars);
+    EXPECT_GT(pre.stats().rounds, 0);
+}
+
+TEST(SatPreprocess, RunLightKeepsVerdictsAndRemovesSatisfiedClauses) {
+    util::Rng rng(11);
+    for (int trial = 0; trial < 50; ++trial) {
+        const int nv = 6 + rng.uniform_int(0, 6);
+        Solver plain;
+        Solver light;
+        for (int v = 0; v < nv; ++v) {
+            plain.new_var();
+            light.new_var();
+        }
+        Clauses clauses;
+        for (int c = 0; c < 3 * nv; ++c) {
+            clauses.push_back(random_clause(rng, nv, 1, 3));
+            plain.add_clause(clauses.back());
+            light.add_clause(clauses.back());
+        }
+        Preprocessor pre(&light);
+        pre.run_light();
+        EXPECT_EQ(pre.stats().eliminated_vars, 0u);
+        const bool a = plain.solve() == Solver::Result::kSat;
+        const bool b = light.solve() == Solver::Result::kSat;
+        ASSERT_EQ(a, b) << "trial " << trial;
+        if (b) {
+            EXPECT_TRUE(model_satisfies(light, clauses));
+        }
+    }
+}
+
+}  // namespace
+}  // namespace mvf::sat

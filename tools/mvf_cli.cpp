@@ -57,6 +57,12 @@ int usage() {
         "  --adversaries A,B  adversaries for the attack stage\n"
         "  --max-survivors N  cap the CEGAR survivor count (--quick: 256)\n"
         "  --no-enumerate     skip survivor counting entirely\n"
+        "  --no-preprocess    disable SAT preprocessing/inprocessing\n"
+        "  --no-shared-miter  legacy two-copy CEGAR encoding\n"
+        "  --canonical-inputs lex-min distinguishing inputs (deterministic\n"
+        "                     attack transcripts; costly at 16+ PIs)\n"
+        "  --elim-occ N       BVE occurrence bound (default 32)\n"
+        "  --elim-growth N    BVE clause-growth bound (default 8)\n"
         "  --json FILE        also write the JSON record(s) to FILE\n"
         "\n"
         "batch options:\n"
@@ -74,6 +80,21 @@ bool next_value(int argc, char** argv, int* i, std::string* out) {
     }
     *out = argv[++*i];
     return true;
+}
+
+/// std::stoi with a usage error instead of an uncaught exception on junk.
+bool parse_int_flag(const std::string& value, const char* flag, int* out) {
+    try {
+        std::size_t used = 0;
+        const int parsed = std::stoi(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        *out = parsed;
+        return true;
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "mvf: %s expects an integer, got \"%s\"\n", flag,
+                     value.c_str());
+        return false;
+    }
 }
 
 /// Parses the shared scenario flags into `scenario`; `json_path` receives
@@ -111,11 +132,17 @@ bool parse_scenario_flags(int argc, char** argv, int start,
             scenario->params.seed = std::strtoull(value.c_str(), nullptr, 10);
         } else if (arg == "--population") {
             if (!next_value(argc, argv, &i, &value)) return false;
-            scenario->params.ga.population = std::stoi(value);
+            if (!parse_int_flag(value, "--population",
+                                &scenario->params.ga.population)) {
+                return false;
+            }
             population_set = true;
         } else if (arg == "--generations") {
             if (!next_value(argc, argv, &i, &value)) return false;
-            scenario->params.ga.generations = std::stoi(value);
+            if (!parse_int_flag(value, "--generations",
+                                &scenario->params.ga.generations)) {
+                return false;
+            }
             generations_set = true;
         } else if (arg == "--quick") {
             quick = true;
@@ -126,6 +153,24 @@ bool parse_scenario_flags(int argc, char** argv, int start,
             survivors_set = true;
         } else if (arg == "--no-enumerate") {
             scenario->params.oracle.enumerate_survivors = false;
+        } else if (arg == "--no-preprocess") {
+            scenario->params.oracle.solver.preprocess = false;
+        } else if (arg == "--no-shared-miter") {
+            scenario->params.oracle.shared_miter = false;
+        } else if (arg == "--canonical-inputs") {
+            scenario->params.oracle.canonical_inputs = true;
+        } else if (arg == "--elim-occ") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_int_flag(value, "--elim-occ",
+                                &scenario->params.oracle.solver.elim_occ_limit)) {
+                return false;
+            }
+        } else if (arg == "--elim-growth") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_int_flag(value, "--elim-growth",
+                                &scenario->params.oracle.solver.elim_growth)) {
+                return false;
+            }
         } else if (arg == "--no-baseline") {
             scenario->params.run_random_baseline = false;
         } else if (arg == "--no-camo") {
@@ -145,7 +190,7 @@ bool parse_scenario_flags(int argc, char** argv, int start,
             *json_path = value;
         } else if (arg == "--jobs" && jobs) {
             if (!next_value(argc, argv, &i, &value)) return false;
-            *jobs = std::stoi(value);
+            if (!parse_int_flag(value, "--jobs", jobs)) return false;
         } else if (arg == "--spec" && spec_path) {
             if (!next_value(argc, argv, &i, &value)) return false;
             *spec_path = value;
