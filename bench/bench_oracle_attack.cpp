@@ -160,6 +160,11 @@ int main(int argc, char** argv) {
     };
 
     attack::OracleAttackParams attack_params;
+    // This harness times the CEGAR loop under different SolverConfigs, not
+    // the counting subsystem (bench_count covers that); pin the legacy
+    // capped enumeration so the measured workload stays comparable across
+    // revisions.
+    attack_params.count_mode = attack::CountMode::kEnumerate;
     attack_params.max_survivors = 1u << 12;
 
     for (const Size& size : sizes) {

@@ -24,7 +24,12 @@ int main() {
     params.ga.population = 10;
     params.ga.generations = 5;
     params.run_random_baseline = false;
-    params.oracle.max_survivors = 256;  // keep survivor counting quick
+    // Keep survivor counting quick: capped enumeration instead of the
+    // (uncapped) default projected counter -- a merged 4-S-box netlist is
+    // dense enough that the exact counter would burn its decision budget
+    // before falling back.
+    params.oracle.count_mode = attack::CountMode::kEnumerate;
+    params.oracle.max_survivors = 256;
     params.seed = 42;
 
     flow::ObfuscationFlow engine;

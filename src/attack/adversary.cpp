@@ -1,5 +1,6 @@
 #include "attack/adversary.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "attack/plausibility.hpp"
@@ -29,6 +30,7 @@ const char* status_name(OracleAttackResult::Status s) {
         case OracleAttackResult::Status::kNoSurvivor: return "no survivor";
         case OracleAttackResult::Status::kIterationLimit: return "iteration limit";
         case OracleAttackResult::Status::kSurvivorLimit: return "survivor limit";
+        case OracleAttackResult::Status::kApproxSolved: return "approx solved";
     }
     return "unknown";
 }
@@ -50,8 +52,30 @@ report::Json AdversaryReport::to_json() const {
     j.set("success", success);
     j.set("outcome", outcome);
     j.set("queries", queries);
-    j.set("survivors", survivors);
+    // JSON numbers are doubles: values beyond 2^53 would not round-trip
+    // (and casting their parse back to uint64 is UB at 2^64).  The numeric
+    // field is a dashboard convenience pinned to 2^53; survivors_str below
+    // carries full precision and wins on parse.
+    j.set("survivors", std::min(survivors, std::uint64_t{1} << 53));
     j.set("seconds", seconds);
+    if (!count_mode.empty()) {
+        report::Json c = report::Json::object();
+        c.set("mode", count_mode);
+        c.set("survivors_str", survivors_str);
+        c.set("decisions", count.decisions);
+        c.set("propagations", count.propagations);
+        c.set("components", count.components);
+        c.set("cache_hits", count.cache_hits);
+        c.set("cache_stores", count.cache_stores);
+        c.set("cache_evictions", count.cache_evictions);
+        c.set("sat_checks", count.sat_checks);
+        c.set("cache_entries", static_cast<std::uint64_t>(count.cache_entries));
+        c.set("cache_peak_bytes",
+              static_cast<std::uint64_t>(count.cache_peak_bytes));
+        c.set("approx_xor_levels", approx_xor_levels);
+        c.set("approx_rounds", approx_rounds);
+        j.set("count", std::move(c));
+    }
     report::Json s = report::Json::object();
     s.set("conflicts", sat.conflicts);
     s.set("decisions", sat.decisions);
@@ -98,13 +122,42 @@ AdversaryReport AdversaryReport::from_json(const report::Json& j) {
     if (const report::Json* f = s.find("strengthened_lits")) {
         r.sat.strengthened_lits = f->as_uint();
     }
+    // The counting block postdates the enumeration-only report format;
+    // tolerate its absence so archived reports keep parsing.
+    if (const report::Json* c = j.find("count")) {
+        r.count_mode = c->at("mode").as_string();
+        r.survivors_str = c->at("survivors_str").as_string();
+        count::Count128 full;
+        if (count::Count128::from_string(r.survivors_str, &full)) {
+            // The string is authoritative; the numeric field saturates and
+            // goes through double, so rebuild it from the string.
+            r.survivors = full.to_u64_saturating();
+        }
+        r.count.decisions = c->at("decisions").as_uint();
+        r.count.propagations = c->at("propagations").as_uint();
+        r.count.components = c->at("components").as_uint();
+        r.count.cache_hits = c->at("cache_hits").as_uint();
+        r.count.cache_stores = c->at("cache_stores").as_uint();
+        r.count.cache_evictions = c->at("cache_evictions").as_uint();
+        r.count.sat_checks = c->at("sat_checks").as_uint();
+        r.count.cache_entries =
+            static_cast<std::size_t>(c->at("cache_entries").as_uint());
+        r.count.cache_peak_bytes =
+            static_cast<std::size_t>(c->at("cache_peak_bytes").as_uint());
+        r.approx_xor_levels =
+            static_cast<int>(c->at("approx_xor_levels").as_int());
+        r.approx_rounds = static_cast<int>(c->at("approx_rounds").as_int());
+    }
     return r;
 }
 
 bool AdversaryReport::operator==(const AdversaryReport& o) const {
     return adversary == o.adversary && success == o.success &&
            outcome == o.outcome && queries == o.queries &&
-           survivors == o.survivors && seconds == o.seconds &&
+           survivors == o.survivors && survivors_str == o.survivors_str &&
+           count_mode == o.count_mode && count == o.count &&
+           approx_xor_levels == o.approx_xor_levels &&
+           approx_rounds == o.approx_rounds && seconds == o.seconds &&
            sat.conflicts == o.sat.conflicts && sat.decisions == o.sat.decisions &&
            sat.propagations == o.sat.propagations &&
            sat.restarts == o.sat.restarts && sat.learned == o.sat.learned &&
@@ -156,6 +209,13 @@ AdversaryReport CegarAdversary::attack(const camo::CamoNetlist& netlist,
     report.outcome = status_name(res.status);
     report.queries = res.queries;
     report.survivors = res.surviving_configs;
+    if (res.counted) {
+        report.survivors_str = res.survivors.to_string();
+        report.count_mode = std::string(count_mode_name(res.count_mode));
+        report.count = res.count_stats;
+        report.approx_xor_levels = res.approx_xor_levels;
+        report.approx_rounds = res.approx_rounds;
+    }
     report.seconds = res.seconds;
     report.sat = res.sat_stats;
     last_result_ = res;

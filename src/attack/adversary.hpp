@@ -50,8 +50,21 @@ struct AdversaryReport {
     /// counts SAT decision problems instead).
     int queries = 0;
     /// Configurations (or candidate functions, for the plausibility model)
-    /// the adversary could NOT eliminate.
+    /// the adversary could NOT eliminate, saturated to uint64.
     std::uint64_t survivors = 0;
+    /// Full-precision survivor count as a decimal string (counting
+    /// adversaries only; empty otherwise).  Authoritative when present --
+    /// JSON numbers are doubles and lose precision beyond 2^53.
+    std::string survivors_str;
+    /// CountMode that produced the survivor figure ("exact", "approx",
+    /// "enumerate"; empty for adversaries that do not count).
+    std::string count_mode;
+    /// Exact projected-counter statistics (zeroed unless count_mode is
+    /// "exact").
+    count::CounterStats count;
+    /// Approximate-counter round summary (zeroed unless "approx").
+    int approx_xor_levels = 0;
+    int approx_rounds = 0;
     double seconds = 0.0;
     sat::Solver::Stats sat;  ///< aggregated over the attack's SAT queries
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "count/approx_counter.hpp"
+#include "count/cnf.hpp"
 #include "sat/cnf_builder.hpp"
 #include "sim/netlist_sim.hpp"
 #include "util/stopwatch.hpp"
@@ -9,6 +11,23 @@
 namespace mvf::attack {
 
 using camo::CamoNetlist;
+
+std::string_view count_mode_name(CountMode m) {
+    switch (m) {
+        case CountMode::kExact: return "exact";
+        case CountMode::kApprox: return "approx";
+        case CountMode::kEnumerate: return "enumerate";
+    }
+    return "unknown";
+}
+
+bool count_mode_from_name(std::string_view name, CountMode* out) {
+    if (name == "exact") *out = CountMode::kExact;
+    else if (name == "approx") *out = CountMode::kApprox;
+    else if (name == "enumerate") *out = CountMode::kEnumerate;
+    else return false;
+    return true;
+}
 
 std::vector<bool> SimOracle::query(const std::vector<bool>& inputs) {
     return sim::simulate_camo_pattern(*netlist_, config_, inputs);
@@ -58,6 +77,61 @@ void canonicalize_pattern(sat::Solver* solver,
         } else {
             assumptions->back() = xi;  // 0 infeasible under this prefix
         }
+    }
+}
+
+/// Legacy survivor counting (CountMode::kEnumerate): SAT model enumeration
+/// over the selector family, projected onto the cells with a structural
+/// path to a PO -- a cell outside every output cone cannot influence any
+/// output, so its choices multiply the count instead of being enumerated.
+/// Capped at params.max_survivors; all arithmetic is overflow-checked (the
+/// per-node freedom product alone can dwarf uint64_t) and saturates to the
+/// cap instead of wrapping.
+void enumerate_survivor_count(const CamoNetlist& netlist, sat::Solver* counter,
+                              sat::CnfBuilder* family,
+                              const OracleAttackParams& params,
+                              OracleAttackResult* result) {
+    std::vector<bool> in_po_cone(static_cast<std::size_t>(netlist.num_nodes()),
+                                 false);
+    std::vector<int> stack;
+    for (int q = 0; q < netlist.num_pos(); ++q) stack.push_back(netlist.po(q));
+    while (!stack.empty()) {
+        const int id = stack.back();
+        stack.pop_back();
+        if (in_po_cone[static_cast<std::size_t>(id)]) continue;
+        in_po_cone[static_cast<std::size_t>(id)] = true;
+        for (const int f : netlist.node(id).fanins) stack.push_back(f);
+    }
+
+    std::uint64_t dead_freedom = 1;
+    bool dead_saturated = false;
+    for (int id = 0; id < netlist.num_nodes(); ++id) {
+        const std::size_t choices = family->selectors(id).size();
+        if (choices == 0 || in_po_cone[static_cast<std::size_t>(id)]) continue;
+        dead_saturated |= count::mul_overflow_u64(
+            dead_freedom, static_cast<std::uint64_t>(choices), &dead_freedom);
+        if (dead_saturated || dead_freedom > params.max_survivors) {
+            break;  // saturates below
+        }
+    }
+
+    std::uint64_t total = 0;
+    while (counter->solve() == sat::Solver::Result::kSat) {
+        const std::vector<int> config = family->config_from_model();
+        if (total == 0) result->witness_config = config;
+        const bool overflow =
+            dead_saturated || count::add_overflow_u64(total, dead_freedom, &total);
+        if (overflow || total >= params.max_survivors) {
+            result->status = OracleAttackResult::Status::kSurvivorLimit;
+            total = params.max_survivors;
+            break;
+        }
+        if (!family->block_config(config, &in_po_cone)) break;
+    }
+    result->surviving_configs = total;
+    result->survivors = count::Count128(total);
+    if (total == 0) {
+        result->status = OracleAttackResult::Status::kNoSurvivor;
     }
 }
 
@@ -180,27 +254,15 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
 
     // UNSAT: every configuration consistent with the collected I/O pairs is
     // functionally equivalent to the oracle (if any disagreed anywhere, the
-    // miter would have found the disagreeing input).  Count them by model
-    // enumeration over a single fresh selector family, projected onto the
-    // cells with a structural path to a PO: a cell outside every output
-    // cone cannot influence any output, so its choices multiply the count
-    // exactly instead of being enumerated one by one.  With shared_miter
-    // the copies fold their selector-independent constant cones; with
-    // preprocessing the instance is simplified before the model loop.
+    // miter would have found the disagreeing input).  Count them over a
+    // single fresh selector family constrained by the collected I/O pairs.
+    // With shared_miter the copies fold their selector-independent constant
+    // cones; with preprocessing the instance is simplified first (selectors
+    // are frozen, so the projected count is preserved).
     if (result.status != OracleAttackResult::Status::kIterationLimit &&
         params.enumerate_survivors) {
-        std::vector<bool> in_po_cone(static_cast<std::size_t>(netlist.num_nodes()),
-                                     false);
-        std::vector<int> stack;
-        for (int q = 0; q < r; ++q) stack.push_back(netlist.po(q));
-        while (!stack.empty()) {
-            const int id = stack.back();
-            stack.pop_back();
-            if (in_po_cone[static_cast<std::size_t>(id)]) continue;
-            in_po_cone[static_cast<std::size_t>(id)] = true;
-            for (const int f : netlist.node(id).fanins) stack.push_back(f);
-        }
-
+        result.counted = true;
+        result.count_mode = params.count_mode;
         sat::Solver counter;
         sat::CnfBuilder family(netlist, &counter, params.fixed_nominal);
         for (std::size_t i = 0; i < answers.size(); ++i) {
@@ -213,29 +275,77 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
             pre.freeze_all(fv);
             pre.run();
         }
-        unsigned __int128 dead_freedom = 1;
-        for (int id = 0; id < netlist.num_nodes(); ++id) {
-            const std::size_t choices = family.selectors(id).size();
-            if (choices == 0 || in_po_cone[static_cast<std::size_t>(id)]) continue;
-            dead_freedom *= choices;
-            if (dead_freedom > params.max_survivors) break;  // saturates below
-        }
 
-        unsigned __int128 total = 0;
-        while (counter.solve() == sat::Solver::Result::kSat) {
-            const std::vector<int> config = family.config_from_model();
-            if (total == 0) result.witness_config = config;
-            total += dead_freedom;
-            if (total >= params.max_survivors) {
-                result.status = OracleAttackResult::Status::kSurvivorLimit;
-                total = params.max_survivors;
-                break;
+        if (params.count_mode == CountMode::kEnumerate) {
+            enumerate_survivor_count(netlist, &counter, &family, params,
+                                     &result);
+        } else {
+            // Projection = every selector variable: the count is over whole
+            // configurations, dead-cone cells included (their freedom falls
+            // out of component decomposition -- a cell whose support
+            // collapsed to constants is one tiny component contributing a
+            // factor of #choices).
+            std::vector<sat::Var> projection;
+            for (int id = 0; id < netlist.num_nodes(); ++id) {
+                const std::vector<sat::Var>& sel = family.selectors(id);
+                projection.insert(projection.end(), sel.begin(), sel.end());
             }
-            if (!family.block_config(config, &in_po_cone)) break;
-        }
-        result.surviving_configs = static_cast<std::uint64_t>(total);
-        if (total == 0) {
-            result.status = OracleAttackResult::Status::kNoSurvivor;
+            const count::Cnf cnf = count::cnf_from_solver(counter, projection);
+            // One model for the witness and the emptiness check (the
+            // counters report numbers, not assignments).
+            if (counter.solve() != sat::Solver::Result::kSat) {
+                result.status = OracleAttackResult::Status::kNoSurvivor;
+            } else {
+                result.witness_config = family.config_from_model();
+                if (params.count_mode == CountMode::kExact) {
+                    count::CounterConfig cc;
+                    cc.cache_bytes =
+                        params.count_cache_mb > 0
+                            ? static_cast<std::size_t>(params.count_cache_mb)
+                                  << 20
+                            : 1u << 20;
+                    cc.max_decisions = params.count_max_decisions;
+                    count::ProjectedCounter pc(cnf, cc);
+                    const count::ProjectedCounter::Result res = pc.count();
+                    result.count_stats = res.stats;
+                    result.survivors = res.count;
+                    if (!res.exact && res.count.saturated()) {
+                        // Saturated beyond 2^128 - 1: still a hard bound.
+                        result.status =
+                            OracleAttackResult::Status::kSurvivorLimit;
+                    } else if (!res.exact) {
+                        // Decision budget exhausted (dense, decomposition-
+                        // resistant instance): fall back to the capped
+                        // enumeration so the attack still terminates with
+                        // a sound figure.  count_mode records the switch.
+                        result.count_mode = CountMode::kEnumerate;
+                        enumerate_survivor_count(netlist, &counter, &family,
+                                                 params, &result);
+                    }
+                } else {
+                    count::ApproxConfig ac;
+                    ac.epsilon = params.epsilon;
+                    ac.delta = params.delta;
+                    ac.seed = params.count_seed;
+                    count::ApproxCounter apc(cnf, ac);
+                    const count::ApproxResult res = apc.count();
+                    result.survivors = res.estimate;
+                    result.approx_xor_levels = res.xor_levels;
+                    result.approx_rounds = res.rounds;
+                    if (!res.ok) {
+                        // Every hash round failed; the witness still
+                        // proves at least one survivor.
+                        result.status =
+                            OracleAttackResult::Status::kSurvivorLimit;
+                        result.survivors = count::Count128(1);
+                    } else if (!res.exact) {
+                        result.status =
+                            OracleAttackResult::Status::kApproxSolved;
+                    }
+                }
+                result.surviving_configs =
+                    result.survivors.to_u64_saturating();
+            }
         }
     }
 

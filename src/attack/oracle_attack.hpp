@@ -14,13 +14,18 @@
 // least one of the two configurations (and usually many more), and the loop
 // repeats on the same incremental solver.  UNSAT means every configuration
 // consistent with the collected I/O pairs implements the oracle's function,
-// at which point the surviving configurations are counted exactly by model
-// enumeration over the selector variables.
+// at which point the surviving configurations are counted over the selector
+// variables -- by exact projected model counting (count::ProjectedCounter,
+// the default: uncapped, 128-bit), by an ApproxMC-style (eps, delta)
+// estimate, or by the legacy capped model enumeration (see CountMode).
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "camo/camo_netlist.hpp"
+#include "count/count128.hpp"
+#include "count/projected_counter.hpp"
 #include "sat/simplify.hpp"
 #include "sat/solver.hpp"
 
@@ -47,11 +52,53 @@ private:
     std::vector<int> config_;
 };
 
+/// How the surviving-configuration count is computed once CEGAR converges.
+enum class CountMode {
+    /// Exact projected model counting (count::ProjectedCounter) over the
+    /// selector variables: no cap, counts up to 2^128 - 1, and dead-cone
+    /// freedom falls out of component decomposition instead of a separate
+    /// multiplication.  The default.
+    kExact,
+    /// ApproxMC-style (epsilon, delta) estimate (count::ApproxCounter);
+    /// spaces under the pivot still come back exact.
+    kApprox,
+    /// Legacy SAT model enumeration projected onto the PO cone, capped at
+    /// max_survivors.  Kept for differential testing against the counters.
+    kEnumerate,
+};
+
+std::string_view count_mode_name(CountMode m);
+/// Inverse of count_mode_name; returns false on unknown names.
+bool count_mode_from_name(std::string_view name, CountMode* out);
+
 struct OracleAttackParams {
-    /// Stop the surviving-configuration count once it reaches this bound
-    /// (surviving_configs is then clamped to it and status is
-    /// kSurvivorLimit: "at least this many survive").
+    /// How to count survivors after convergence (see CountMode).
+    CountMode count_mode = CountMode::kExact;
+    /// kEnumerate only: stop the surviving-configuration count once it
+    /// reaches this bound (surviving_configs is then clamped to it and
+    /// status is kSurvivorLimit: "at least this many survive").  The
+    /// counting modes ignore it -- their counts are exact/estimated
+    /// without a cap.
     std::uint64_t max_survivors = 1u << 20;
+    /// kExact only: component-cache memory budget for the projected
+    /// counter, in MiB.
+    int count_cache_mb = 64;
+    /// kExact only: branch-decision budget before the exact counter gives
+    /// up and the attack falls back to capped enumeration (0 = unlimited).
+    /// Structured selector spaces (the regime obfuscation actually
+    /// creates: dead cones, decomposable masked freedom) count in
+    /// hundreds to tens of thousands of decisions; a dense
+    /// decomposition-resistant instance can exhaust any budget, and the
+    /// fallback keeps the attack terminating with the legacy lower bound
+    /// (a few seconds of burned budget) instead of hanging.  The fallback
+    /// is visible in the result: count_mode reads kEnumerate.
+    std::uint64_t count_max_decisions = 100'000;
+    /// kApprox only: tolerance of the (epsilon, delta) guarantee.
+    double epsilon = 0.8;
+    double delta = 0.2;
+    /// kApprox only: XOR hash sampling seed (estimates are deterministic
+    /// per seed).
+    std::uint64_t count_seed = 1;
     /// Safety valve on CEGAR iterations; 0 = unlimited.
     int max_iterations = 0;
     /// Skip the final enumeration (surviving_configs stays 0; the attack
@@ -95,16 +142,34 @@ struct OracleAttackResult {
         kSolved,          ///< CEGAR converged; count is exact
         kNoSurvivor,      ///< no configuration matches the oracle at all
         kIterationLimit,  ///< stopped by max_iterations
-        kSurvivorLimit,   ///< enumeration capped; count is a lower bound
+        kSurvivorLimit,   ///< count capped/saturated; a lower bound
+        kApproxSolved,    ///< CEGAR converged; count is an (eps, delta) estimate
     };
     Status status = Status::kSolved;
 
     /// Distinguishing-input oracle queries made (== CEGAR iterations).
     int queries = 0;
-    /// Configurations consistent with the oracle on every input; exact for
-    /// kSolved, lower bound for kSurvivorLimit.  All of them implement the
-    /// oracle's function.
+    /// Configurations consistent with the oracle on every input,
+    /// saturated to uint64 (`survivors` below is full precision); exact
+    /// for kSolved, an estimate for kApproxSolved, a lower bound for
+    /// kSurvivorLimit.  All of them implement the oracle's function.
     std::uint64_t surviving_configs = 0;
+    /// Full-precision survivor count (the authoritative figure; the
+    /// projected counter handles spaces far beyond uint64).
+    count::Count128 survivors;
+    /// True once a survivor-counting backend actually ran (false for
+    /// kIterationLimit and for enumerate_survivors == false, where the
+    /// count fields below are meaningless zeros).
+    bool counted = false;
+    /// CountMode that produced the count: the params' mode, except that
+    /// an exact run that exhausted its decision budget and fell back
+    /// reads kEnumerate.  Meaningful only when `counted`.
+    CountMode count_mode = CountMode::kExact;
+    /// Exact-counter statistics (kExact; zeroed otherwise).
+    count::CounterStats count_stats;
+    /// Approximate-counter round summary (kApprox; zeroed otherwise).
+    int approx_xor_levels = 0;
+    int approx_rounds = 0;
     /// One surviving configuration, populated by the enumeration phase
     /// only: empty for kNoSurvivor and kIterationLimit, and whenever
     /// enumerate_survivors is off.  Per-node plausible indices as consumed
@@ -119,7 +184,9 @@ struct OracleAttackResult {
     std::uint64_t shared_cells = 0;
     double seconds = 0.0;
 
-    bool solved() const { return status == Status::kSolved; }
+    bool solved() const {
+        return status == Status::kSolved || status == Status::kApproxSolved;
+    }
 };
 
 /// Runs the CEGAR attack on `netlist` against `oracle`.  The oracle must

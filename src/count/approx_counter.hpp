@@ -1,0 +1,82 @@
+#pragma once
+// (epsilon, delta) approximate projected model counting, ApproxMC style.
+//
+// Universal-hashing estimator: random XOR constraints over the projection
+// set partition the projected solution space into ~2^m cells; if the cell
+// containing the all-satisfying region still holds between 1 and `pivot`
+// solutions (counted by bounded enumeration on sat::Solver), then
+// cell_count * 2^m estimates the total.  The median over enough independent
+// rounds lands within a (1 + epsilon) factor of the true count with
+// probability at least 1 - delta (constants from Chakraborty, Meel &
+// Vardi's ApproxMC2).
+//
+// This is the fallback for selector spaces where the exact counter's
+// component structure degenerates (cache budget exhausted, branch blowup):
+// its cost scales with pivot * #rounds * #XOR levels, not with the count.
+// Spaces small enough to enumerate under the pivot are counted exactly and
+// reported as such.
+
+#include <cstdint>
+
+#include "count/cnf.hpp"
+#include "count/count128.hpp"
+
+namespace mvf::count {
+
+struct ApproxConfig {
+    /// Multiplicative tolerance: the estimate is within [C/(1+eps),
+    /// C*(1+eps)] of the true count C with probability >= 1 - delta.
+    double epsilon = 0.8;
+    double delta = 0.2;
+    /// Seed for the XOR hash sampling (estimates are deterministic per
+    /// seed).
+    std::uint64_t seed = 1;
+    /// Work bounds (0 = unlimited): CDCL without XOR-aware propagation
+    /// can wedge on a single dense hash level, so each solve() carries a
+    /// conflict budget, the whole count a solver-call budget, and three
+    /// consecutive budget-failed rounds abort the estimate.  A bounded
+    /// failure surfaces as ok == false (the attack layer reports the
+    /// survivor-limit lower bound) instead of a hang.
+    std::uint64_t max_conflicts_per_solve = 100'000;
+    std::uint64_t max_solver_calls = 200'000;
+    /// Wall-clock budget for the whole count() in seconds (0 = unlimited).
+    /// Only the failure path depends on it: estimates that complete are
+    /// deterministic per seed regardless.
+    double max_seconds = 60.0;
+};
+
+struct ApproxResult {
+    Count128 estimate;
+    /// At least one round produced an accepting cell (always true when
+    /// `exact` is).  False means the estimate failed: either the work
+    /// budgets above expired (plain CDCL drowning in dense XOR levels --
+    /// the expected failure mode on very large spaces) or, astronomically
+    /// unlikely, every hash round missed its accepting window.
+    bool ok = false;
+    /// The projected space fit under the pivot and was counted exactly by
+    /// bounded enumeration (no XOR rounds were needed).
+    bool exact = false;
+    int xor_levels = 0;  ///< median XOR constraints per accepting round
+    int rounds = 0;      ///< accepting rounds medianed over
+    std::uint64_t solver_calls = 0;  ///< incremental SAT solve() calls
+
+    /// True count C vs estimate E: the (epsilon, delta) guarantee promises
+    /// C/(1+eps) <= E <= C*(1+eps) with probability 1-delta.
+    static bool within_envelope(const Count128& estimate,
+                                const Count128& true_count, double epsilon);
+};
+
+class ApproxCounter {
+public:
+    /// Throws std::invalid_argument for epsilon <= 0 or delta outside
+    /// (0, 1).
+    explicit ApproxCounter(Cnf cnf, ApproxConfig config = {});
+
+    ApproxResult count();
+
+private:
+    Cnf cnf_;
+    ApproxConfig config_;
+};
+
+}  // namespace mvf::count

@@ -1,0 +1,22 @@
+#include "count/cnf.hpp"
+
+#include <cassert>
+
+namespace mvf::count {
+
+Cnf cnf_from_solver(const sat::Solver& solver,
+                    std::span<const sat::Var> projection) {
+    Cnf cnf;
+    cnf.num_vars = solver.num_vars();
+    cnf.clauses = solver.snapshot_clauses();
+    cnf.projection.assign(projection.begin(), projection.end());
+#ifndef NDEBUG
+    for (const sat::Var v : cnf.projection) {
+        assert(v >= 0 && v < cnf.num_vars);
+        assert(!solver.var_eliminated(v));
+    }
+#endif
+    return cnf;
+}
+
+}  // namespace mvf::count

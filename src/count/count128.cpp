@@ -1,0 +1,71 @@
+#include "count/count128.hpp"
+
+#include <vector>
+
+namespace mvf::count {
+
+namespace {
+
+/// Divides (hi, lo) in place by `d` (which must satisfy d < 2^63) and
+/// returns the remainder.  The quotient's high word is hi / d; the low word
+/// comes from bit-serial long division of (hi % d) * 2^64 + lo, whose
+/// running remainder stays below 2d < 2^64.
+std::uint64_t divmod_u128(std::uint64_t* hi, std::uint64_t* lo,
+                          std::uint64_t d) {
+    const std::uint64_t q_hi = *hi / d;
+    std::uint64_t r = *hi % d;
+    std::uint64_t q_lo = 0;
+    for (int bit = 63; bit >= 0; --bit) {
+        r = (r << 1) | ((*lo >> bit) & 1);
+        q_lo <<= 1;
+        if (r >= d) {
+            r -= d;
+            q_lo |= 1;
+        }
+    }
+    *hi = q_hi;
+    *lo = q_lo;
+    return r;
+}
+
+constexpr std::uint64_t kChunk = 1000000000000000000ull;  // 10^18 < 2^63
+
+}  // namespace
+
+std::string Count128::to_string() const {
+    std::uint64_t hi = hi_, lo = lo_;
+    std::vector<std::string> chunks;
+    do {
+        const std::uint64_t digits = divmod_u128(&hi, &lo, kChunk);
+        std::string chunk = std::to_string(digits);
+        if (hi != 0 || lo != 0) {
+            chunk = std::string(18 - chunk.size(), '0') + chunk;
+        }
+        chunks.push_back(std::move(chunk));
+    } while (hi != 0 || lo != 0);
+    std::string out = saturated_ ? ">=" : "";
+    for (auto it = chunks.rbegin(); it != chunks.rend(); ++it) out += *it;
+    return out;
+}
+
+bool Count128::from_string(const std::string& text, Count128* out) {
+    std::size_t i = 0;
+    bool saturated = false;
+    if (text.size() >= 2 && text[0] == '>' && text[1] == '=') {
+        saturated = true;
+        i = 2;
+    }
+    if (i >= text.size()) return false;
+    Count128 value;
+    for (; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c < '0' || c > '9') return false;
+        value.mul_u64(10);
+        value.add_u64(static_cast<std::uint64_t>(c - '0'));
+    }
+    if (saturated || value.saturated_) value.saturate();
+    *out = value;
+    return true;
+}
+
+}  // namespace mvf::count

@@ -1,0 +1,414 @@
+#include "count/projected_counter.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mvf::count {
+
+using sat::Lit;
+using sat::Var;
+
+ProjectedCounter::ProjectedCounter(Cnf cnf, CounterConfig config)
+    : config_(config), num_vars_(cnf.num_vars) {
+    is_proj_.assign(static_cast<std::size_t>(num_vars_), false);
+    projection_.reserve(cnf.projection.size());
+    for (const Var v : cnf.projection) {
+        assert(v >= 0 && v < num_vars_);
+        if (!is_proj_[static_cast<std::size_t>(v)]) {
+            is_proj_[static_cast<std::size_t>(v)] = true;
+            projection_.push_back(v);
+        }
+    }
+    std::sort(projection_.begin(), projection_.end());
+    val_.assign(static_cast<std::size_t>(num_vars_), -1);
+    stamp_.assign(static_cast<std::size_t>(num_vars_), 0);
+    slot_of_.assign(static_cast<std::size_t>(num_vars_), -1);
+
+    // Normalize into the immutable database: sorted deduplicated literals,
+    // tautologies dropped, an empty clause marking the whole formula
+    // unsatisfiable.
+    db_.reserve(cnf.clauses.size());
+    for (auto& in : cnf.clauses) {
+        std::vector<Lit> c = std::move(in);
+        std::sort(c.begin(), c.end());
+        c.erase(std::unique(c.begin(), c.end()), c.end());
+        bool tautology = false;
+        for (std::size_t j = 0; j + 1 < c.size(); ++j) {
+            if (c[j + 1] == sat::lit_not(c[j])) {
+                tautology = true;
+                break;
+            }
+        }
+        if (tautology) continue;
+        if (c.empty()) {
+            root_conflict_ = true;
+            break;
+        }
+        db_.push_back(std::move(c));
+    }
+}
+
+void ProjectedCounter::assign(Lit l) {
+    assert(lit_value(l) == -1);
+    val_[static_cast<std::size_t>(sat::lit_var(l))] =
+        sat::lit_negated(l) ? 0 : 1;
+    trail_.push_back(l);
+    ++stats_.propagations;
+}
+
+void ProjectedCounter::undo_to(std::size_t mark) {
+    while (trail_.size() > mark) {
+        val_[static_cast<std::size_t>(sat::lit_var(trail_.back()))] = -1;
+        trail_.pop_back();
+    }
+}
+
+/// Unit propagation over the clause-index set, to fixpoint.  Returns false
+/// on a conflict (a clause with every literal false).
+bool ProjectedCounter::bcp(const std::vector<int>& cls) {
+    std::vector<unsigned char> active(cls.size(), 1);
+    bool again = true;
+    while (again) {
+        again = false;
+        for (std::size_t i = 0; i < cls.size(); ++i) {
+            if (!active[i]) continue;
+            const std::vector<Lit>& c = db_[static_cast<std::size_t>(cls[i])];
+            Lit unit = -1;
+            int unassigned = 0;
+            bool satisfied = false;
+            for (const Lit l : c) {
+                const int v = lit_value(l);
+                if (v == 1) {
+                    satisfied = true;
+                    break;
+                }
+                if (v == -1) {
+                    if (++unassigned > 1) break;
+                    unit = l;
+                }
+            }
+            if (satisfied) {
+                active[i] = 0;
+                continue;
+            }
+            if (unassigned == 0) return false;
+            if (unassigned == 1) {
+                assign(unit);
+                active[i] = 0;
+                again = true;
+            }
+        }
+    }
+    return true;
+}
+
+/// Cache key: the residual formula with variables renamed to their rank in
+/// the component (plus a bitmask of which ranks are projection variables).
+/// Renaming makes isomorphic components collide on purpose -- the CEGAR
+/// enumeration instance stamps one circuit copy per I/O pattern, so
+/// structurally identical subcircuits recur across copies under different
+/// auxiliary variable ids, and equal keys imply a projection-preserving
+/// isomorphism, hence equal counts.
+std::vector<std::uint32_t> ProjectedCounter::encode(const Component& comp) {
+    const int stamp = ++stamp_counter_;
+    for (std::size_t i = 0; i < comp.vars.size(); ++i) {
+        const Var v = comp.vars[i];
+        stamp_[static_cast<std::size_t>(v)] = stamp;
+        slot_of_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+    }
+    std::vector<std::uint32_t> key;
+    key.reserve(comp.vars.size() / 32 + comp.cls.size() * 4 + 2);
+    key.push_back(static_cast<std::uint32_t>(comp.vars.size()));
+    std::uint32_t word = 0;
+    for (std::size_t i = 0; i < comp.vars.size(); ++i) {
+        if (is_proj_[static_cast<std::size_t>(comp.vars[i])]) {
+            word |= 1u << (i % 32);
+        }
+        if (i % 32 == 31) {
+            key.push_back(word);
+            word = 0;
+        }
+    }
+    key.push_back(word);
+    for (const int ci : comp.cls) {
+        for (const Lit l : db_[static_cast<std::size_t>(ci)]) {
+            if (lit_value(l) != -1) continue;
+            const int local =
+                slot_of_[static_cast<std::size_t>(sat::lit_var(l))];
+            key.push_back(static_cast<std::uint32_t>(
+                2 * local + (sat::lit_negated(l) ? 1 : 0) + 1));
+        }
+        key.push_back(0);  // clause separator (literals encode as >= 1)
+    }
+    return key;
+}
+
+void ProjectedCounter::cache_store(std::vector<std::uint32_t> key,
+                                   const Count128& value) {
+    const std::size_t bytes = key.size() * sizeof(std::uint32_t) + 64;
+    if (bytes > config_.cache_bytes / 4) return;  // would only thrash
+    cache_bytes_ += bytes;
+    cache_.emplace(std::move(key), value);
+    ++stats_.cache_stores;
+    stats_.cache_peak_bytes = std::max(stats_.cache_peak_bytes, cache_bytes_);
+    if (cache_bytes_ <= config_.cache_bytes) return;
+    // Budget exceeded: evict every other entry.  Counts never depend on
+    // what is cached, so any victim choice is sound; alternating keeps the
+    // sweep cheap and roughly halves the footprint.
+    bool victim = false;
+    for (auto it = cache_.begin(); it != cache_.end();) {
+        if (victim) {
+            cache_bytes_ -= it->first.size() * sizeof(std::uint32_t) + 64;
+            it = cache_.erase(it);
+            ++stats_.cache_evictions;
+        } else {
+            ++it;
+        }
+        victim = !victim;
+    }
+}
+
+/// Plain DPLL existence check for components without projection variables.
+bool ProjectedCounter::exists(const std::vector<int>& cls) {
+    // Find a branch literal among the still-unsatisfied clauses.
+    Lit branch = -1;
+    for (const int ci : cls) {
+        const std::vector<Lit>& c = db_[static_cast<std::size_t>(ci)];
+        bool satisfied = false;
+        Lit candidate = -1;
+        for (const Lit l : c) {
+            const int v = lit_value(l);
+            if (v == 1) {
+                satisfied = true;
+                break;
+            }
+            if (v == -1 && candidate < 0) candidate = l;
+        }
+        if (!satisfied && candidate >= 0) {
+            branch = candidate;
+            break;
+        }
+    }
+    if (branch < 0) return true;  // every clause satisfied
+    ++stats_.decisions;
+    if (config_.max_decisions > 0 && stats_.decisions > config_.max_decisions) {
+        // The budget applies to existence branching too: a projection-free
+        // component can still hide an exponential DPLL.  The unwound
+        // result is garbage, so aborted_ gates every consumer.
+        aborted_ = true;
+        return false;
+    }
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        const std::size_t mark = trail_.size();
+        assign(attempt == 0 ? branch : sat::lit_not(branch));
+        const bool found = bcp(cls) && exists(cls);
+        undo_to(mark);
+        if (found) return true;
+    }
+    return false;
+}
+
+/// Builds the residual of `parent` under the current assignment, splits it
+/// into variable-connected components, and returns the product of their
+/// counts times 2^k for the parent's projection variables that came free
+/// (unassigned and no longer constrained by any clause).
+Count128 ProjectedCounter::count_children(const Component& parent) {
+    // Residual clauses and their unassigned variables.
+    std::vector<int> residual;
+    residual.reserve(parent.cls.size());
+    for (const int ci : parent.cls) {
+        const std::vector<Lit>& c = db_[static_cast<std::size_t>(ci)];
+        bool satisfied = false;
+        for (const Lit l : c) {
+            if (lit_value(l) == 1) {
+                satisfied = true;
+                break;
+            }
+        }
+        if (!satisfied) residual.push_back(ci);
+    }
+
+    // Union-find over the residual's variables.  slot_of_ maps a variable
+    // to its dense index; entries are only read behind a matching stamp,
+    // so the member array never needs clearing between calls.
+    const int stamp = ++stamp_counter_;
+    std::vector<Var> vars;
+    std::vector<int> uf;
+    const auto slot = [&](Var v) {
+        if (stamp_[static_cast<std::size_t>(v)] != stamp) {
+            stamp_[static_cast<std::size_t>(v)] = stamp;
+            slot_of_[static_cast<std::size_t>(v)] =
+                static_cast<int>(vars.size());
+            vars.push_back(v);
+            uf.push_back(static_cast<int>(uf.size()));
+        }
+        return slot_of_[static_cast<std::size_t>(v)];
+    };
+    const auto find = [&uf](int i) {
+        while (uf[static_cast<std::size_t>(i)] != i) {
+            uf[static_cast<std::size_t>(i)] =
+                uf[static_cast<std::size_t>(uf[static_cast<std::size_t>(i)])];
+            i = uf[static_cast<std::size_t>(i)];
+        }
+        return i;
+    };
+    for (const int ci : residual) {
+        int first = -1;
+        for (const Lit l : db_[static_cast<std::size_t>(ci)]) {
+            if (lit_value(l) != -1) continue;
+            const int s = slot(sat::lit_var(l));
+            if (first < 0) {
+                first = find(s);
+            } else {
+                uf[static_cast<std::size_t>(find(s))] = first;
+                first = find(first);
+            }
+        }
+    }
+
+    // Projection variables of the parent that dropped out of every clause
+    // multiply the count by 2 each.
+    int free_proj = 0;
+    for (const Var v : parent.vars) {
+        if (!is_proj_[static_cast<std::size_t>(v)]) continue;
+        if (val_[static_cast<std::size_t>(v)] >= 0) continue;
+        if (stamp_[static_cast<std::size_t>(v)] == stamp) continue;
+        ++free_proj;
+    }
+    Count128 total = Count128::one();
+    total.shift_left(free_proj);
+    if (residual.empty()) return total;
+
+    // Group clauses (and then variables) by union-find root.
+    std::vector<int> comp_of(vars.size(), -1);
+    std::vector<Component> comps;
+    for (const int ci : residual) {
+        int root = -1;
+        for (const Lit l : db_[static_cast<std::size_t>(ci)]) {
+            if (lit_value(l) == -1) {
+                root = find(
+                    slot_of_[static_cast<std::size_t>(sat::lit_var(l))]);
+                break;
+            }
+        }
+        assert(root >= 0);
+        if (comp_of[static_cast<std::size_t>(root)] < 0) {
+            comp_of[static_cast<std::size_t>(root)] =
+                static_cast<int>(comps.size());
+            comps.emplace_back();
+        }
+        comps[static_cast<std::size_t>(
+                  comp_of[static_cast<std::size_t>(root)])]
+            .cls.push_back(ci);
+    }
+    for (std::size_t s = 0; s < vars.size(); ++s) {
+        const int c = comp_of[static_cast<std::size_t>(find(static_cast<int>(s)))];
+        assert(c >= 0);
+        comps[static_cast<std::size_t>(c)].vars.push_back(vars[s]);
+    }
+
+    for (Component& comp : comps) {
+        ++stats_.components;
+        std::sort(comp.vars.begin(), comp.vars.end());
+        // comp.cls is already sorted: residual preserves parent.cls order.
+        total.mul(count_component(std::move(comp)));
+        if (total.is_zero() && !total.saturated()) break;
+        if (aborted_) break;
+    }
+    return total;
+}
+
+Count128 ProjectedCounter::count_component(Component&& comp) {
+    if (aborted_) return Count128::zero();
+    std::vector<std::uint32_t> key = encode(comp);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+        ++stats_.cache_hits;
+        return it->second;
+    }
+
+    // Branch on the projection variable whose occurrences sit in the
+    // shortest residual clauses (score ~ sum over clauses of 2^-len, like
+    // sharpSAT's clause-length weighting): on circuit instances that is
+    // the propagation frontier -- a selector whose cell's pins are already
+    // pinned down propagates its output through every copy and shatters
+    // the component.  Ties go to the smallest variable id; deterministic.
+    Var branch = -1;
+    {
+        std::vector<std::uint64_t> score(comp.vars.size(), 0);
+        std::vector<std::size_t> proj_slots;
+        for (const int ci : comp.cls) {
+            proj_slots.clear();
+            int len = 0;
+            for (const Lit l : db_[static_cast<std::size_t>(ci)]) {
+                if (lit_value(l) != -1) continue;
+                ++len;
+                const Var v = sat::lit_var(l);
+                if (!is_proj_[static_cast<std::size_t>(v)]) continue;
+                const auto it = std::lower_bound(comp.vars.begin(),
+                                                 comp.vars.end(), v);
+                proj_slots.push_back(static_cast<std::size_t>(
+                    std::distance(comp.vars.begin(), it)));
+            }
+            const std::uint64_t w = 1ull << (len < 16 ? 32 - 2 * len : 0);
+            for (const std::size_t s : proj_slots) score[s] += w;
+        }
+        std::uint64_t best = 0;
+        for (std::size_t i = 0; i < comp.vars.size(); ++i) {
+            if (score[i] > best) {
+                best = score[i];
+                branch = comp.vars[i];
+            }
+        }
+    }
+    if (branch < 0) {
+        // No projection variable: the component only gates whether an
+        // extension exists.
+        ++stats_.sat_checks;
+        const Count128 r =
+            exists(comp.cls) ? Count128::one() : Count128::zero();
+        if (aborted_) return Count128::zero();  // partial: never cache
+        cache_store(std::move(key), r);
+        return r;
+    }
+
+    Count128 total;
+    for (int b = 0; b < 2; ++b) {
+        ++stats_.decisions;
+        if (config_.max_decisions > 0 &&
+            stats_.decisions > config_.max_decisions) {
+            aborted_ = true;
+            return Count128::zero();
+        }
+        const std::size_t mark = trail_.size();
+        assign(sat::mk_lit(branch, /*negated=*/b == 0));
+        if (bcp(comp.cls)) {
+            total.add(count_children(comp));
+        }
+        undo_to(mark);
+        if (aborted_) return Count128::zero();
+    }
+    cache_store(std::move(key), total);
+    return total;
+}
+
+ProjectedCounter::Result ProjectedCounter::count() {
+    Result result;
+    if (!root_conflict_) {
+        Component root;
+        root.vars = projection_;
+        root.cls.resize(db_.size());
+        for (std::size_t i = 0; i < db_.size(); ++i) {
+            root.cls[i] = static_cast<int>(i);
+        }
+        if (bcp(root.cls)) {
+            result.count = count_children(root);
+        }
+        undo_to(0);
+    }
+    result.exact = !aborted_ && !result.count.saturated();
+    stats_.cache_entries = cache_.size();
+    result.stats = stats_;
+    return result;
+}
+
+}  // namespace mvf::count

@@ -1,0 +1,140 @@
+#pragma once
+// Exact projected model counting (#SAT over a projection set), sharpSAT
+// style: DPLL-with-counting that branches only on projection variables,
+// decomposes the residual formula into variable-disjoint connected
+// components, and memoizes component counts in a hashed cache under a
+// memory budget.
+//
+// This is the subsystem that removes the attack layer's survivor-
+// enumeration cap (ROADMAP: "a projected model counter ... would remove
+// the cap on large spaces").  The enumeration attacker pays one SAT model
+// per surviving configuration, so a netlist with 2^40 surviving selector
+// assignments only ever reports "at least 2^20"; the projected counter
+// instead *counts* them -- summing over branch decisions, multiplying
+// across independent components (a dead-cone cell whose support collapsed
+// to constants is one tiny component contributing x#choices), and shifting
+// by 2^k for projection variables no active clause constrains.
+//
+// Representation (the part that makes caching work): the clause database
+// is immutable; a component is a sorted list of unassigned variables plus
+// a sorted list of clause indices that are unsatisfied under the current
+// partial assignment.  Those two lists determine the residual subformula
+// exactly (a residual clause is its unassigned literals), so they double
+// as the cache key -- a few words per clause instead of a copy of it.
+//
+// Semantics: count() returns |{ assignments a to `projection` : F|a is
+// satisfiable }|.  Components containing no projection variable contribute
+// 1 or 0 via a plain DPLL existence check.  Counts are Count128 and
+// saturate (flagged, never wrapped) beyond 2^128 - 1.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "count/cnf.hpp"
+#include "count/count128.hpp"
+
+namespace mvf::count {
+
+struct CounterConfig {
+    /// Component-cache memory budget in bytes.  When exceeded, half the
+    /// cache is evicted (counted in CounterStats::cache_evictions); the
+    /// result stays exact, only the reuse rate degrades.
+    std::size_t cache_bytes = 64ull << 20;
+    /// Safety valve on branch decisions; 0 = unlimited.  When exceeded the
+    /// search aborts and Result::exact is false.
+    std::uint64_t max_decisions = 0;
+};
+
+struct CounterStats {
+    std::uint64_t decisions = 0;      ///< branches taken (counting + existence)
+    std::uint64_t propagations = 0;   ///< literals assigned by BCP
+    std::uint64_t components = 0;     ///< components created by decomposition
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_stores = 0;
+    std::uint64_t cache_evictions = 0;  ///< entries dropped by budget sweeps
+    std::uint64_t sat_checks = 0;  ///< existence checks on projection-free components
+    std::size_t cache_entries = 0;  ///< resident entries after count()
+    std::size_t cache_peak_bytes = 0;
+
+    bool operator==(const CounterStats&) const = default;
+};
+
+class ProjectedCounter {
+public:
+    explicit ProjectedCounter(Cnf cnf, CounterConfig config = {});
+
+    struct Result {
+        Count128 count;
+        /// True for an exact count; false when the count saturated 128
+        /// bits or the decision cap aborted the search (the count is then
+        /// a lower bound / partial figure respectively).
+        bool exact = true;
+        CounterStats stats;
+    };
+
+    /// Runs the count.  Deterministic: identical Cnf inputs give identical
+    /// counts regardless of the cache budget (which only affects cache_*
+    /// figures and runtime).
+    Result count();
+
+private:
+    /// One decomposition unit: the unassigned variables (sorted) and the
+    /// unsatisfied clause indices (sorted) of a variable-connected region.
+    struct Component {
+        std::vector<sat::Var> vars;
+        std::vector<int> cls;
+    };
+
+    struct KeyHash {
+        std::size_t operator()(const std::vector<std::uint32_t>& key) const {
+            std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+            for (const std::uint32_t word : key) {
+                h ^= word;
+                h *= 1099511628211ull;
+            }
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    /// -1 unknown, else 0/1 under the current partial assignment.
+    int lit_value(sat::Lit l) const {
+        const signed char v = val_[static_cast<std::size_t>(sat::lit_var(l))];
+        if (v < 0) return -1;
+        return (v != 0) != sat::lit_negated(l) ? 1 : 0;
+    }
+    void assign(sat::Lit l);
+    void undo_to(std::size_t mark);
+
+    bool bcp(const std::vector<int>& cls);
+    Count128 count_children(const Component& parent);
+    Count128 count_component(Component&& comp);
+    bool exists(const std::vector<int>& cls);
+    std::vector<std::uint32_t> encode(const Component& comp);
+    void cache_store(std::vector<std::uint32_t> key, const Count128& value);
+
+    CounterConfig config_;
+    CounterStats stats_;
+
+    int num_vars_ = 0;
+    std::vector<std::vector<sat::Lit>> db_;  ///< normalized, immutable
+    std::vector<sat::Var> projection_;
+    std::vector<bool> is_proj_;
+    bool root_conflict_ = false;
+
+    std::vector<signed char> val_;
+    std::vector<sat::Lit> trail_;
+    /// Scratch stamps for residual-variable membership tests (a fresh
+    /// stamp value per use keeps it reentrant across recursion).
+    std::vector<int> stamp_;
+    /// Variable -> dense slot for the decomposition union-find; valid only
+    /// behind a matching stamp_, so it is never cleared.
+    std::vector<int> slot_of_;
+    int stamp_counter_ = 0;
+    bool aborted_ = false;
+
+    std::unordered_map<std::vector<std::uint32_t>, Count128, KeyHash> cache_;
+    std::size_t cache_bytes_ = 0;
+};
+
+}  // namespace mvf::count

@@ -50,6 +50,18 @@ std::uint64_t parse_u64(const std::string& value, int line,
     }
 }
 
+double parse_double(const std::string& value, int line,
+                    const std::string& key) {
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        spec_error(line, key + " is not a number: \"" + value + "\"");
+    }
+}
+
 std::vector<std::string> split_csv(const std::string& value) {
     std::vector<std::string> out;
     std::string item;
@@ -133,6 +145,12 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
         std::string token;
         Scenario s;
         bool any = false;
+        // Counting-key bookkeeping for the contradiction checks below.
+        bool explicit_mode = false;
+        bool has_eps_delta = false;
+        bool has_cache_mb = false;
+        bool has_max_survivors = false;
+        bool counting_disabled = false;  // explicit enum_survivors=0
         while (tokens >> token) {
             any = true;
             const std::size_t eq = token.find('=');
@@ -175,10 +193,34 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
             } else if (key == "max_survivors") {
                 // Cap on the CEGAR survivor enumeration; small values keep
                 // attack scenarios fast on huge configuration spaces.
+                // Only meaningful for count_mode=enumerate (and implies it
+                // when no count_mode is given -- see below).
                 s.params.oracle.max_survivors = parse_u64(value, line_no, key);
+                has_max_survivors = true;
+            } else if (key == "count_mode") {
+                if (!attack::count_mode_from_name(
+                        value, &s.params.oracle.count_mode)) {
+                    spec_error(line_no, "count_mode must be exact, approx or "
+                                        "enumerate, got \"" + value + "\"");
+                }
+                explicit_mode = true;
+            } else if (key == "count_cache_mb") {
+                s.params.oracle.count_cache_mb = parse_int(value, line_no, key);
+                has_cache_mb = true;
+            } else if (key == "count_max_decisions") {
+                s.params.oracle.count_max_decisions =
+                    parse_u64(value, line_no, key);
+                has_cache_mb = true;  // same exact-only applicability rule
+            } else if (key == "epsilon") {
+                s.params.oracle.epsilon = parse_double(value, line_no, key);
+                has_eps_delta = true;
+            } else if (key == "delta") {
+                s.params.oracle.delta = parse_double(value, line_no, key);
+                has_eps_delta = true;
             } else if (key == "enum_survivors") {
                 s.params.oracle.enumerate_survivors =
                     parse_flag(value, line_no, key);
+                counting_disabled = !s.params.oracle.enumerate_survivors;
             } else if (key == "preprocess") {
                 s.params.oracle.solver.preprocess =
                     parse_flag(value, line_no, key);
@@ -192,11 +234,56 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
                            "unknown key \"" + key +
                                "\" (name funcs seed population generations "
                                "attack baseline camo verify final_best "
+                               "count_mode count_cache_mb "
+                               "count_max_decisions epsilon delta "
                                "max_survivors enum_survivors preprocess "
                                "shared_miter canonical_inputs)");
             }
         }
         if (!any) continue;  // blank/comment line
+        // Reject contradictory counting keys instead of silently ignoring
+        // them (each key only applies to one CountMode, and none applies
+        // when counting is switched off entirely).
+        using attack::CountMode;
+        if (counting_disabled &&
+            (explicit_mode || has_eps_delta || has_cache_mb ||
+             has_max_survivors)) {
+            spec_error(line_no,
+                       "enum_survivors=0 skips survivor counting; it "
+                       "contradicts count_mode/epsilon/delta/"
+                       "count_cache_mb/max_survivors");
+        }
+        if (has_eps_delta && (!(s.params.oracle.epsilon > 0.0) ||
+                              !(s.params.oracle.delta > 0.0 &&
+                                s.params.oracle.delta < 1.0))) {
+            spec_error(line_no,
+                       "epsilon must be > 0 and delta in (0, 1)");
+        }
+        if (has_cache_mb && s.params.oracle.count_cache_mb <= 0) {
+            spec_error(line_no, "count_cache_mb must be > 0");
+        }
+        if (has_max_survivors) {
+            if (explicit_mode &&
+                s.params.oracle.count_mode != CountMode::kEnumerate) {
+                spec_error(line_no,
+                           "max_survivors only applies to "
+                           "count_mode=enumerate");
+            }
+            // Legacy specs cap enumeration without naming a mode.
+            s.params.oracle.count_mode = CountMode::kEnumerate;
+        }
+        if (has_eps_delta &&
+            (!explicit_mode ||
+             s.params.oracle.count_mode != CountMode::kApprox)) {
+            spec_error(line_no,
+                       "epsilon/delta require count_mode=approx");
+        }
+        if (has_cache_mb &&
+            s.params.oracle.count_mode != CountMode::kExact) {
+            spec_error(line_no,
+                       "count_cache_mb/count_max_decisions only apply to "
+                       "count_mode=exact");
+        }
         if (s.name.empty()) {
             s.name = s.family + std::to_string(s.n) + "-s" +
                      std::to_string(s.params.seed);

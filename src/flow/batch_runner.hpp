@@ -39,8 +39,12 @@ std::vector<ViableFunction> scenario_functions(const Scenario& scenario);
 /// Parses the spec format above; throws std::invalid_argument with a line
 /// number on malformed input.  Recognized keys: name, funcs=family:n, seed,
 /// population, generations, attack (comma-separated adversaries or "none"),
-/// baseline, camo, verify, final_best (0/1 flags), max_survivors,
-/// enum_survivors.
+/// baseline, camo, verify, final_best (0/1 flags),
+/// count_mode=exact|approx|enumerate, count_cache_mb (exact),
+/// epsilon/delta (approx), max_survivors (enumerate; implies it when no
+/// count_mode is named), enum_survivors, preprocess, shared_miter,
+/// canonical_inputs.  Contradictory counting keys (e.g. epsilon with
+/// count_mode=enumerate) are rejected, not ignored.
 std::vector<Scenario> parse_scenario_spec(const std::string& text);
 
 /// parse_scenario_spec over a file's contents.

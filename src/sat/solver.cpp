@@ -132,6 +132,19 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     return true;
 }
 
+std::vector<std::vector<Lit>> Solver::snapshot_clauses() const {
+    assert(decision_level() == 0);
+    if (!ok_) return {{}};
+    std::vector<std::vector<Lit>> out;
+    out.reserve(trail_.size() + clauses_.size());
+    for (const Lit l : trail_) out.push_back({l});
+    for (const Clause& c : clauses_) {
+        if (c.learned) continue;
+        out.push_back(c.lits);
+    }
+    return out;
+}
+
 void Solver::attach(int clause_idx) {
     const Clause& c = clauses_[static_cast<std::size_t>(clause_idx)];
     // The sibling watched literal doubles as the blocker: for binary
@@ -489,6 +502,7 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
     std::uint64_t restart_round = 0;
     std::uint64_t conflicts_until_restart = 64 * luby(restart_round);
     std::uint64_t conflicts_this_round = 0;
+    std::uint64_t conflicts_this_call = 0;
 
     std::vector<Lit> learned;
     while (true) {
@@ -496,6 +510,19 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
         if (conflict >= 0) {
             ++stats_.conflicts;
             ++conflicts_this_round;
+            // NB the level-0 check below must come first: a level-0
+            // conflict is a definitive UNSAT verdict (and must set ok_ --
+            // returning kUnknown instead would leave the poisoned level-0
+            // trail the handler's comment warns about), so the budget
+            // never preempts it.
+            if (decision_level() != 0 && conflict_budget_ > 0 &&
+                ++conflicts_this_call > conflict_budget_) {
+                // Budget exhausted: give up on THIS call only.  The
+                // learned clauses stay (they are entailed), the trail
+                // unwinds to level 0, and the solver remains usable.
+                backtrack(0);
+                return Result::kUnknown;
+            }
             if (decision_level() == 0) {
                 // A level-0 conflict is independent of any assumptions: the
                 // clause database itself is contradictory.  Without ok_ the

@@ -35,7 +35,9 @@ enum class Value : std::uint8_t { kFalse = 0, kTrue = 1, kUnknown = 2 };
 
 class Solver {
 public:
-    enum class Result { kSat, kUnsat };
+    /// kUnknown is only possible when a per-call conflict budget is set
+    /// (set_conflict_budget): the call gave up, the solver stays usable.
+    enum class Result { kSat, kUnsat, kUnknown };
 
     struct Stats {
         std::uint64_t conflicts = 0;
@@ -93,6 +95,18 @@ public:
     /// later solve() returns kUnsat).
     bool ok() const { return ok_; }
 
+    /// Snapshot of the problem formula for external consumers (the
+    /// count::ProjectedCounter/ApproxCounter subsystem): every non-learned
+    /// clause plus every level-0 trail literal as a unit clause.  Level-0
+    /// literals are implied by the formula, so including them preserves
+    /// the model set while handing the consumer the solver's propagation
+    /// work for free.  Variables removed by preprocessing simply do not
+    /// appear (bounded variable elimination preserves satisfiability
+    /// projected onto the remaining -- in particular all frozen --
+    /// variables).  When ok() is false the snapshot is a single empty
+    /// clause.  Requires decision level 0 (always true outside solve()).
+    std::vector<std::vector<Lit>> snapshot_clauses() const;
+
     const Stats& stats() const { return stats_; }
 
     /// Overrides the learned-clause budget (the count above which the
@@ -101,6 +115,14 @@ public:
     /// Testing/tuning hook.
     void set_learned_limit(std::uint64_t limit) {
         learned_budget_ = static_cast<double>(limit);
+    }
+
+    /// Per-solve() conflict budget; a call that exceeds it returns
+    /// Result::kUnknown instead of running unboundedly (the approximate
+    /// counter leans on this -- CDCL on dense XOR constraints can wedge a
+    /// single call).  0 (the default) means unlimited.
+    void set_conflict_budget(std::uint64_t conflicts) {
+        conflict_budget_ = conflicts;
     }
 
 private:
@@ -176,6 +198,7 @@ private:
     std::vector<int> heap_;
     std::vector<int> heap_pos_;
 
+    std::uint64_t conflict_budget_ = 0;  // per-call; 0 = unlimited
     double cla_inc_ = 1.0;
     std::uint64_t num_learned_ = 0;  // learned clauses currently in the DB
     double learned_budget_ = 0.0;    // adaptive limit; grows after each reduce

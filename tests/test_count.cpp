@@ -1,0 +1,602 @@
+// Tests for the projected model-counting subsystem (src/count/).
+//
+// Anchors:
+//   - Count128: overflow-checked 128-bit arithmetic saturates instead of
+//     wrapping, and survives decimal round-trips.
+//   - ProjectedCounter: exact projected counts on hand-built CNFs with
+//     known answers, and differentially against brute force and legacy
+//     enumeration on random camouflaged netlists (widths 2-6, several
+//     densities and seeds).
+//   - The attack integration: a netlist whose selector space exceeds the
+//     old 2^20 enumeration cap by far more than 2^20x is counted exactly
+//     (status kSolved), while enumerate mode saturates at the cap without
+//     uint64 wraparound (the overflow regression).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "attack/adversary.hpp"
+#include "attack/oracle_attack.hpp"
+#include "attack/random_camo.hpp"
+#include "count/approx_counter.hpp"
+#include "count/cnf.hpp"
+#include "count/count128.hpp"
+#include "count/projected_counter.hpp"
+#include "sim/netlist_sim.hpp"
+#include "util/rng.hpp"
+
+namespace mvf::count {
+namespace {
+
+using attack::CountMode;
+using attack::OracleAttackParams;
+using attack::OracleAttackResult;
+using attack::SimOracle;
+using camo::CamoLibrary;
+using camo::CamoNetlist;
+using logic::TruthTable;
+
+// ---------------------------------------------------------------- Count128
+
+TEST(Count128, BasicArithmeticAndStrings) {
+    Count128 c;
+    EXPECT_TRUE(c.is_zero());
+    EXPECT_EQ(c.to_string(), "0");
+    c.add_u64(41);
+    c.mul_u64(3);
+    c.add_u64(1);
+    EXPECT_EQ(c.to_string(), "124");
+    EXPECT_EQ(c.to_u64_saturating(), 124u);
+    EXPECT_EQ(c.bit_width(), 7);
+
+    Count128 big(UINT64_MAX);
+    big.add_u64(1);  // 2^64
+    EXPECT_EQ(big.hi(), 1u);
+    EXPECT_EQ(big.lo(), 0u);
+    EXPECT_EQ(big.to_string(), "18446744073709551616");
+    EXPECT_EQ(big.to_u64_saturating(), UINT64_MAX);
+    EXPECT_FALSE(big.saturated());
+
+    Count128 parsed;
+    ASSERT_TRUE(Count128::from_string("18446744073709551616", &parsed));
+    EXPECT_EQ(parsed, big);
+    EXPECT_FALSE(Count128::from_string("", &parsed));
+    EXPECT_FALSE(Count128::from_string("12x", &parsed));
+}
+
+TEST(Count128, ShiftAndCompare) {
+    Count128 one = Count128::one();
+    one.shift_left(100);
+    EXPECT_EQ(one.bit_width(), 101);
+    EXPECT_FALSE(one.saturated());
+    Count128 two = Count128::one();
+    two.shift_left(101);
+    EXPECT_TRUE(one < two);
+
+    Count128 over = Count128::one();
+    over.shift_left(128);
+    EXPECT_TRUE(over.saturated());
+    EXPECT_EQ(over.to_u64_saturating(), UINT64_MAX);
+}
+
+TEST(Count128, SaturationIsStickyAndNeverWraps) {
+    Count128 c(UINT64_MAX);
+    c.mul_u64(UINT64_MAX);  // (2^64-1)^2 < 2^128: fits
+    EXPECT_FALSE(c.saturated());
+    c.mul_u64(3);  // now overflows
+    EXPECT_TRUE(c.saturated());
+    EXPECT_EQ(c.hi(), UINT64_MAX);
+    EXPECT_EQ(c.lo(), UINT64_MAX);
+    c.add_u64(7);  // sticky: stays pinned
+    EXPECT_TRUE(c.saturated());
+    EXPECT_EQ(c.lo(), UINT64_MAX);
+    EXPECT_EQ(c.to_string().substr(0, 2), ">=");
+
+    Count128 round_trip;
+    ASSERT_TRUE(Count128::from_string(c.to_string(), &round_trip));
+    EXPECT_TRUE(round_trip.saturated());
+}
+
+TEST(Count128, ZeroAnnihilatesSaturation) {
+    // A saturated value is a lower bound on an unknown true count, but
+    // that count times 0 is exactly 0: the flag must clear, not pin the
+    // product to 2^128 - 1 (a counting branch with an UNSAT component
+    // contributes nothing however huge its other components were).
+    Count128 sat = Count128::saturated_max();
+    sat.mul_u64(0);
+    EXPECT_TRUE(sat.is_zero());
+    EXPECT_FALSE(sat.saturated());
+
+    Count128 z = Count128::zero();
+    z.mul(Count128::saturated_max());
+    EXPECT_TRUE(z.is_zero());
+    EXPECT_FALSE(z.saturated());
+
+    Count128 s2 = Count128::saturated_max();
+    s2.mul(Count128::zero());
+    EXPECT_TRUE(s2.is_zero());
+    EXPECT_FALSE(s2.saturated());
+
+    // Addition keeps the sticky lower bound (0 + >=max is >=max).
+    Count128 a = Count128::zero();
+    a.add(Count128::saturated_max());
+    EXPECT_TRUE(a.saturated());
+}
+
+TEST(Count128, OverflowHelpers) {
+    std::uint64_t out = 0;
+    EXPECT_FALSE(mul_overflow_u64(1ull << 31, 1ull << 31, &out));
+    EXPECT_EQ(out, 1ull << 62);
+    EXPECT_TRUE(mul_overflow_u64(1ull << 32, 1ull << 32, &out));
+    EXPECT_FALSE(add_overflow_u64(UINT64_MAX - 1, 1, &out));
+    EXPECT_EQ(out, UINT64_MAX);
+    EXPECT_TRUE(add_overflow_u64(UINT64_MAX, 1, &out));
+}
+
+// ---------------------------------------------------- ProjectedCounter CNF
+
+Cnf make_cnf(int num_vars, std::vector<std::vector<sat::Lit>> clauses,
+             std::vector<sat::Var> projection) {
+    Cnf cnf;
+    cnf.num_vars = num_vars;
+    cnf.clauses = std::move(clauses);
+    cnf.projection = std::move(projection);
+    return cnf;
+}
+
+std::uint64_t exact_count(Cnf cnf, CounterConfig config = {}) {
+    ProjectedCounter pc(std::move(cnf), config);
+    const ProjectedCounter::Result r = pc.count();
+    EXPECT_TRUE(r.exact);
+    EXPECT_FALSE(r.count.saturated());
+    return r.count.to_u64_saturating();
+}
+
+sat::Lit pos(sat::Var v) { return sat::mk_lit(v); }
+sat::Lit neg(sat::Var v) { return sat::mk_lit(v, true); }
+
+TEST(ProjectedCounter, EmptyFormulaCountsFreeProjectionVars) {
+    EXPECT_EQ(exact_count(make_cnf(4, {}, {0, 1, 2})), 8u);
+    EXPECT_EQ(exact_count(make_cnf(4, {}, {})), 1u);
+}
+
+TEST(ProjectedCounter, UnitsAndContradictions) {
+    EXPECT_EQ(exact_count(make_cnf(2, {{pos(0)}}, {0, 1})), 2u);
+    EXPECT_EQ(exact_count(make_cnf(2, {{pos(0)}, {neg(0)}}, {0, 1})), 0u);
+    EXPECT_EQ(exact_count(make_cnf(2, {{}}, {0, 1})), 0u);
+    // Tautologies constrain nothing.
+    EXPECT_EQ(exact_count(make_cnf(2, {{pos(0), neg(0)}}, {0, 1})), 4u);
+}
+
+TEST(ProjectedCounter, SmallFormulasWithKnownCounts) {
+    // x0 | x1 over {x0, x1}: 3 of 4.
+    EXPECT_EQ(exact_count(make_cnf(2, {{pos(0), pos(1)}}, {0, 1})), 3u);
+    // (x0|x1)(x0|x2): satisfying assignments: x0=1 -> 4; x0=0 -> x1=x2=1.
+    EXPECT_EQ(exact_count(
+                  make_cnf(3, {{pos(0), pos(1)}, {pos(0), pos(2)}}, {0, 1, 2})),
+              5u);
+    // XOR chain x0^x1^x2 = 1 has 4 models of 8.
+    EXPECT_EQ(exact_count(make_cnf(3,
+                                   {{pos(0), pos(1), pos(2)},
+                                    {pos(0), neg(1), neg(2)},
+                                    {neg(0), pos(1), neg(2)},
+                                    {neg(0), neg(1), pos(2)}},
+                                   {0, 1, 2})),
+              4u);
+}
+
+TEST(ProjectedCounter, ProjectionExistentiallyQuantifiesTheRest) {
+    // (p | y)(p | !y): projecting onto {p}: p=1 extends (y free), p=0 is
+    // contradictory once y is forced both ways -> count 1.  Over {p, y}
+    // the count is 2 (p=1 with either y).
+    const std::vector<std::vector<sat::Lit>> clauses = {{pos(0), pos(1)},
+                                                        {pos(0), neg(1)}};
+    EXPECT_EQ(exact_count(make_cnf(2, clauses, {0})), 1u);
+    EXPECT_EQ(exact_count(make_cnf(2, clauses, {0, 1})), 2u);
+    // (p | y): p=0 extends via y=1 -> both p values count.
+    EXPECT_EQ(exact_count(make_cnf(2, {{pos(0), pos(1)}}, {0})), 2u);
+}
+
+TEST(ProjectedCounter, IndependentComponentsMultiply) {
+    // Three disjoint "at least one of two" blocks: 3^3 = 27, and the
+    // decomposition should see three components.
+    Cnf cnf = make_cnf(6,
+                       {{pos(0), pos(1)}, {pos(2), pos(3)}, {pos(4), pos(5)}},
+                       {0, 1, 2, 3, 4, 5});
+    ProjectedCounter pc(std::move(cnf));
+    const ProjectedCounter::Result r = pc.count();
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(r.count.to_u64_saturating(), 27u);
+    EXPECT_GE(r.stats.components, 3u);
+}
+
+TEST(ProjectedCounter, CountsAreIndependentOfCacheBudget) {
+    // A formula with enough structure to fill a tiny cache: counts must
+    // not change, only the cache statistics.
+    std::vector<std::vector<sat::Lit>> clauses;
+    const int blocks = 8;
+    for (int b = 0; b < blocks; ++b) {
+        const sat::Var v0 = 3 * b, v1 = 3 * b + 1, v2 = 3 * b + 2;
+        clauses.push_back({pos(v0), pos(v1), pos(v2)});
+        clauses.push_back({neg(v0), neg(v1), neg(v2)});
+    }
+    std::vector<sat::Var> proj;
+    for (int v = 0; v < 3 * blocks; ++v) proj.push_back(v);
+
+    CounterConfig tiny;
+    tiny.cache_bytes = 1 << 10;
+    const std::uint64_t reference =
+        exact_count(make_cnf(3 * blocks, clauses, proj));
+    EXPECT_EQ(exact_count(make_cnf(3 * blocks, clauses, proj), tiny),
+              reference);
+    // 6 of 8 assignments per block.
+    std::uint64_t expected = 1;
+    for (int b = 0; b < blocks; ++b) expected *= 6;
+    EXPECT_EQ(reference, expected);
+}
+
+TEST(ProjectedCounter, DecisionCapBoundsExistenceChecksToo) {
+    // Pigeonhole PHP(7, 6) with an EMPTY projection: the whole formula is
+    // one projection-free component, so counting degenerates to a hard
+    // existence check -- the decision budget must still abort it.
+    const int pigeons = 7, holes = 6;
+    Cnf cnf;
+    cnf.num_vars = pigeons * holes;
+    const auto at = [holes](int p, int h) { return p * holes + h; };
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<sat::Lit> some;
+        for (int h = 0; h < holes; ++h) some.push_back(pos(at(p, h)));
+        cnf.clauses.push_back(std::move(some));
+    }
+    for (int h = 0; h < holes; ++h) {
+        for (int p1 = 0; p1 < pigeons; ++p1) {
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+                cnf.clauses.push_back({neg(at(p1, h)), neg(at(p2, h))});
+            }
+        }
+    }
+    CounterConfig capped;
+    capped.max_decisions = 20;
+    ProjectedCounter pc(std::move(cnf), capped);
+    const ProjectedCounter::Result r = pc.count();
+    EXPECT_FALSE(r.exact);
+    EXPECT_LE(r.stats.decisions, 21u + 20u);  // bounded, not exponential
+}
+
+TEST(ProjectedCounter, DecisionCapAbortsWithoutExactness) {
+    std::vector<std::vector<sat::Lit>> clauses;
+    for (int b = 0; b < 6; ++b) {
+        clauses.push_back({pos(3 * b), pos(3 * b + 1), pos(3 * b + 2)});
+    }
+    std::vector<sat::Var> proj;
+    for (int v = 0; v < 18; ++v) proj.push_back(v);
+    CounterConfig capped;
+    capped.max_decisions = 3;
+    ProjectedCounter pc(make_cnf(18, clauses, proj), capped);
+    const ProjectedCounter::Result r = pc.count();
+    EXPECT_FALSE(r.exact);
+}
+
+// ------------------------------------------------------------ ApproxCounter
+
+TEST(ApproxCounter, RejectsInvalidConfig) {
+    ApproxConfig bad;
+    bad.epsilon = 0.0;
+    EXPECT_THROW(ApproxCounter(make_cnf(1, {}, {0}), bad),
+                 std::invalid_argument);
+    bad.epsilon = 0.8;
+    bad.delta = 1.0;
+    EXPECT_THROW(ApproxCounter(make_cnf(1, {}, {0}), bad),
+                 std::invalid_argument);
+}
+
+TEST(ApproxCounter, SmallSpacesAreCountedExactly) {
+    // 3 of 4 assignments: far below the pivot, so the bounded-enumeration
+    // path answers exactly.
+    ApproxCounter ac(make_cnf(2, {{pos(0), pos(1)}}, {0, 1}));
+    const ApproxResult r = ac.count();
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(r.estimate.to_u64_saturating(), 3u);
+
+    ApproxCounter none(make_cnf(1, {{pos(0)}, {neg(0)}}, {0}));
+    const ApproxResult rn = none.count();
+    EXPECT_TRUE(rn.ok);
+    EXPECT_TRUE(rn.exact);
+    EXPECT_TRUE(rn.estimate.is_zero());
+}
+
+// ------------------------------------------- differential on camo netlists
+
+CamoLibrary standard_camo_library() {
+    return CamoLibrary::from_gate_library(tech::GateLibrary::standard());
+}
+
+/// Exhaustively counts configurations matching `targets` over the full
+/// input space; nullopt when the configuration space exceeds max_configs.
+std::optional<std::uint64_t> brute_force_count(
+    const CamoNetlist& nl, const std::vector<TruthTable>& targets,
+    std::uint64_t max_configs) {
+    std::vector<int> cells;
+    std::uint64_t space = 1;
+    for (int id = 0; id < nl.num_nodes(); ++id) {
+        const CamoNetlist::Node& n = nl.node(id);
+        if (n.kind != CamoNetlist::NodeKind::kCell) continue;
+        cells.push_back(id);
+        space *= nl.library().cell(n.camo_cell_id).plausible.size();
+        if (space > max_configs) return std::nullopt;
+    }
+    std::vector<int> config(static_cast<std::size_t>(nl.num_nodes()), -1);
+    for (const int id : cells) config[static_cast<std::size_t>(id)] = 0;
+    std::uint64_t count = 0;
+    while (true) {
+        if (sim::simulate_camo_full(nl, config) == targets) ++count;
+        std::size_t i = 0;
+        for (; i < cells.size(); ++i) {
+            const int id = cells[i];
+            const int limit = static_cast<int>(
+                nl.library().cell(nl.node(id).camo_cell_id).plausible.size());
+            if (++config[static_cast<std::size_t>(id)] < limit) break;
+            config[static_cast<std::size_t>(id)] = 0;
+        }
+        if (i == cells.size()) return count;
+    }
+}
+
+TEST(CountDifferential, ExactMatchesBruteForceAndEnumeration) {
+    // Random camouflaged netlists, widths 2-6, fully camouflaged and two
+    // fixed_nominal densities: brute force over the whole configuration
+    // space, legacy enumeration, and the projected counter must agree
+    // exactly (status kSolved all around).
+    const CamoLibrary lib = standard_camo_library();
+    int cases = 0;
+    for (int pis = 2; pis <= 6; ++pis) {
+        for (std::uint64_t seed = 0; seed < 6; ++seed) {
+            util::Rng rng(seed * 52361 + static_cast<std::uint64_t>(pis));
+            const int pos_count = 1 + rng.uniform_int(0, 1);
+            const int cells =
+                std::max(pis, pos_count) + rng.uniform_int(1, 3);
+            const CamoNetlist nl =
+                attack::random_camo_netlist(lib, pis, pos_count, cells, rng);
+
+            for (const double density : {0.0, 0.5, 0.9}) {
+                std::vector<bool> fixed(
+                    static_cast<std::size_t>(nl.num_nodes()), false);
+                for (int id = 0; id < nl.num_nodes(); ++id) {
+                    if (nl.node(id).kind == CamoNetlist::NodeKind::kCell &&
+                        rng.coin(density)) {
+                        fixed[static_cast<std::size_t>(id)] = true;
+                    }
+                }
+                const std::vector<int> hidden = nl.configuration_for_code(0);
+                const auto oracle_fn = sim::simulate_camo_full(nl, hidden);
+                const auto brute = brute_force_count(nl, oracle_fn, 60000);
+                if (!brute) continue;
+                ++cases;
+                const std::string tag = "pis=" + std::to_string(pis) +
+                                        " seed=" + std::to_string(seed) +
+                                        " density=" + std::to_string(density);
+
+                // Brute force counts matching configurations over ALL
+                // cells; with fixed_nominal the attacker's space is the
+                // restriction to nominal choices on fixed cells, so brute
+                // force only anchors the density=0 runs.
+                OracleAttackParams base;
+                base.fixed_nominal = density > 0.0 ? &fixed : nullptr;
+
+                OracleAttackParams enumerate = base;
+                enumerate.count_mode = CountMode::kEnumerate;
+                enumerate.max_survivors = UINT64_MAX;
+                SimOracle oracle_e(nl, hidden);
+                const OracleAttackResult re =
+                    attack::oracle_attack(nl, oracle_e, enumerate);
+                ASSERT_EQ(re.status, OracleAttackResult::Status::kSolved)
+                    << tag;
+
+                OracleAttackParams exact = base;
+                exact.count_mode = CountMode::kExact;
+                exact.count_max_decisions = 0;  // no fallback: pure counter
+                SimOracle oracle_x(nl, hidden);
+                const OracleAttackResult rx =
+                    attack::oracle_attack(nl, oracle_x, exact);
+                ASSERT_EQ(rx.status, OracleAttackResult::Status::kSolved)
+                    << tag;
+                EXPECT_EQ(rx.count_mode, CountMode::kExact) << tag;
+
+                EXPECT_EQ(rx.surviving_configs, re.surviving_configs) << tag;
+                EXPECT_EQ(rx.survivors.to_string(), re.survivors.to_string())
+                    << tag;
+                if (density == 0.0) {
+                    EXPECT_EQ(rx.surviving_configs, *brute) << tag;
+                }
+                // Witnesses implement the oracle function.
+                ASSERT_FALSE(rx.witness_config.empty()) << tag;
+                EXPECT_EQ(sim::simulate_camo_full(nl, rx.witness_config),
+                          oracle_fn)
+                    << tag;
+            }
+        }
+    }
+    ASSERT_GE(cases, 40) << "generator produced too few tractable netlists";
+}
+
+// -------------------------------------- the uncapped-space acceptance case
+
+/// 2 PIs, one live camouflaged NAND2 driving the PO, and `dead` additional
+/// camouflaged cells outside the PO cone.  The survivor count is
+/// (#plausible)^dead x (live survivors): astronomically beyond any
+/// enumeration cap, and trivially decomposable for the projected counter.
+CamoNetlist dead_tail_netlist(const CamoLibrary& lib, int dead) {
+    CamoNetlist nl(lib);
+    const int camo_id = lib.camo_of_nominal(lib.gate_library().find("NAND2"));
+    const int a = nl.add_pi("a");
+    const int b = nl.add_pi("b");
+    const auto make_cell = [&](void) {
+        CamoNetlist::Node cell;
+        cell.kind = CamoNetlist::NodeKind::kCell;
+        cell.camo_cell_id = camo_id;
+        cell.fanins = {a, b};
+        cell.used_pin_mask = 3;
+        cell.config_fn = {0};
+        return cell;
+    };
+    for (int i = 0; i < dead; ++i) nl.add_cell(make_cell());
+    nl.add_po(nl.add_cell(make_cell()), "o");
+    return nl;
+}
+
+TEST(CountDifferential, ExactCounterRemovesTheEnumerationCap) {
+    const CamoLibrary lib = standard_camo_library();
+    const int dead = 50;
+    const CamoNetlist nl = dead_tail_netlist(lib, dead);
+    const std::size_t choices =
+        lib.cell(nl.node(nl.num_pis()).camo_cell_id).plausible.size();
+    ASSERT_GE(choices, 2u);
+
+    // Expected: choices^dead x 1 (the oracle pins the live NAND exactly --
+    // its plausible set realizes NAND only once).
+    Count128 expected = Count128::one();
+    for (int i = 0; i < dead; ++i) {
+        expected.mul_u64(static_cast<std::uint64_t>(choices));
+    }
+    ASSERT_FALSE(expected.saturated());
+    // The acceptance bar: beyond the old 2^20 cap by >= 2^20x.
+    ASSERT_GE(expected.bit_width(), 41);
+
+    SimOracle oracle(nl, nl.configuration_for_code(0));
+    OracleAttackParams params;
+    params.count_mode = CountMode::kExact;
+    const OracleAttackResult r = attack::oracle_attack(nl, oracle, params);
+    ASSERT_EQ(r.status, OracleAttackResult::Status::kSolved);
+    EXPECT_EQ(r.count_mode, CountMode::kExact);
+    EXPECT_EQ(r.survivors.to_string(), expected.to_string());
+    EXPECT_EQ(r.surviving_configs, UINT64_MAX);  // saturated uint64 mirror
+    // 5^50 with the standard library's NAND2 plausible set.
+    if (choices == 5) {
+        EXPECT_EQ(r.survivors.to_string(),
+                  "88817841970012523233890533447265625");
+    }
+    // Cheap: the dead tail decomposes into one component per cell.
+    EXPECT_LE(r.count_stats.decisions, 100000u);
+}
+
+TEST(CountDifferential, ExactReportRoundTripsThroughJson) {
+    // An exact-mode CEGAR report carries the count block (mode, decimal
+    // survivors_str beyond uint64, counter stats); serialize and parse it
+    // back field-for-field.  The flow-level round-trip test pins the
+    // enumerate backend, so this is the counting modes' coverage.
+    const CamoLibrary lib = standard_camo_library();
+    const CamoNetlist nl = dead_tail_netlist(lib, 50);
+    SimOracle oracle(nl, nl.configuration_for_code(0));
+    OracleAttackParams params;
+    params.count_mode = CountMode::kExact;
+    attack::CegarAdversary adversary(params);
+    const attack::AdversaryReport report = adversary.attack(nl, &oracle);
+    EXPECT_EQ(report.count_mode, "exact");
+    EXPECT_GT(report.survivors_str.size(), 20u);  // way past uint64 digits
+    EXPECT_EQ(report.survivors, UINT64_MAX);      // saturated mirror
+
+    const std::string text = report.to_json().dump(2);
+    const attack::AdversaryReport parsed =
+        attack::AdversaryReport::from_json(report::Json::parse(text));
+    EXPECT_TRUE(parsed == report) << text;
+}
+
+TEST(CountDifferential, EnumerationSaturatesAtTheCapWithoutWrapping) {
+    // Overflow regression (the satellite fix): the dead-cone freedom
+    // product overflows uint64 long before the enumeration loop runs; the
+    // checked arithmetic must saturate to the cap, never wrap to a small
+    // "exact-looking" count.
+    const CamoLibrary lib = standard_camo_library();
+    const CamoNetlist nl = dead_tail_netlist(lib, 120);  // choices^120 >> 2^64
+    SimOracle oracle(nl, nl.configuration_for_code(0));
+
+    OracleAttackParams params;
+    params.count_mode = CountMode::kEnumerate;
+    params.max_survivors = UINT64_MAX;  // the worst case for wraparound
+    const OracleAttackResult r = attack::oracle_attack(nl, oracle, params);
+    ASSERT_EQ(r.status, OracleAttackResult::Status::kSurvivorLimit);
+    EXPECT_EQ(r.surviving_configs, UINT64_MAX);
+
+    OracleAttackParams capped;
+    capped.count_mode = CountMode::kEnumerate;
+    capped.max_survivors = 1u << 20;
+    SimOracle oracle2(nl, nl.configuration_for_code(0));
+    const OracleAttackResult rc = attack::oracle_attack(nl, oracle2, capped);
+    ASSERT_EQ(rc.status, OracleAttackResult::Status::kSurvivorLimit);
+    EXPECT_EQ(rc.surviving_configs, 1u << 20);
+}
+
+TEST(CountDifferential, BudgetExhaustionFallsBackToEnumeration) {
+    const CamoLibrary lib = standard_camo_library();
+    util::Rng rng(7);
+    const CamoNetlist nl = attack::random_camo_netlist(lib, 4, 1, 6, rng);
+    SimOracle oracle(nl, nl.configuration_for_code(0));
+    OracleAttackParams params;
+    params.count_mode = CountMode::kExact;
+    params.count_max_decisions = 1;  // force the fallback
+    params.max_survivors = 1u << 20;
+    const OracleAttackResult r = attack::oracle_attack(nl, oracle, params);
+    // The fallback is visible and the result is the legacy enumeration's.
+    EXPECT_EQ(r.count_mode, CountMode::kEnumerate);
+    ASSERT_TRUE(r.status == OracleAttackResult::Status::kSolved ||
+                r.status == OracleAttackResult::Status::kSurvivorLimit);
+    SimOracle oracle2(nl, nl.configuration_for_code(0));
+    OracleAttackParams legacy;
+    legacy.count_mode = CountMode::kEnumerate;
+    const OracleAttackResult rl = attack::oracle_attack(nl, oracle2, legacy);
+    EXPECT_EQ(r.surviving_configs, rl.surviving_configs);
+}
+
+TEST(CountDifferential, SkippedCountingEmitsNoCountBlock) {
+    // enumerate_survivors=false: no backend ran, so the report must not
+    // claim a counting mode or an (exact-looking) zero count.
+    const CamoLibrary lib = standard_camo_library();
+    util::Rng rng(5);
+    const CamoNetlist nl = attack::random_camo_netlist(lib, 4, 1, 6, rng);
+    SimOracle oracle(nl, nl.configuration_for_code(0));
+    OracleAttackParams params;
+    params.enumerate_survivors = false;
+    attack::CegarAdversary adversary(params);
+    const attack::AdversaryReport report = adversary.attack(nl, &oracle);
+    EXPECT_FALSE(adversary.last_result()->counted);
+    EXPECT_TRUE(report.count_mode.empty());
+    EXPECT_TRUE(report.survivors_str.empty());
+    const report::Json j = report.to_json();
+    EXPECT_EQ(j.find("count"), nullptr);
+    const attack::AdversaryReport parsed =
+        attack::AdversaryReport::from_json(report::Json::parse(j.dump()));
+    EXPECT_TRUE(parsed == report);
+}
+
+TEST(CountDifferential, ApproxModeAgreesOnSmallSpaces) {
+    // Small spaces take the approximate counter's exact bounded-
+    // enumeration path: same counts as the exact counter, kSolved status.
+    const CamoLibrary lib = standard_camo_library();
+    util::Rng rng(13);
+    const CamoNetlist nl = attack::random_camo_netlist(lib, 4, 2, 5, rng);
+    const std::vector<int> hidden = nl.configuration_for_code(0);
+
+    SimOracle oracle_a(nl, hidden);
+    OracleAttackParams approx;
+    approx.count_mode = CountMode::kApprox;
+    const OracleAttackResult ra = attack::oracle_attack(nl, oracle_a, approx);
+
+    SimOracle oracle_x(nl, hidden);
+    OracleAttackParams exact;
+    exact.count_mode = CountMode::kExact;
+    const OracleAttackResult rx = attack::oracle_attack(nl, oracle_x, exact);
+
+    ASSERT_EQ(rx.status, OracleAttackResult::Status::kSolved);
+    if (ra.status == OracleAttackResult::Status::kSolved) {
+        EXPECT_EQ(ra.surviving_configs, rx.surviving_configs);
+    } else {
+        ASSERT_EQ(ra.status, OracleAttackResult::Status::kApproxSolved);
+        EXPECT_TRUE(ApproxResult::within_envelope(ra.survivors, rx.survivors,
+                                                  approx.epsilon));
+    }
+}
+
+}  // namespace
+}  // namespace mvf::count

@@ -136,6 +136,11 @@ TEST(OracleAttack, ScalesBeyondEnumerableInputSpace) {
     const std::vector<int> hidden = nl.configuration_for_code(0);
     SimOracle oracle(nl, hidden);
     OracleAttackParams params;
+    // This test is about the CEGAR loop scaling with input width, not
+    // about counting: the instance is dense and decomposition-resistant
+    // (the exact counter would burn its whole decision budget before
+    // falling back), so pin the capped legacy count it was written for.
+    params.count_mode = CountMode::kEnumerate;
     params.max_survivors = 1u << 10;
     const OracleAttackResult r = oracle_attack(nl, oracle, params);
     ASSERT_NE(r.status, OracleAttackResult::Status::kIterationLimit);

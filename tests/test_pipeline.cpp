@@ -70,6 +70,9 @@ TEST(Pipeline, StagedRunMatchesObfuscationFlowRun) {
     const auto fns = from_sboxes(sbox::present_viable_set(2));
     FlowParams params = tiny_params(21);
     params.run_oracle_attack = true;
+    // Capped legacy counting: these flow netlists are dense, so the
+    // default exact counter would just burn its budget and fall back.
+    params.oracle.count_mode = attack::CountMode::kEnumerate;
     params.oracle.max_survivors = 64;
 
     ObfuscationFlow monolithic;
@@ -195,6 +198,7 @@ TEST(Pipeline, LegacyOracleAttackFlagStillPopulatesTypedResult) {
     const auto fns = from_sboxes(sbox::present_viable_set(2));
     FlowParams params = tiny_params(13);
     params.run_oracle_attack = true;
+    params.oracle.count_mode = attack::CountMode::kEnumerate;
     params.oracle.max_survivors = 32;
     ObfuscationFlow engine;
     const FlowResult r = engine.run(fns, params);
@@ -321,6 +325,12 @@ TEST(BatchRunner, SpecParsingRoundTrip) {
     EXPECT_EQ(scenarios[0].params.adversaries,
               (std::vector<std::string>{"cegar", "plausibility"}));
     EXPECT_EQ(scenarios[0].params.oracle.max_survivors, 99u);
+    // A survivor cap without an explicit count_mode is a request for the
+    // capped legacy enumeration (preserves the pre-counting spec corpus).
+    EXPECT_EQ(scenarios[0].params.oracle.count_mode,
+              attack::CountMode::kEnumerate);
+    EXPECT_EQ(scenarios[1].params.oracle.count_mode,
+              attack::CountMode::kExact);  // the default
     EXPECT_FALSE(scenarios[0].params.oracle.solver.preprocess);
     EXPECT_FALSE(scenarios[0].params.oracle.shared_miter);
     EXPECT_TRUE(scenarios[0].params.oracle.canonical_inputs);
@@ -333,6 +343,65 @@ TEST(BatchRunner, SpecParsingRoundTrip) {
     EXPECT_THROW(parse_scenario_spec("funcs=present\n"), std::invalid_argument);
     EXPECT_THROW(parse_scenario_spec("color=red\n"), std::invalid_argument);
     EXPECT_THROW(parse_scenario_spec("camo=maybe\n"), std::invalid_argument);
+}
+
+TEST(BatchRunner, SpecCountingKeysParseAndContradict) {
+    // The three modes and their mode-specific knobs parse.
+    const std::vector<Scenario> ok = parse_scenario_spec(
+        "funcs=present:2 count_mode=exact count_cache_mb=16 "
+        "count_max_decisions=5000\n"
+        "funcs=present:2 count_mode=approx epsilon=0.5 delta=0.1\n"
+        "funcs=present:2 count_mode=enumerate max_survivors=7\n");
+    ASSERT_EQ(ok.size(), 3u);
+    EXPECT_EQ(ok[0].params.oracle.count_mode, attack::CountMode::kExact);
+    EXPECT_EQ(ok[0].params.oracle.count_cache_mb, 16);
+    EXPECT_EQ(ok[0].params.oracle.count_max_decisions, 5000u);
+    EXPECT_EQ(ok[1].params.oracle.count_mode, attack::CountMode::kApprox);
+    EXPECT_DOUBLE_EQ(ok[1].params.oracle.epsilon, 0.5);
+    EXPECT_DOUBLE_EQ(ok[1].params.oracle.delta, 0.1);
+    EXPECT_EQ(ok[2].params.oracle.count_mode, attack::CountMode::kEnumerate);
+    EXPECT_EQ(ok[2].params.oracle.max_survivors, 7u);
+
+    // Contradictory counting keys are rejected, never silently ignored.
+    EXPECT_THROW(parse_scenario_spec("count_mode=banana\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        parse_scenario_spec("funcs=present:2 count_mode=enumerate epsilon=0.5\n"),
+        std::invalid_argument);
+    EXPECT_THROW(
+        parse_scenario_spec("funcs=present:2 epsilon=0.5\n"),  // mode is exact
+        std::invalid_argument);
+    EXPECT_THROW(
+        parse_scenario_spec(
+            "funcs=present:2 count_mode=exact max_survivors=5\n"),
+        std::invalid_argument);
+    EXPECT_THROW(
+        parse_scenario_spec(
+            "funcs=present:2 count_mode=approx count_cache_mb=8\n"),
+        std::invalid_argument);
+    EXPECT_THROW(
+        parse_scenario_spec(
+            "funcs=present:2 max_survivors=5 count_cache_mb=8\n"),
+        std::invalid_argument);
+    // Counting keys with counting switched off entirely.
+    EXPECT_THROW(
+        parse_scenario_spec(
+            "funcs=present:2 enum_survivors=0 count_mode=approx "
+            "epsilon=0.5 delta=0.1\n"),
+        std::invalid_argument);
+    // Out-of-range (epsilon, delta) fail at parse time, not attack time.
+    EXPECT_THROW(
+        parse_scenario_spec(
+            "funcs=present:2 count_mode=approx epsilon=-1\n"),
+        std::invalid_argument);
+    EXPECT_THROW(
+        parse_scenario_spec(
+            "funcs=present:2 count_mode=approx delta=1.5\n"),
+        std::invalid_argument);
+    EXPECT_THROW(
+        parse_scenario_spec(
+            "funcs=present:2 count_mode=exact count_cache_mb=0\n"),
+        std::invalid_argument);
 }
 
 TEST(BatchRunner, UnknownFamilyFailsTheScenarioOnly) {
@@ -358,6 +427,7 @@ TEST(Adversary, EveryRegisteredAdversaryReportRoundTripsThroughJson) {
     const auto fns = from_sboxes(sbox::present_viable_set(2));
     FlowParams params = tiny_params(17);
     params.adversaries = names;
+    params.oracle.count_mode = attack::CountMode::kEnumerate;  // dense; keep fast
     params.oracle.max_survivors = 32;
     ObfuscationFlow engine;
     const FlowResult r = engine.run(fns, params);

@@ -55,7 +55,19 @@ int usage() {
         "  --no-camo          skip camouflage covering (Phase III)\n"
         "  --no-verify        skip configuration replay validation\n"
         "  --adversaries A,B  adversaries for the attack stage\n"
-        "  --max-survivors N  cap the CEGAR survivor count (--quick: 256)\n"
+        "  --count-mode M     CEGAR survivor counting: exact (projected model\n"
+        "                     counter, uncapped; default), approx (ApproxMC-\n"
+        "                     style (eps,delta) estimate), enumerate (legacy\n"
+        "                     capped model enumeration)\n"
+        "  --count-cache-mb N component-cache budget for exact counting\n"
+        "                     (default 64)\n"
+        "  --count-max-decisions N\n"
+        "                     exact-counter branch budget before falling back\n"
+        "                     to capped enumeration (default 100000; 0 = off)\n"
+        "  --epsilon E        approx tolerance (default 0.8; approx only)\n"
+        "  --delta D          approx error probability (default 0.2; approx only)\n"
+        "  --max-survivors N  cap the enumerate count (implies\n"
+        "                     --count-mode enumerate; --quick caps at 256)\n"
         "  --no-enumerate     skip survivor counting entirely\n"
         "  --no-preprocess    disable SAT preprocessing/inprocessing\n"
         "  --no-shared-miter  legacy two-copy CEGAR encoding\n"
@@ -97,6 +109,36 @@ bool parse_int_flag(const std::string& value, const char* flag, int* out) {
     }
 }
 
+bool parse_u64_flag(const std::string& value, const char* flag,
+                    std::uint64_t* out) {
+    try {
+        std::size_t used = 0;
+        const std::uint64_t parsed = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        *out = parsed;
+        return true;
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "mvf: %s expects an unsigned integer, got \"%s\"\n",
+                     flag, value.c_str());
+        return false;
+    }
+}
+
+bool parse_double_flag(const std::string& value, const char* flag,
+                       double* out) {
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        *out = parsed;
+        return true;
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "mvf: %s expects a number, got \"%s\"\n", flag,
+                     value.c_str());
+        return false;
+    }
+}
+
 /// Parses the shared scenario flags into `scenario`; `json_path` receives
 /// --json.  Returns false (after printing) on a bad flag.
 bool parse_scenario_flags(int argc, char** argv, int start,
@@ -109,6 +151,11 @@ bool parse_scenario_flags(int argc, char** argv, int start,
     bool population_set = false;
     bool generations_set = false;
     bool survivors_set = false;
+    bool count_mode_set = false;
+    bool eps_delta_set = false;
+    bool cache_mb_set = false;
+    bool decisions_set = false;
+    bool no_enumerate_set = false;
     for (int i = start; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
@@ -148,11 +195,68 @@ bool parse_scenario_flags(int argc, char** argv, int start,
             quick = true;
         } else if (arg == "--max-survivors") {
             if (!next_value(argc, argv, &i, &value)) return false;
-            scenario->params.oracle.max_survivors =
-                std::strtoull(value.c_str(), nullptr, 10);
+            if (!parse_u64_flag(value, "--max-survivors",
+                                &scenario->params.oracle.max_survivors)) {
+                return false;
+            }
             survivors_set = true;
+        } else if (arg == "--count-mode") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!attack::count_mode_from_name(
+                    value, &scenario->params.oracle.count_mode)) {
+                std::fprintf(stderr,
+                             "mvf: --count-mode expects exact, approx or "
+                             "enumerate, got \"%s\"\n",
+                             value.c_str());
+                return false;
+            }
+            count_mode_set = true;
+        } else if (arg == "--count-cache-mb") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_int_flag(value, "--count-cache-mb",
+                                &scenario->params.oracle.count_cache_mb)) {
+                return false;
+            }
+            if (scenario->params.oracle.count_cache_mb <= 0) {
+                std::fprintf(stderr, "mvf: --count-cache-mb must be > 0\n");
+                return false;
+            }
+            cache_mb_set = true;
+        } else if (arg == "--count-max-decisions") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_u64_flag(
+                    value, "--count-max-decisions",
+                    &scenario->params.oracle.count_max_decisions)) {
+                return false;
+            }
+            cache_mb_set = true;  // same exact-only applicability rule
+            decisions_set = true;
+        } else if (arg == "--epsilon") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_double_flag(value, "--epsilon",
+                                   &scenario->params.oracle.epsilon)) {
+                return false;
+            }
+            if (!(scenario->params.oracle.epsilon > 0.0)) {
+                std::fprintf(stderr, "mvf: --epsilon must be > 0\n");
+                return false;
+            }
+            eps_delta_set = true;
+        } else if (arg == "--delta") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_double_flag(value, "--delta",
+                                   &scenario->params.oracle.delta)) {
+                return false;
+            }
+            if (!(scenario->params.oracle.delta > 0.0 &&
+                  scenario->params.oracle.delta < 1.0)) {
+                std::fprintf(stderr, "mvf: --delta must be in (0, 1)\n");
+                return false;
+            }
+            eps_delta_set = true;
         } else if (arg == "--no-enumerate") {
             scenario->params.oracle.enumerate_survivors = false;
+            no_enumerate_set = true;
         } else if (arg == "--no-preprocess") {
             scenario->params.oracle.solver.preprocess = false;
         } else if (arg == "--no-shared-miter") {
@@ -201,12 +305,56 @@ bool parse_scenario_flags(int argc, char** argv, int start,
             return false;
         }
     }
+    // Contradictory counting flags are a usage error, never silently
+    // ignored: each flag only applies to one --count-mode.
+    using attack::CountMode;
+    if (survivors_set) {
+        if (count_mode_set &&
+            scenario->params.oracle.count_mode != CountMode::kEnumerate) {
+            std::fprintf(stderr,
+                         "mvf: --max-survivors only applies to --count-mode "
+                         "enumerate\n");
+            return false;
+        }
+        // A survivor cap is a request for capped enumeration.
+        scenario->params.oracle.count_mode = CountMode::kEnumerate;
+    }
+    if (eps_delta_set &&
+        (!count_mode_set ||
+         scenario->params.oracle.count_mode != CountMode::kApprox)) {
+        std::fprintf(stderr,
+                     "mvf: --epsilon/--delta require --count-mode approx\n");
+        return false;
+    }
+    if (cache_mb_set &&
+        scenario->params.oracle.count_mode != CountMode::kExact) {
+        std::fprintf(stderr,
+                     "mvf: --count-cache-mb/--count-max-decisions only apply "
+                     "to --count-mode exact\n");
+        return false;
+    }
+    if (no_enumerate_set &&
+        (count_mode_set || survivors_set || cache_mb_set || eps_delta_set)) {
+        std::fprintf(stderr,
+                     "mvf: --no-enumerate skips survivor counting; it "
+                     "contradicts the --count-mode/--max-survivors/"
+                     "--count-cache-mb/--count-max-decisions/--epsilon/"
+                     "--delta flags\n");
+        return false;
+    }
     if (quick) {
         if (!population_set) scenario->params.ga.population = 8;
         if (!generations_set) scenario->params.ga.generations = 4;
-        // Counting a million survivors dominates quick runs on big
-        // configuration spaces; a small cap still shows the shape.
+        // Enumerating a million survivors dominates quick runs on big
+        // configuration spaces; a small cap still shows the shape.  The
+        // cap governs enumerate mode AND the exact counter's fallback
+        // path, so it is lowered regardless of the counting mode -- and
+        // so is the exact decision budget, which is otherwise a few
+        // seconds of burn on dense instances.
         if (!survivors_set) scenario->params.oracle.max_survivors = 256;
+        if (!decisions_set) {
+            scenario->params.oracle.count_max_decisions = 20'000;
+        }
     }
     return true;
 }
@@ -233,10 +381,16 @@ void print_record(const flow::ScenarioRecord& r) {
                                : "NOT verified");
     }
     for (const attack::AdversaryReport& a : r.attacks) {
-        std::printf("  adversary %-13s %-7s %s: %d queries, %llu survivors, %.2fs\n",
+        // survivors_str carries full precision (counting adversaries can
+        // exceed uint64); fall back to the numeric field for the others.
+        const std::string survivors = a.survivors_str.empty()
+                                          ? std::to_string(a.survivors)
+                                          : a.survivors_str;
+        std::printf("  adversary %-13s %-7s %s: %d queries, %s survivors%s%s, %.2fs\n",
                     a.adversary.c_str(), a.success ? "SUCCESS" : "failed",
-                    a.outcome.c_str(), a.queries,
-                    static_cast<unsigned long long>(a.survivors), a.seconds);
+                    a.outcome.c_str(), a.queries, survivors.c_str(),
+                    a.count_mode.empty() ? "" : " via ",
+                    a.count_mode.c_str(), a.seconds);
     }
     std::printf("  %.1fs\n", r.seconds);
 }
