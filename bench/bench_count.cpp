@@ -93,6 +93,7 @@ const char* status_name(OracleAttackResult::Status s) {
         case OracleAttackResult::Status::kIterationLimit: return "iter-limit";
         case OracleAttackResult::Status::kSurvivorLimit: return "capped";
         case OracleAttackResult::Status::kApproxSolved: return "approx";
+        case OracleAttackResult::Status::kQueryBudget: return "query-budget";
     }
     return "?";
 }

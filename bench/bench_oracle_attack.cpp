@@ -15,19 +15,28 @@
 // Each row runs twice: once with the full SolverConfig pipeline
 // (preprocessing + inprocessing + structure-shared miter, the "pre" time
 // column) and once with everything off (the legacy PR-1 encoding, the
-// "plain" column).  The second run REPLAYS the first run's distinguishing
-// -input transcript (OracleAttackParams::forced_queries): any prefix of a
-// valid run's transcript is itself a valid distinguishing sequence against
-// the same oracle, so both runs do the same number of CEGAR solves over
-// the same logical constraint sets and converge to bit-identical outcomes
-// -- the harness asserts identical query and survivor counts and reports
-// the speedup as a pure solver-layer measurement on identical attack
-// transcripts.
+// "plain" column).  The second run REPLAYS the first run's transcript
+// through attack::TranscriptOracle -- the recording run wraps the chip,
+// the plain run replays chip-free via Oracle::scripted_pattern(), the same
+// public API the attack uses live.  Any prefix of a valid run's transcript
+// is itself a valid distinguishing sequence against the same oracle, so
+// both runs do the same number of CEGAR solves over the same logical
+// constraint sets and converge to bit-identical outcomes -- the harness
+// asserts identical query and survivor counts and reports the speedup as a
+// pure solver-layer measurement on identical attack transcripts.
+//
+// Before the cost curves, a word-parallel oracle microbenchmark times one
+// 64-pattern query_block against 64 scalar query() calls (and against the
+// legacy allocating simulate_camo_pattern path) on a 16-PI netlist, and
+// DIES unless the block path is at least 8x faster -- the batching
+// speedup is asserted, not eyeballed.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 
+#include "attack/oracle.hpp"
 #include "attack/oracle_attack.hpp"
 #include "attack/random_camo.hpp"
 #include "bench_common.hpp"
@@ -63,9 +72,10 @@ void print_row(const Row& row) {
         row.plain.seconds, speedup, a.solved() ? "solved" : "capped");
 }
 
-/// Runs the full-pipeline attack, then replays its transcript on the
-/// legacy encoding; dies if the outcomes diverge (they cannot, short of a
-/// solver bug -- this is the "measured, not asserted" guarantee).
+/// Runs the full-pipeline attack under a recording TranscriptOracle, then
+/// replays its transcript chip-free on the legacy encoding; dies if the
+/// outcomes diverge (they cannot, short of a solver bug -- this is the
+/// "measured, not asserted" guarantee).
 Row run_row(const mvf::camo::CamoNetlist& nl, mvf::attack::Oracle& oracle,
             mvf::attack::OracleAttackParams params, std::string name) {
     Row row;
@@ -77,12 +87,13 @@ Row run_row(const mvf::camo::CamoNetlist& nl, mvf::attack::Oracle& oracle,
 
     params.solver.preprocess = true;
     params.shared_miter = true;
-    row.attack = mvf::attack::oracle_attack(nl, oracle, params);
+    mvf::attack::TranscriptOracle recorder(oracle);
+    row.attack = mvf::attack::oracle_attack(nl, recorder, params);
 
     params.solver.preprocess = false;
     params.shared_miter = false;
-    params.forced_queries = &row.attack.distinguishing_inputs;
-    row.plain = mvf::attack::oracle_attack(nl, oracle, params);
+    mvf::attack::TranscriptOracle replay(recorder.transcript());
+    row.plain = mvf::attack::oracle_attack(nl, replay, params);
 
     if (row.plain.queries != row.attack.queries ||
         row.plain.surviving_configs != row.attack.surviving_configs ||
@@ -98,6 +109,90 @@ Row run_row(const mvf::camo::CamoNetlist& nl, mvf::attack::Oracle& oracle,
     return row;
 }
 
+/// Times one 64-pattern query_block against 64 scalar query() calls and
+/// against the legacy allocating simulate_camo_pattern path; dies unless
+/// the word-parallel block is at least 8x faster than scalar queries (the
+/// acceptance bound of the batched oracle API).
+void word_parallel_microbench(const mvf::camo::CamoLibrary& lib,
+                              std::uint64_t seed) {
+    using namespace mvf;
+    util::Rng rng(seed * 131 + 7);
+    const camo::CamoNetlist nl =
+        attack::random_camo_netlist(lib, 16, 4, 32, rng);
+    const std::vector<int> config = nl.configuration_for_code(0);
+    attack::SimOracle oracle(nl, config);
+
+    std::vector<std::vector<bool>> patterns;
+    for (int k = 0; k < attack::kQueryBlockWidth; ++k) {
+        std::vector<bool> p(static_cast<std::size_t>(nl.num_pis()));
+        for (std::size_t i = 0; i < p.size(); ++i) p[i] = rng.coin(0.5);
+        patterns.push_back(std::move(p));
+    }
+    const std::vector<std::uint64_t> words = attack::pack_block(patterns);
+
+    // Correctness before timing: every block lane must match the scalar
+    // path bit for bit.
+    const std::vector<std::uint64_t> block =
+        oracle.query_block(words, attack::kQueryBlockWidth);
+    for (int k = 0; k < attack::kQueryBlockWidth; ++k) {
+        if (oracle.query(patterns[static_cast<std::size_t>(k)]) !=
+            attack::unpack_lane(block, k)) {
+            std::fprintf(stderr,
+                         "FATAL: query_block lane %d diverges from scalar "
+                         "query\n", k);
+            std::exit(1);
+        }
+    }
+
+    // Best-of-3 trials per path to shave scheduler noise off the assert.
+    const int reps = 500;
+    std::uint64_t sink = 0;
+    double scalar_s = 1e30;
+    double block_s = 1e30;
+    double alloc_s = 1e30;
+    for (int trial = 0; trial < 3; ++trial) {
+        mvf::util::Stopwatch sw;
+        for (int rep = 0; rep < reps; ++rep) {
+            for (const std::vector<bool>& p : patterns) {
+                sink += oracle.query(p)[0] ? 1u : 0u;
+            }
+        }
+        scalar_s = std::min(scalar_s, sw.elapsed_seconds());
+        sw.reset();
+        for (int rep = 0; rep < reps; ++rep) {
+            sink += oracle.query_block(words, attack::kQueryBlockWidth)[0] & 1u;
+        }
+        block_s = std::min(block_s, sw.elapsed_seconds());
+        sw.reset();
+        for (int rep = 0; rep < reps; ++rep) {
+            for (const std::vector<bool>& p : patterns) {
+                sink += sim::simulate_camo_pattern(nl, config, p)[0] ? 1u : 0u;
+            }
+        }
+        alloc_s = std::min(alloc_s, sw.elapsed_seconds());
+    }
+
+    const double block_speedup = block_s > 0.0 ? scalar_s / block_s : 0.0;
+    const double scratch_gain =
+        alloc_s > 0.0 ? (alloc_s - scalar_s) / alloc_s * 100.0 : 0.0;
+    std::printf(
+        "word-parallel oracle microbench (%d PIs, %d cells, %d patterns x %d "
+        "reps, checksum %llu):\n",
+        nl.num_pis(), nl.num_cells(), attack::kQueryBlockWidth, reps,
+        static_cast<unsigned long long>(sink));
+    std::printf("  query_block            %9.3f ms   %5.1fx vs 64 scalar queries\n",
+                block_s * 1e3, block_speedup);
+    std::printf("  scalar query (scratch) %9.3f ms\n", scalar_s * 1e3);
+    std::printf("  simulate_camo_pattern  %9.3f ms   scratch scalar is %.1f%% faster\n\n",
+                alloc_s * 1e3, scratch_gain);
+    if (block_speedup < 8.0) {
+        std::fprintf(stderr,
+                     "FATAL: query_block is only %.1fx faster than 64 scalar "
+                     "queries (acceptance bound: 8x)\n", block_speedup);
+        std::exit(1);
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,6 +203,8 @@ int main(int argc, char** argv) {
 
     const camo::CamoLibrary camo_lib =
         camo::CamoLibrary::from_gate_library(tech::GateLibrary::standard());
+
+    word_parallel_microbench(camo_lib, args.seed);
 
     struct Size {
         int pis, pos, cells;
@@ -174,6 +271,41 @@ int main(int argc, char** argv) {
         attack::SimOracle oracle(nl, nl.configuration_for_code(0));
         emit(run_row(nl, oracle, attack_params,
                      "rand" + std::to_string(size.pis)));
+    }
+
+    // Query-selection baseline (ROADMAP): a pre-loop random warm-up block
+    // through the word-parallel path prunes the viable set before any
+    // distinguishing input is solved for, cutting the (expensive) CEGAR
+    // iterations.  Measured at 12 PIs, where 64 random patterns cover
+    // enough of the input space to bite (at 16+ PIs the effect needs
+    // proportionally larger warm-ups; the block path makes them cheap).
+    {
+        const int pis = 12;
+        util::Rng rng(args.seed * 977 + static_cast<std::uint64_t>(pis));
+        const camo::CamoNetlist nl =
+            attack::random_camo_netlist(camo_lib, pis, 3, 24, rng);
+        attack::SimOracle oracle(nl, nl.configuration_for_code(0));
+        attack::OracleAttackParams wp = attack_params;
+        wp.solver.preprocess = true;
+        wp.shared_miter = true;
+        const attack::OracleAttackResult base =
+            attack::oracle_attack(nl, oracle, wp);
+        wp.random_warmup = 64;
+        wp.warmup_seed = args.seed;
+        const attack::OracleAttackResult warm =
+            attack::oracle_attack(nl, oracle, wp);
+        if (warm.surviving_configs != base.surviving_configs) {
+            std::fprintf(stderr,
+                         "FATAL: random warm-up changed the survivor count "
+                         "(%llu vs %llu)\n",
+                         static_cast<unsigned long long>(warm.surviving_configs),
+                         static_cast<unsigned long long>(base.surviving_configs));
+            std::exit(1);
+        }
+        std::printf(
+            "\nrandom warm-up on rand%d: 64 block-queried patterns cut "
+            "distinguishing inputs %d -> %d (%.3fs -> %.3fs CEGAR)\n\n",
+            pis, base.queries, warm.queries, base.seconds, warm.seconds);
     }
 
     // The paper's own flow output (4 merged 4-bit S-boxes) under the same

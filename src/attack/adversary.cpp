@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "attack/plausibility.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mvf::attack {
@@ -31,6 +32,7 @@ const char* status_name(OracleAttackResult::Status s) {
         case OracleAttackResult::Status::kIterationLimit: return "iteration limit";
         case OracleAttackResult::Status::kSurvivorLimit: return "survivor limit";
         case OracleAttackResult::Status::kApproxSolved: return "approx solved";
+        case OracleAttackResult::Status::kQueryBudget: return "query budget";
     }
     return "unknown";
 }
@@ -75,6 +77,17 @@ report::Json AdversaryReport::to_json() const {
         c.set("approx_xor_levels", approx_xor_levels);
         c.set("approx_rounds", approx_rounds);
         j.set("count", std::move(c));
+    }
+    if (!(oracle == OracleStats{})) {
+        report::Json o = report::Json::object();
+        o.set("scalar_queries", oracle.scalar_queries);
+        o.set("block_queries", oracle.block_queries);
+        o.set("patterns", oracle.patterns);
+        o.set("cache_hits", oracle.cache_hits);
+        o.set("noisy_bits", oracle.noisy_bits);
+        o.set("budget", oracle.budget);
+        o.set("budget_exhausted", oracle.budget_exhausted);
+        j.set("oracle", std::move(o));
     }
     report::Json s = report::Json::object();
     s.set("conflicts", sat.conflicts);
@@ -122,6 +135,17 @@ AdversaryReport AdversaryReport::from_json(const report::Json& j) {
     if (const report::Json* f = s.find("strengthened_lits")) {
         r.sat.strengthened_lits = f->as_uint();
     }
+    // The oracle-stats block postdates the first-class oracle layer;
+    // tolerate its absence so archived reports keep parsing.
+    if (const report::Json* o = j.find("oracle")) {
+        r.oracle.scalar_queries = o->at("scalar_queries").as_uint();
+        r.oracle.block_queries = o->at("block_queries").as_uint();
+        r.oracle.patterns = o->at("patterns").as_uint();
+        r.oracle.cache_hits = o->at("cache_hits").as_uint();
+        r.oracle.noisy_bits = o->at("noisy_bits").as_uint();
+        r.oracle.budget = o->at("budget").as_uint();
+        r.oracle.budget_exhausted = o->at("budget_exhausted").as_bool();
+    }
     // The counting block postdates the enumeration-only report format;
     // tolerate its absence so archived reports keep parsing.
     if (const report::Json* c = j.find("count")) {
@@ -157,7 +181,8 @@ bool AdversaryReport::operator==(const AdversaryReport& o) const {
            survivors == o.survivors && survivors_str == o.survivors_str &&
            count_mode == o.count_mode && count == o.count &&
            approx_xor_levels == o.approx_xor_levels &&
-           approx_rounds == o.approx_rounds && seconds == o.seconds &&
+           approx_rounds == o.approx_rounds && oracle == o.oracle &&
+           seconds == o.seconds &&
            sat.conflicts == o.sat.conflicts && sat.decisions == o.sat.decisions &&
            sat.propagations == o.sat.propagations &&
            sat.restarts == o.sat.restarts && sat.learned == o.sat.learned &&
@@ -207,7 +232,8 @@ AdversaryReport CegarAdversary::attack(const camo::CamoNetlist& netlist,
     report.adversary = std::string(name());
     report.success = res.solved();
     report.outcome = status_name(res.status);
-    report.queries = res.queries;
+    // Total oracle patterns issued: warm-up blocks + distinguishing inputs.
+    report.queries = res.queries + res.warmup_queries;
     report.survivors = res.surviving_configs;
     if (res.counted) {
         report.survivors_str = res.survivors.to_string();
@@ -222,12 +248,109 @@ AdversaryReport CegarAdversary::attack(const camo::CamoNetlist& netlist,
     return report;
 }
 
+AdversaryReport RandomSamplingAdversary::attack(
+    const camo::CamoNetlist& netlist, Oracle* oracle) {
+    if (oracle == nullptr) {
+        throw std::invalid_argument(
+            "RandomSamplingAdversary: the working-chip threat model requires "
+            "an oracle; none was provided");
+    }
+    if (num_queries_ <= 0) {
+        throw std::invalid_argument(
+            "RandomSamplingAdversary: num_queries must be > 0");
+    }
+    util::Stopwatch sw;
+    const int m = netlist.num_pis();
+    OracleAttackResult result;
+    std::vector<std::vector<bool>> inputs;
+    std::vector<std::vector<bool>> answers;
+
+    util::Rng rng(seed_);
+    try {
+        if (oracle->scripted_pattern() != nullptr) {
+            // Transcript replay: re-issue the recorded sequence one by one.
+            const std::vector<bool>* scripted = nullptr;
+            while (static_cast<int>(inputs.size()) < num_queries_ &&
+                   (scripted = oracle->scripted_pattern()) != nullptr) {
+                std::vector<bool> in = *scripted;
+                answers.push_back(oracle->query(in));
+                inputs.push_back(std::move(in));
+            }
+        } else {
+            int remaining = num_queries_;
+            while (remaining > 0) {
+                const int count = std::min(remaining, kQueryBlockWidth);
+                std::vector<std::uint64_t> words(static_cast<std::size_t>(m));
+                for (std::uint64_t& w : words) w = rng.next_u64();
+                try {
+                    const std::vector<std::uint64_t> po_words =
+                        oracle->query_block(words, count);
+                    for (int k = 0; k < count; ++k) {
+                        inputs.push_back(unpack_lane(words, k));
+                        answers.push_back(unpack_lane(po_words, k));
+                    }
+                } catch (const OracleBudgetExceeded&) {
+                    // Blocks are all-or-nothing; drain the remaining budget
+                    // with scalar queries over the same pattern sequence so
+                    // the whole allowance is spent before giving up.
+                    for (int k = 0; k < count; ++k) {
+                        std::vector<bool> in = unpack_lane(words, k);
+                        answers.push_back(oracle->query(in));
+                        inputs.push_back(std::move(in));
+                    }
+                }
+                remaining -= count;
+            }
+        }
+    } catch (const OracleBudgetExceeded&) {
+        result.status = OracleAttackResult::Status::kQueryBudget;
+    }
+    result.queries = static_cast<int>(inputs.size());
+
+    const bool budget_tripped =
+        result.status == OracleAttackResult::Status::kQueryBudget;
+    if (!budget_tripped && params_.enumerate_survivors) {
+        count_consistent_configs(netlist, inputs, answers, params_, &result);
+    }
+    result.distinguishing_inputs = std::move(inputs);
+    result.seconds = sw.elapsed_seconds();
+
+    AdversaryReport report;
+    report.adversary = std::string(name());
+    report.queries = result.queries;
+    // Random probing alone pinned the chip down to one configuration.
+    report.success = result.counted && result.surviving_configs == 1 &&
+                     result.status == OracleAttackResult::Status::kSolved;
+    report.outcome = budget_tripped
+                         ? std::string(status_name(result.status))
+                         : std::to_string(result.queries) +
+                               " random queries, " +
+                               (result.counted ? result.survivors.to_string()
+                                               : std::string("uncounted")) +
+                               " survivors";
+    report.survivors = result.surviving_configs;
+    if (result.counted) {
+        report.survivors_str = result.survivors.to_string();
+        report.count_mode = std::string(count_mode_name(result.count_mode));
+        report.count = result.count_stats;
+        report.approx_xor_levels = result.approx_xor_levels;
+        report.approx_rounds = result.approx_rounds;
+    }
+    report.seconds = result.seconds;
+    last_result_ = std::move(result);
+    return report;
+}
+
 AdversaryRegistry::AdversaryRegistry() {
     factories_.emplace_back("plausibility", [](const AdversaryOptions& opt) {
         return std::make_unique<PlausibilityAdversary>(opt.viable_targets);
     });
     factories_.emplace_back("cegar", [](const AdversaryOptions& opt) {
         return std::make_unique<CegarAdversary>(opt.oracle);
+    });
+    factories_.emplace_back("random-sampling", [](const AdversaryOptions& opt) {
+        return std::make_unique<RandomSamplingAdversary>(
+            opt.oracle, opt.random_queries, opt.random_seed);
     });
 }
 

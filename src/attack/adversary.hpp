@@ -65,6 +65,11 @@ struct AdversaryReport {
     /// Approximate-counter round summary (zeroed unless "approx").
     int approx_xor_levels = 0;
     int approx_rounds = 0;
+    /// Uniform oracle accounting from the harness's OracleStack
+    /// (CountingOracle and friends): queries/blocks/patterns answered,
+    /// cache hits, noisy bits, budget state.  All-zero for oracle-less
+    /// adversaries, and the JSON block is omitted then.
+    OracleStats oracle;
     double seconds = 0.0;
     sat::Solver::Stats sat;  ///< aggregated over the attack's SAT queries
 
@@ -96,13 +101,17 @@ struct AdversaryOptions {
     /// viable_targets[k][q] = PO q of viable function k over the netlist's
     /// PIs (viable-set adversaries; empty when the set is withheld).
     std::vector<std::vector<logic::TruthTable>> viable_targets;
+    /// random-sampling baseline: patterns drawn and the sampling seed.
+    int random_queries = 128;
+    std::uint64_t random_seed = 1;
 };
 
 using AdversaryFactory =
     std::function<std::unique_ptr<Adversary>(const AdversaryOptions&)>;
 
 /// Name -> factory registry.  The built-in adversaries ("plausibility",
-/// "cegar") are registered on first access; extensions may register more.
+/// "cegar", "random-sampling") are registered on first access; extensions
+/// may register more.
 class AdversaryRegistry {
 public:
     static AdversaryRegistry& instance();
@@ -164,6 +173,37 @@ public:
 
 private:
     OracleAttackParams params_;
+    std::optional<OracleAttackResult> last_result_;
+};
+
+/// Scenario-diversity baseline: no SAT-guided query selection at all, just
+/// `num_queries` random patterns pushed through the batched word-parallel
+/// oracle path, then a survivor count over the gathered I/O constraints
+/// (the same counting backends as the CEGAR attacker).  success = the
+/// random sample alone pinned the chip down to one surviving
+/// configuration.  Under a replaying TranscriptOracle the recorded
+/// patterns are re-issued instead of fresh random ones.
+class RandomSamplingAdversary final : public Adversary {
+public:
+    explicit RandomSamplingAdversary(OracleAttackParams params = {},
+                                     int num_queries = 128,
+                                     std::uint64_t seed = 1)
+        : params_(params), num_queries_(num_queries), seed_(seed) {}
+
+    std::string_view name() const override { return "random-sampling"; }
+    Knowledge knowledge() const override { return Knowledge::kWorkingChip; }
+    AdversaryReport attack(const camo::CamoNetlist& netlist,
+                           Oracle* oracle) override;
+
+    /// Full typed result of the last attack() call.
+    const std::optional<OracleAttackResult>& last_result() const {
+        return last_result_;
+    }
+
+private:
+    OracleAttackParams params_;
+    int num_queries_;
+    std::uint64_t seed_;
     std::optional<OracleAttackResult> last_result_;
 };
 

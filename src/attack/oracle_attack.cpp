@@ -2,10 +2,13 @@
 
 #include <cassert>
 
+#include <algorithm>
+
 #include "count/approx_counter.hpp"
 #include "count/cnf.hpp"
 #include "sat/cnf_builder.hpp"
 #include "sim/netlist_sim.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mvf::attack {
@@ -27,10 +30,6 @@ bool count_mode_from_name(std::string_view name, CountMode* out) {
     else if (name == "enumerate") *out = CountMode::kEnumerate;
     else return false;
     return true;
-}
-
-std::vector<bool> SimOracle::query(const std::vector<bool>& inputs) {
-    return sim::simulate_camo_pattern(*netlist_, config_, inputs);
 }
 
 namespace {
@@ -137,6 +136,93 @@ void enumerate_survivor_count(const CamoNetlist& netlist, sat::Solver* counter,
 
 }  // namespace
 
+void count_consistent_configs(const CamoNetlist& netlist,
+                              const std::vector<std::vector<bool>>& inputs,
+                              const std::vector<std::vector<bool>>& answers,
+                              const OracleAttackParams& params,
+                              OracleAttackResult* result) {
+    assert(inputs.size() == answers.size());
+    OracleAttackResult& res = *result;
+    res.counted = true;
+    res.count_mode = params.count_mode;
+    sat::Solver counter;
+    sat::CnfBuilder family(netlist, &counter, params.fixed_nominal);
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+        add_io_constraint(&counter, &family, inputs[i], answers[i],
+                          params.shared_miter);
+    }
+    if (params.solver.preprocess) {
+        sat::Preprocessor pre(&counter, params.solver);
+        const std::vector<sat::Var> fv = family.frozen_vars();
+        pre.freeze_all(fv);
+        pre.run();
+    }
+
+    if (params.count_mode == CountMode::kEnumerate) {
+        enumerate_survivor_count(netlist, &counter, &family, params, &res);
+        return;
+    }
+    // Projection = every selector variable: the count is over whole
+    // configurations, dead-cone cells included (their freedom falls out of
+    // component decomposition -- a cell whose support collapsed to
+    // constants is one tiny component contributing a factor of #choices).
+    std::vector<sat::Var> projection;
+    for (int id = 0; id < netlist.num_nodes(); ++id) {
+        const std::vector<sat::Var>& sel = family.selectors(id);
+        projection.insert(projection.end(), sel.begin(), sel.end());
+    }
+    const count::Cnf cnf = count::cnf_from_solver(counter, projection);
+    // One model for the witness and the emptiness check (the counters
+    // report numbers, not assignments).
+    if (counter.solve() != sat::Solver::Result::kSat) {
+        res.status = OracleAttackResult::Status::kNoSurvivor;
+        return;
+    }
+    res.witness_config = family.config_from_model();
+    if (params.count_mode == CountMode::kExact) {
+        count::CounterConfig cc;
+        cc.cache_bytes =
+            params.count_cache_mb > 0
+                ? static_cast<std::size_t>(params.count_cache_mb) << 20
+                : 1u << 20;
+        cc.max_decisions = params.count_max_decisions;
+        count::ProjectedCounter pc(cnf, cc);
+        const count::ProjectedCounter::Result pcr = pc.count();
+        res.count_stats = pcr.stats;
+        res.survivors = pcr.count;
+        if (!pcr.exact && pcr.count.saturated()) {
+            // Saturated beyond 2^128 - 1: still a hard bound.
+            res.status = OracleAttackResult::Status::kSurvivorLimit;
+        } else if (!pcr.exact) {
+            // Decision budget exhausted (dense, decomposition-resistant
+            // instance): fall back to the capped enumeration so the
+            // attack still terminates with a sound figure.  count_mode
+            // records the switch.
+            res.count_mode = CountMode::kEnumerate;
+            enumerate_survivor_count(netlist, &counter, &family, params, &res);
+        }
+    } else {
+        count::ApproxConfig ac;
+        ac.epsilon = params.epsilon;
+        ac.delta = params.delta;
+        ac.seed = params.count_seed;
+        count::ApproxCounter apc(cnf, ac);
+        const count::ApproxResult acr = apc.count();
+        res.survivors = acr.estimate;
+        res.approx_xor_levels = acr.xor_levels;
+        res.approx_rounds = acr.rounds;
+        if (!acr.ok) {
+            // Every hash round failed; the witness still proves at least
+            // one survivor.
+            res.status = OracleAttackResult::Status::kSurvivorLimit;
+            res.survivors = count::Count128(1);
+        } else if (!acr.exact) {
+            res.status = OracleAttackResult::Status::kApproxSolved;
+        }
+    }
+    res.surviving_configs = res.survivors.to_u64_saturating();
+}
+
 OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
                                  const OracleAttackParams& params) {
     const int m = netlist.num_pis();
@@ -201,11 +287,76 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
         preprocessed_size = solver.num_clauses();
     }
 
+    // Stamps one I/O pair as constraints into BOTH families.
+    const auto constrain_both = [&](const std::vector<bool>& in,
+                                    const std::vector<bool>& out) {
+        if (params.shared_miter) {
+            sat::CnfBuilder::SharedCopy sc =
+                sat::CnfBuilder::add_shared_copies(family_a, family_b, in);
+            result.shared_cells += static_cast<std::uint64_t>(sc.shared_cells);
+            pin_outputs(&solver, sc.a, out);
+            pin_outputs(&solver, sc.b, out);
+        } else {
+            add_io_constraint(&solver, &family_a, in, out, false);
+            add_io_constraint(&solver, &family_b, in, out, false);
+        }
+    };
+
+    // All constraint pairs in query order: random warm-up first, then the
+    // distinguishing inputs (result.distinguishing_inputs holds only the
+    // latter).  The counting tail replays the whole list.
+    std::vector<std::vector<bool>> constraint_inputs;
+    std::vector<std::vector<bool>> answers;
+
+    // Random warm-up through the batched word-parallel path: every
+    // answered pattern prunes the configurations disagreeing with the
+    // chip on it, shrinking the viable set before any distinguishing
+    // input is solved for.
+    bool budget_tripped = false;
+    if (params.random_warmup > 0) {
+        util::Rng wrng(params.warmup_seed);
+        int remaining = params.random_warmup;
+        const auto take_answer = [&](const std::vector<std::uint64_t>& words,
+                                     int k, std::vector<bool> out) {
+            std::vector<bool> in = unpack_lane(words, k);
+            assert(static_cast<int>(out.size()) == r);
+            constrain_both(in, out);
+            constraint_inputs.push_back(std::move(in));
+            answers.push_back(std::move(out));
+            ++result.warmup_queries;
+        };
+        while (remaining > 0 && !budget_tripped) {
+            const int count = std::min(remaining, kQueryBlockWidth);
+            std::vector<std::uint64_t> words(static_cast<std::size_t>(m));
+            for (std::uint64_t& w : words) w = wrng.next_u64();
+            try {
+                const std::vector<std::uint64_t> po_words =
+                    oracle.query_block(words, count);
+                for (int k = 0; k < count; ++k) {
+                    take_answer(words, k, unpack_lane(po_words, k));
+                }
+            } catch (const OracleBudgetExceeded&) {
+                // The whole block overran the remaining budget (blocks are
+                // all-or-nothing); drain what is left with scalar queries
+                // over the SAME pattern sequence so the full allowance is
+                // spent before terminating honestly.
+                try {
+                    for (int k = 0; k < count; ++k) {
+                        take_answer(words, k, oracle.query(unpack_lane(words, k)));
+                    }
+                } catch (const OracleBudgetExceeded&) {
+                    result.status = OracleAttackResult::Status::kQueryBudget;
+                    budget_tripped = true;
+                }
+            }
+            remaining -= count;
+        }
+    }
+
     // CEGAR refinement: each distinguishing input and the oracle's answer
     // constrain BOTH families, shrinking the still-viable set on each side.
     std::vector<bool> pattern(static_cast<std::size_t>(m));
-    std::vector<std::vector<bool>> answers;
-    while (true) {
+    while (!budget_tripped) {
         assumptions.clear();
         if (solver.solve() != sat::Solver::Result::kSat) break;
         if (params.max_iterations > 0 &&
@@ -215,7 +366,16 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
         }
         if (params.forced_queries &&
             static_cast<std::size_t>(result.queries) < params.forced_queries->size()) {
+            // Deprecated alias of transcript replay; see OracleAttackParams.
             pattern = (*params.forced_queries)[static_cast<std::size_t>(result.queries)];
+            assert(static_cast<int>(pattern.size()) == m);
+        } else if (const std::vector<bool>* scripted = oracle.scripted_pattern()) {
+            // A replaying TranscriptOracle prescribes the query sequence
+            // through the public API; the per-iteration solve above still
+            // runs, so the CEGAR work is identical -- only the pattern
+            // choice is pinned (any prefix of a valid run's transcript is
+            // itself a valid distinguishing sequence).
+            pattern = *scripted;
             assert(static_cast<int>(pattern.size()) == m);
         } else {
             for (int i = 0; i < m; ++i) {
@@ -226,20 +386,19 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
                 canonicalize_pattern(&solver, shared_x, &assumptions, &pattern);
             }
         }
-        std::vector<bool> answer = oracle.query(pattern);
+        std::vector<bool> answer;
+        try {
+            answer = oracle.query(pattern);
+        } catch (const OracleBudgetExceeded&) {
+            // Honest termination: the threat model ran out of chip access.
+            result.status = OracleAttackResult::Status::kQueryBudget;
+            break;
+        }
         assert(static_cast<int>(answer.size()) == r);
         ++result.queries;
-        if (params.shared_miter) {
-            sat::CnfBuilder::SharedCopy sc =
-                sat::CnfBuilder::add_shared_copies(family_a, family_b, pattern);
-            result.shared_cells += static_cast<std::uint64_t>(sc.shared_cells);
-            pin_outputs(&solver, sc.a, answer);
-            pin_outputs(&solver, sc.b, answer);
-        } else {
-            add_io_constraint(&solver, &family_a, pattern, answer, false);
-            add_io_constraint(&solver, &family_b, pattern, answer, false);
-        }
+        constrain_both(pattern, answer);
         result.distinguishing_inputs.push_back(pattern);
+        constraint_inputs.push_back(pattern);
         answers.push_back(std::move(answer));
         if (params.solver.preprocess && params.solver.inprocess_growth > 1.0 &&
             static_cast<double>(solver.num_clauses()) >
@@ -260,93 +419,10 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
     // cones; with preprocessing the instance is simplified first (selectors
     // are frozen, so the projected count is preserved).
     if (result.status != OracleAttackResult::Status::kIterationLimit &&
+        result.status != OracleAttackResult::Status::kQueryBudget &&
         params.enumerate_survivors) {
-        result.counted = true;
-        result.count_mode = params.count_mode;
-        sat::Solver counter;
-        sat::CnfBuilder family(netlist, &counter, params.fixed_nominal);
-        for (std::size_t i = 0; i < answers.size(); ++i) {
-            add_io_constraint(&counter, &family, result.distinguishing_inputs[i],
-                              answers[i], params.shared_miter);
-        }
-        if (params.solver.preprocess) {
-            sat::Preprocessor pre(&counter, params.solver);
-            const std::vector<sat::Var> fv = family.frozen_vars();
-            pre.freeze_all(fv);
-            pre.run();
-        }
-
-        if (params.count_mode == CountMode::kEnumerate) {
-            enumerate_survivor_count(netlist, &counter, &family, params,
-                                     &result);
-        } else {
-            // Projection = every selector variable: the count is over whole
-            // configurations, dead-cone cells included (their freedom falls
-            // out of component decomposition -- a cell whose support
-            // collapsed to constants is one tiny component contributing a
-            // factor of #choices).
-            std::vector<sat::Var> projection;
-            for (int id = 0; id < netlist.num_nodes(); ++id) {
-                const std::vector<sat::Var>& sel = family.selectors(id);
-                projection.insert(projection.end(), sel.begin(), sel.end());
-            }
-            const count::Cnf cnf = count::cnf_from_solver(counter, projection);
-            // One model for the witness and the emptiness check (the
-            // counters report numbers, not assignments).
-            if (counter.solve() != sat::Solver::Result::kSat) {
-                result.status = OracleAttackResult::Status::kNoSurvivor;
-            } else {
-                result.witness_config = family.config_from_model();
-                if (params.count_mode == CountMode::kExact) {
-                    count::CounterConfig cc;
-                    cc.cache_bytes =
-                        params.count_cache_mb > 0
-                            ? static_cast<std::size_t>(params.count_cache_mb)
-                                  << 20
-                            : 1u << 20;
-                    cc.max_decisions = params.count_max_decisions;
-                    count::ProjectedCounter pc(cnf, cc);
-                    const count::ProjectedCounter::Result res = pc.count();
-                    result.count_stats = res.stats;
-                    result.survivors = res.count;
-                    if (!res.exact && res.count.saturated()) {
-                        // Saturated beyond 2^128 - 1: still a hard bound.
-                        result.status =
-                            OracleAttackResult::Status::kSurvivorLimit;
-                    } else if (!res.exact) {
-                        // Decision budget exhausted (dense, decomposition-
-                        // resistant instance): fall back to the capped
-                        // enumeration so the attack still terminates with
-                        // a sound figure.  count_mode records the switch.
-                        result.count_mode = CountMode::kEnumerate;
-                        enumerate_survivor_count(netlist, &counter, &family,
-                                                 params, &result);
-                    }
-                } else {
-                    count::ApproxConfig ac;
-                    ac.epsilon = params.epsilon;
-                    ac.delta = params.delta;
-                    ac.seed = params.count_seed;
-                    count::ApproxCounter apc(cnf, ac);
-                    const count::ApproxResult res = apc.count();
-                    result.survivors = res.estimate;
-                    result.approx_xor_levels = res.xor_levels;
-                    result.approx_rounds = res.rounds;
-                    if (!res.ok) {
-                        // Every hash round failed; the witness still
-                        // proves at least one survivor.
-                        result.status =
-                            OracleAttackResult::Status::kSurvivorLimit;
-                        result.survivors = count::Count128(1);
-                    } else if (!res.exact) {
-                        result.status =
-                            OracleAttackResult::Status::kApproxSolved;
-                    }
-                }
-                result.surviving_configs =
-                    result.survivors.to_u64_saturating();
-            }
-        }
+        count_consistent_configs(netlist, constraint_inputs, answers, params,
+                                 &result);
     }
 
     result.seconds = sw.elapsed_seconds();

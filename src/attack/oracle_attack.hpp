@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "attack/oracle.hpp"
 #include "camo/camo_netlist.hpp"
 #include "count/count128.hpp"
 #include "count/projected_counter.hpp"
@@ -30,27 +31,6 @@
 #include "sat/solver.hpp"
 
 namespace mvf::attack {
-
-/// Black-box combinational oracle (the attacker's working chip).
-class Oracle {
-public:
-    virtual ~Oracle() = default;
-    virtual std::vector<bool> query(const std::vector<bool>& inputs) = 0;
-};
-
-/// Oracle backed by simulating a camouflaged netlist under a hidden
-/// configuration (per-node plausible indices, -1 for non-cells).
-class SimOracle : public Oracle {
-public:
-    SimOracle(const camo::CamoNetlist& netlist, std::vector<int> config)
-        : netlist_(&netlist), config_(std::move(config)) {}
-
-    std::vector<bool> query(const std::vector<bool>& inputs) override;
-
-private:
-    const camo::CamoNetlist* netlist_;
-    std::vector<int> config_;
-};
 
 /// How the surviving-configuration count is computed once CEGAR converges.
 enum class CountMode {
@@ -126,14 +106,27 @@ struct OracleAttackParams {
     /// tests run it up to 6 PIs) but multiplies runtime at 16+; hence off
     /// by default.
     bool canonical_inputs = false;
-    /// Replay transcript: while set, iteration k queries the oracle on
-    /// (*forced_queries)[k] instead of the solver model (the per-iteration
-    /// solve still runs, so the CEGAR work is identical -- only the
-    /// pattern choice is pinned).  Any prefix of a valid run's
-    /// distinguishing_inputs is itself a valid distinguishing sequence, so
-    /// replaying one against the same oracle converges to bit-identical
-    /// outcomes; bench_oracle_attack uses this to time different
-    /// SolverConfigs on identical attack transcripts.
+    /// Warm-up: before the CEGAR loop, draw this many random input
+    /// patterns (seeded by warmup_seed), query them through the batched
+    /// word-parallel oracle path in blocks of up to 64, and add the I/O
+    /// answers as constraints.  Each answered pattern prunes every
+    /// configuration disagreeing with the chip on it, so the miter starts
+    /// the distinguishing-input loop on a much smaller viable set -- a
+    /// cheap query-selection baseline that measurably cuts the
+    /// distinguishing-input count (see bench_oracle_attack).
+    int random_warmup = 0;
+    std::uint64_t warmup_seed = 1;
+    /// DEPRECATED replay side-channel, superseded by TranscriptOracle
+    /// (attack/oracle.hpp): wrap the run in a recording TranscriptOracle
+    /// and replay through TranscriptOracle's replay mode instead -- the
+    /// attack consults Oracle::scripted_pattern() each iteration, so
+    /// replay flows through the same public API as live queries.  While
+    /// this field is set, iteration k queries the oracle on
+    /// (*forced_queries)[k] instead of the solver model (the
+    /// per-iteration solve still runs; only the pattern choice is
+    /// pinned).  Kept as an alias for one release;
+    /// tests/test_oracle.cpp proves both mechanisms produce bit-identical
+    /// outcomes.
     const std::vector<std::vector<bool>>* forced_queries = nullptr;
 };
 
@@ -144,11 +137,14 @@ struct OracleAttackResult {
         kIterationLimit,  ///< stopped by max_iterations
         kSurvivorLimit,   ///< count capped/saturated; a lower bound
         kApproxSolved,    ///< CEGAR converged; count is an (eps, delta) estimate
+        kQueryBudget,     ///< the oracle's query budget cut the attack off
     };
     Status status = Status::kSolved;
 
     /// Distinguishing-input oracle queries made (== CEGAR iterations).
     int queries = 0;
+    /// Random warm-up patterns answered before the loop (block queries).
+    int warmup_queries = 0;
     /// Configurations consistent with the oracle on every input,
     /// saturated to uint64 (`survivors` below is full precision); exact
     /// for kSolved, an estimate for kApproxSolved, a lower bound for
@@ -158,8 +154,8 @@ struct OracleAttackResult {
     /// projected counter handles spaces far beyond uint64).
     count::Count128 survivors;
     /// True once a survivor-counting backend actually ran (false for
-    /// kIterationLimit and for enumerate_survivors == false, where the
-    /// count fields below are meaningless zeros).
+    /// kIterationLimit, kQueryBudget and for enumerate_survivors == false,
+    /// where the count fields below are meaningless zeros).
     bool counted = false;
     /// CountMode that produced the count: the params' mode, except that
     /// an exact run that exhausted its decision budget and fell back
@@ -170,9 +166,9 @@ struct OracleAttackResult {
     /// Approximate-counter round summary (kApprox; zeroed otherwise).
     int approx_xor_levels = 0;
     int approx_rounds = 0;
-    /// One surviving configuration, populated by the enumeration phase
-    /// only: empty for kNoSurvivor and kIterationLimit, and whenever
-    /// enumerate_survivors is off.  Per-node plausible indices as consumed
+    /// One surviving configuration, populated by the counting phase only:
+    /// empty for kNoSurvivor, kIterationLimit and kQueryBudget, and
+    /// whenever enumerate_survivors is off.  Per-node plausible indices as consumed
     /// by sim::simulate_camo.
     std::vector<int> witness_config;
     /// The distinguishing patterns, in query order.
@@ -191,8 +187,24 @@ struct OracleAttackResult {
 
 /// Runs the CEGAR attack on `netlist` against `oracle`.  The oracle must
 /// answer with netlist.num_pos() outputs for netlist.num_pis() inputs.
+/// A BudgetedOracle in the stack terminates the attack honestly: the
+/// budget trip surfaces as Status::kQueryBudget (no survivor counting
+/// runs, mirroring kIterationLimit).  A replaying TranscriptOracle drives
+/// the query sequence via Oracle::scripted_pattern().
 OracleAttackResult oracle_attack(const camo::CamoNetlist& netlist,
                                  Oracle& oracle,
                                  const OracleAttackParams& params = {});
+
+/// The survivor-counting tail of oracle_attack, reusable by any adversary
+/// that gathers I/O constraints (inputs[i] answered by answers[i]): counts
+/// the configurations consistent with every pair under params.count_mode,
+/// filling result's counting fields, witness_config, and status
+/// (kNoSurvivor / kSurvivorLimit / kApproxSolved; an untouched status
+/// means the count is exact and at least one configuration survives).
+void count_consistent_configs(const camo::CamoNetlist& netlist,
+                              const std::vector<std::vector<bool>>& inputs,
+                              const std::vector<std::vector<bool>>& answers,
+                              const OracleAttackParams& params,
+                              OracleAttackResult* result);
 
 }  // namespace mvf::attack

@@ -151,6 +151,7 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
         bool has_cache_mb = false;
         bool has_max_survivors = false;
         bool counting_disabled = false;  // explicit enum_survivors=0
+        bool has_noise = false;
         while (tokens >> token) {
             any = true;
             const std::size_t eq = token.find('=');
@@ -229,6 +230,36 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
             } else if (key == "canonical_inputs") {
                 s.params.oracle.canonical_inputs =
                     parse_flag(value, line_no, key);
+            } else if (key == "query_budget") {
+                s.params.oracle_model.query_budget =
+                    parse_u64(value, line_no, key);
+                if (s.params.oracle_model.query_budget == 0) {
+                    spec_error(line_no, "query_budget must be > 0 (omit the "
+                                        "key for an unlimited oracle)");
+                }
+            } else if (key == "oracle_noise") {
+                s.params.oracle_model.noise = parse_double(value, line_no, key);
+                if (!(s.params.oracle_model.noise >= 0.0 &&
+                      s.params.oracle_model.noise < 1.0)) {
+                    spec_error(line_no, "oracle_noise must be in [0, 1)");
+                }
+                has_noise = true;
+            } else if (key == "oracle_cache") {
+                s.params.oracle_model.cache = parse_flag(value, line_no, key);
+            } else if (key == "save_transcript") {
+                s.params.save_transcript = value;
+            } else if (key == "replay_transcript") {
+                s.params.replay_transcript = value;
+            } else if (key == "random_warmup") {
+                s.params.oracle.random_warmup = parse_int(value, line_no, key);
+                if (s.params.oracle.random_warmup < 0) {
+                    spec_error(line_no, "random_warmup must be >= 0");
+                }
+            } else if (key == "random_queries") {
+                s.params.random_queries = parse_int(value, line_no, key);
+                if (s.params.random_queries <= 0) {
+                    spec_error(line_no, "random_queries must be > 0");
+                }
             } else {
                 spec_error(line_no,
                            "unknown key \"" + key +
@@ -237,7 +268,10 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
                                "count_mode count_cache_mb "
                                "count_max_decisions epsilon delta "
                                "max_survivors enum_survivors preprocess "
-                               "shared_miter canonical_inputs)");
+                               "shared_miter canonical_inputs query_budget "
+                               "oracle_noise oracle_cache save_transcript "
+                               "replay_transcript random_warmup "
+                               "random_queries)");
             }
         }
         if (!any) continue;  // blank/comment line
@@ -283,6 +317,20 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
             spec_error(line_no,
                        "count_cache_mb/count_max_decisions only apply to "
                        "count_mode=exact");
+        }
+        // Replay serves recorded answers; fresh measurement noise on top
+        // would corrupt a transcript that already embeds the noise it was
+        // recorded under.  Usage error, matching the counting-key rule.
+        if (has_noise && !s.params.replay_transcript.empty()) {
+            spec_error(line_no,
+                       "replay_transcript replays recorded answers; it "
+                       "contradicts oracle_noise");
+        }
+        // A cache above a replaying transcript desynchronizes the replay
+        // cursor on duplicate patterns.
+        if (s.params.oracle_model.cache &&
+            !s.params.replay_transcript.empty()) {
+            spec_error(line_no, "replay_transcript contradicts oracle_cache");
         }
         if (s.name.empty()) {
             s.name = s.family + std::to_string(s.n) + "-s" +

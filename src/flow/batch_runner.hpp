@@ -43,8 +43,11 @@ std::vector<ViableFunction> scenario_functions(const Scenario& scenario);
 /// count_mode=exact|approx|enumerate, count_cache_mb (exact),
 /// epsilon/delta (approx), max_survivors (enumerate; implies it when no
 /// count_mode is named), enum_survivors, preprocess, shared_miter,
-/// canonical_inputs.  Contradictory counting keys (e.g. epsilon with
-/// count_mode=enumerate) are rejected, not ignored.
+/// canonical_inputs, and the oracle threat-model keys query_budget (> 0),
+/// oracle_noise ([0, 1)), oracle_cache, save_transcript/replay_transcript
+/// (file paths), random_warmup, random_queries.  Contradictory keys (e.g.
+/// epsilon with count_mode=enumerate, or oracle_noise with
+/// replay_transcript) are rejected, not ignored.
 std::vector<Scenario> parse_scenario_spec(const std::string& text);
 
 /// parse_scenario_spec over a file's contents.

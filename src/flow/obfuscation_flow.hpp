@@ -62,6 +62,24 @@ struct FlowParams {
     /// (it used to be silently skipped).
     bool run_oracle_attack = false;
     attack::OracleAttackParams oracle;
+    /// Oracle threat-model decorators for the attack stage: query budget,
+    /// measurement noise, pattern cache, transcript recording (see
+    /// attack/oracle.hpp).  A fresh decorator stack is built per
+    /// oracle-granted adversary so the accounting in each
+    /// AdversaryReport::oracle block is per-attack.  The `replay` pointer
+    /// is managed by the attack stage from replay_transcript below.
+    attack::OracleModelParams oracle_model;
+    /// Record the attacker-visible oracle transcript and write it to this
+    /// JSON file (empty = off).  With several oracle-granted adversaries
+    /// in the panel, the last one's transcript wins.
+    std::string save_transcript;
+    /// Replay a transcript JSON recorded by save_transcript instead of
+    /// consulting the simulated chip (empty = off).  Contradicts
+    /// oracle_model.noise; harnesses reject that combination at parse
+    /// time.
+    std::string replay_transcript;
+    /// Patterns the random-sampling baseline adversary draws.
+    int random_queries = 128;
     /// Registered adversaries the attack stage should run (see
     /// attack::AdversaryRegistry).  When non-empty this supersedes
     /// run_oracle_attack's implicit {"cegar"} panel.

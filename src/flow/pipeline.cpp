@@ -1,5 +1,7 @@
 #include "flow/pipeline.hpp"
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -113,6 +115,26 @@ void ValidateStage::run(FlowContext& ctx) {
         *ctx.best_spec, *ctx.result.camouflaged);
 }
 
+namespace {
+
+attack::OracleTranscript load_transcript(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw std::invalid_argument("cannot open replay transcript: " + path);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return attack::OracleTranscript::from_json(
+            report::Json::parse(text.str()));
+    } catch (const report::JsonError& e) {
+        throw std::invalid_argument("malformed replay transcript " + path +
+                                    ": " + e.what());
+    }
+}
+
+}  // namespace
+
 void AttackStage::run(FlowContext& ctx) {
     if (!ctx.result.camouflaged) {
         throw std::invalid_argument(
@@ -125,8 +147,15 @@ void AttackStage::run(FlowContext& ctx) {
 
     attack::AdversaryOptions options;
     options.oracle = ctx.params.oracle;
+    options.random_queries = ctx.params.random_queries;
+    options.random_seed = ctx.params.seed;
 
-    attack::SimOracle oracle(netlist, netlist.configuration_for_code(0));
+    std::optional<attack::OracleTranscript> replay;
+    if (!ctx.params.replay_transcript.empty()) {
+        replay = load_transcript(ctx.params.replay_transcript);
+    }
+
+    attack::SimOracle chip(netlist, netlist.configuration_for_code(0));
     for (const std::string& name : adversaries_) {
         std::unique_ptr<attack::Adversary> adversary =
             attack::AdversaryRegistry::instance().create(name, options);
@@ -142,8 +171,29 @@ void AttackStage::run(FlowContext& ctx) {
         }
         const bool grant_oracle =
             adversary->knowledge() == attack::Knowledge::kWorkingChip;
-        ctx.result.attack_reports.push_back(
-            adversary->attack(netlist, grant_oracle ? &oracle : nullptr));
+        if (!grant_oracle) {
+            ctx.result.attack_reports.push_back(
+                adversary->attack(netlist, nullptr));
+            continue;
+        }
+        // A fresh decorator stack per adversary keeps accounting, budget
+        // and transcript per-attack instead of smeared across the panel.
+        attack::OracleModelParams model = ctx.params.oracle_model;
+        model.record = model.record || !ctx.params.save_transcript.empty();
+        if (replay) model.replay = &*replay;
+        attack::OracleStack stack(model.replay ? nullptr : &chip, model);
+
+        attack::AdversaryReport report = adversary->attack(netlist, &stack.top());
+        report.oracle = stack.stats();
+        ctx.result.attack_reports.push_back(std::move(report));
+
+        if (!ctx.params.save_transcript.empty() && stack.recorded()) {
+            const report::JsonWriter writer(ctx.params.save_transcript);
+            if (!writer.write(stack.recorded()->to_json())) {
+                throw std::runtime_error("cannot write oracle transcript: " +
+                                         ctx.params.save_transcript);
+            }
+        }
         // Keep the typed CEGAR result flowing into the legacy field.
         if (const auto* cegar =
                 dynamic_cast<const attack::CegarAdversary*>(adversary.get())) {

@@ -92,15 +92,18 @@ std::vector<TruthTable> simulate_camo(const camo::CamoNetlist& netlist,
     return out;
 }
 
-std::vector<bool> simulate_camo_pattern(const camo::CamoNetlist& netlist,
-                                        const std::vector<int>& config,
-                                        const std::vector<bool>& inputs) {
+void simulate_camo_pattern_into(const camo::CamoNetlist& netlist,
+                                const std::vector<int>& config,
+                                const std::vector<bool>& inputs,
+                                std::vector<bool>* outputs,
+                                WordSimScratch* scratch) {
     assert(static_cast<int>(inputs.size()) == netlist.num_pis());
     assert(static_cast<int>(config.size()) == netlist.num_nodes());
-    std::vector<bool> value(static_cast<std::size_t>(netlist.num_nodes()), false);
+    std::vector<std::uint64_t>& value = scratch->value;
+    value.assign(static_cast<std::size_t>(netlist.num_nodes()), 0);
     for (int i = 0; i < netlist.num_pis(); ++i) {
         value[static_cast<std::size_t>(netlist.pi(i))] =
-            inputs[static_cast<std::size_t>(i)];
+            inputs[static_cast<std::size_t>(i)] ? 1u : 0u;
     }
     for (int id = 0; id < netlist.num_nodes(); ++id) {
         const camo::CamoNetlist::Node& n = netlist.node(id);
@@ -113,14 +116,87 @@ std::vector<bool> simulate_camo_pattern(const camo::CamoNetlist& netlist,
             if (value[static_cast<std::size_t>(n.fanins[p])]) pins |= 1u << p;
         }
         value[static_cast<std::size_t>(id)] =
-            cell.plausible[static_cast<std::size_t>(choice)].bit(pins);
+            cell.plausible[static_cast<std::size_t>(choice)].bit(pins) ? 1u : 0u;
     }
-    std::vector<bool> out;
-    out.reserve(static_cast<std::size_t>(netlist.num_pos()));
+    outputs->resize(static_cast<std::size_t>(netlist.num_pos()));
     for (int i = 0; i < netlist.num_pos(); ++i) {
-        out.push_back(value[static_cast<std::size_t>(netlist.po(i))]);
+        (*outputs)[static_cast<std::size_t>(i)] =
+            value[static_cast<std::size_t>(netlist.po(i))] != 0;
     }
+}
+
+std::vector<bool> simulate_camo_pattern(const camo::CamoNetlist& netlist,
+                                        const std::vector<int>& config,
+                                        const std::vector<bool>& inputs) {
+    WordSimScratch scratch;
+    std::vector<bool> out;
+    simulate_camo_pattern_into(netlist, config, inputs, &out, &scratch);
     return out;
+}
+
+void simulate_camo_words(const camo::CamoNetlist& netlist,
+                         const std::vector<int>& config,
+                         std::span<const std::uint64_t> pi_words,
+                         std::span<std::uint64_t> po_words,
+                         WordSimScratch* scratch) {
+    assert(static_cast<int>(pi_words.size()) == netlist.num_pis());
+    assert(static_cast<int>(po_words.size()) == netlist.num_pos());
+    assert(static_cast<int>(config.size()) == netlist.num_nodes());
+    std::vector<std::uint64_t>& value = scratch->value;
+    value.assign(static_cast<std::size_t>(netlist.num_nodes()), 0);
+    for (int i = 0; i < netlist.num_pis(); ++i) {
+        value[static_cast<std::size_t>(netlist.pi(i))] =
+            pi_words[static_cast<std::size_t>(i)];
+    }
+    for (int id = 0; id < netlist.num_nodes(); ++id) {
+        const camo::CamoNetlist::Node& n = netlist.node(id);
+        if (n.kind != camo::CamoNetlist::NodeKind::kCell) continue;
+        const camo::CamoCell& cell = netlist.library().cell(n.camo_cell_id);
+        const int choice = config[static_cast<std::size_t>(id)];
+        assert(choice >= 0 && choice < static_cast<int>(cell.plausible.size()));
+        const logic::TruthTable& f =
+            cell.plausible[static_cast<std::size_t>(choice)];
+        // Library cells have <= 6 pins, so the whole plausible function
+        // fits in the table's first word; testing minterms locally keeps
+        // the hot loop free of function calls.
+        const std::size_t pins = n.fanins.size();
+        assert(pins <= 6);
+        const std::uint32_t num_minterms = 1u << pins;
+        const std::uint64_t full =
+            num_minterms == 64 ? ~0ull : (1ull << num_minterms) - 1;
+        std::uint64_t bits = f.word(0);
+        std::uint64_t out;
+        if (bits == 0 || bits == full) {
+            out = bits == 0 ? 0 : ~0ull;
+        } else {
+            // Sum-of-minterms over the pin words: every lane (pattern)
+            // evaluates the cell function simultaneously.  Only the SET
+            // minterms are visited, and a majority-ones function is
+            // evaluated through its complement, so typical gates cost a
+            // handful of AND/OR words (a NAND is one term, inverted).
+            const bool invert =
+                2 * __builtin_popcountll(bits) > static_cast<int>(num_minterms);
+            if (invert) bits = ~bits & full;
+            out = 0;
+            do {
+                const int m = __builtin_ctzll(bits);
+                bits &= bits - 1;
+                std::uint64_t term = ~0ull;
+                for (std::size_t p = 0; p < pins; ++p) {
+                    const std::uint64_t w =
+                        value[static_cast<std::size_t>(n.fanins[p])];
+                    term &= (m >> p) & 1u ? w : ~w;
+                }
+                out |= term;
+            } while (bits != 0);
+            if (invert) out = ~out;
+        }
+        value[static_cast<std::size_t>(id)] = out;
+    }
+    for (int i = 0; i < netlist.num_pos(); ++i) {
+        po_words[static_cast<std::size_t>(i)] =
+            value[static_cast<std::size_t>(netlist.po(i))];
+    }
 }
 
 std::vector<TruthTable> simulate_camo_full(const camo::CamoNetlist& netlist,

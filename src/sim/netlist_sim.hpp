@@ -41,4 +41,32 @@ std::vector<bool> simulate_camo_pattern(const camo::CamoNetlist& netlist,
                                         const std::vector<int>& config,
                                         const std::vector<bool>& inputs);
 
+/// Reusable per-node value buffer for the word-parallel evaluator below.
+/// Owning it across calls (attack::SimOracle does) removes the per-query
+/// allocation of the scalar path entirely.
+struct WordSimScratch {
+    std::vector<std::uint64_t> value;
+};
+
+/// Word-parallel evaluation of up to 64 input patterns in ONE O(nodes)
+/// pass: bit k of `pi_words[i]` is pattern k's value of PI i, and on return
+/// bit k of `po_words[q]` is pattern k's value of PO q.  `pi_words` must
+/// have num_pis() entries and `po_words` num_pos() entries.  Bits at
+/// positions >= the caller's pattern count are evaluated like any other
+/// lane (garbage in, garbage out); callers simply ignore them.
+void simulate_camo_words(const camo::CamoNetlist& netlist,
+                         const std::vector<int>& config,
+                         std::span<const std::uint64_t> pi_words,
+                         std::span<std::uint64_t> po_words,
+                         WordSimScratch* scratch);
+
+/// simulate_camo_pattern on caller-owned scratch: no per-call allocation
+/// (`outputs` is resized to num_pos()).  The scalar oracle path of
+/// attack::SimOracle.
+void simulate_camo_pattern_into(const camo::CamoNetlist& netlist,
+                                const std::vector<int>& config,
+                                const std::vector<bool>& inputs,
+                                std::vector<bool>* outputs,
+                                WordSimScratch* scratch);
+
 }  // namespace mvf::sim

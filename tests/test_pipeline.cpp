@@ -404,6 +404,42 @@ TEST(BatchRunner, SpecCountingKeysParseAndContradict) {
         std::invalid_argument);
 }
 
+TEST(BatchRunner, SpecOracleModelKeysParseAndContradict) {
+    const std::vector<Scenario> ok = parse_scenario_spec(
+        "funcs=present:2 query_budget=8 oracle_noise=0.01 oracle_cache=1 "
+        "save_transcript=t.json random_warmup=32 random_queries=64\n"
+        "funcs=present:2 replay_transcript=t.json\n");
+    ASSERT_EQ(ok.size(), 2u);
+    EXPECT_EQ(ok[0].params.oracle_model.query_budget, 8u);
+    EXPECT_DOUBLE_EQ(ok[0].params.oracle_model.noise, 0.01);
+    EXPECT_TRUE(ok[0].params.oracle_model.cache);
+    EXPECT_EQ(ok[0].params.save_transcript, "t.json");
+    EXPECT_EQ(ok[0].params.oracle.random_warmup, 32);
+    EXPECT_EQ(ok[0].params.random_queries, 64);
+    EXPECT_EQ(ok[1].params.replay_transcript, "t.json");
+
+    // Contradictory/out-of-range oracle keys fail at parse time, matching
+    // the counting-flag convention.
+    EXPECT_THROW(
+        parse_scenario_spec(
+            "funcs=present:2 replay_transcript=t.json oracle_noise=0.1\n"),
+        std::invalid_argument);
+    EXPECT_THROW(
+        parse_scenario_spec(
+            "funcs=present:2 replay_transcript=t.json oracle_cache=1\n"),
+        std::invalid_argument);
+    EXPECT_THROW(parse_scenario_spec("funcs=present:2 query_budget=0\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_scenario_spec("funcs=present:2 oracle_noise=1.0\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_scenario_spec("funcs=present:2 oracle_noise=-0.5\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_scenario_spec("funcs=present:2 random_warmup=-1\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_scenario_spec("funcs=present:2 random_queries=0\n"),
+                 std::invalid_argument);
+}
+
 TEST(BatchRunner, UnknownFamilyFailsTheScenarioOnly) {
     Scenario s;
     s.name = "martian";

@@ -75,6 +75,26 @@ int usage() {
         "                     attack transcripts; costly at 16+ PIs)\n"
         "  --elim-occ N       BVE occurrence bound (default 32)\n"
         "  --elim-growth N    BVE clause-growth bound (default 8)\n"
+        "\n"
+        "oracle threat-model options (run/attack):\n"
+        "  --query-budget N   the chip answers at most N patterns; the CEGAR\n"
+        "                     attack then terminates honestly with status\n"
+        "                     \"query budget\" (N > 0)\n"
+        "  --oracle-noise P   flip each answered output bit with probability\n"
+        "                     P in [0, 1) (measurement error)\n"
+        "  --oracle-cache     dedupe repeated patterns before they reach the\n"
+        "                     budget/chip\n"
+        "  --save-transcript FILE\n"
+        "                     record the attacker-visible oracle transcript\n"
+        "                     as JSON\n"
+        "  --replay-transcript FILE\n"
+        "                     replay a recorded transcript instead of\n"
+        "                     consulting the chip (contradicts --oracle-noise)\n"
+        "  --random-warmup N  CEGAR warm-up: N random patterns queried in\n"
+        "                     word-parallel blocks before the loop\n"
+        "  --random-queries N pattern budget of the random-sampling baseline\n"
+        "                     adversary (default 128)\n"
+        "\n"
         "  --json FILE        also write the JSON record(s) to FILE\n"
         "\n"
         "batch options:\n"
@@ -156,6 +176,7 @@ bool parse_scenario_flags(int argc, char** argv, int start,
     bool cache_mb_set = false;
     bool decisions_set = false;
     bool no_enumerate_set = false;
+    bool noise_set = false;
     for (int i = start; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
@@ -275,6 +296,58 @@ bool parse_scenario_flags(int argc, char** argv, int start,
                                 &scenario->params.oracle.solver.elim_growth)) {
                 return false;
             }
+        } else if (arg == "--query-budget") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_u64_flag(value, "--query-budget",
+                                &scenario->params.oracle_model.query_budget)) {
+                return false;
+            }
+            if (scenario->params.oracle_model.query_budget == 0) {
+                std::fprintf(stderr,
+                             "mvf: --query-budget must be > 0 (omit the flag "
+                             "for an unlimited oracle)\n");
+                return false;
+            }
+        } else if (arg == "--oracle-noise") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_double_flag(value, "--oracle-noise",
+                                   &scenario->params.oracle_model.noise)) {
+                return false;
+            }
+            if (!(scenario->params.oracle_model.noise >= 0.0 &&
+                  scenario->params.oracle_model.noise < 1.0)) {
+                std::fprintf(stderr, "mvf: --oracle-noise must be in [0, 1)\n");
+                return false;
+            }
+            noise_set = true;
+        } else if (arg == "--oracle-cache") {
+            scenario->params.oracle_model.cache = true;
+        } else if (arg == "--save-transcript") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            scenario->params.save_transcript = value;
+        } else if (arg == "--replay-transcript") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            scenario->params.replay_transcript = value;
+        } else if (arg == "--random-warmup") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_int_flag(value, "--random-warmup",
+                                &scenario->params.oracle.random_warmup)) {
+                return false;
+            }
+            if (scenario->params.oracle.random_warmup < 0) {
+                std::fprintf(stderr, "mvf: --random-warmup must be >= 0\n");
+                return false;
+            }
+        } else if (arg == "--random-queries") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_int_flag(value, "--random-queries",
+                                &scenario->params.random_queries)) {
+                return false;
+            }
+            if (scenario->params.random_queries <= 0) {
+                std::fprintf(stderr, "mvf: --random-queries must be > 0\n");
+                return false;
+            }
         } else if (arg == "--no-baseline") {
             scenario->params.run_random_baseline = false;
         } else if (arg == "--no-camo") {
@@ -342,6 +415,23 @@ bool parse_scenario_flags(int argc, char** argv, int start,
                      "--delta flags\n");
         return false;
     }
+    // Replay serves recorded answers; fresh measurement noise on top would
+    // corrupt a transcript that already embeds the noise it was recorded
+    // under.
+    if (noise_set && !scenario->params.replay_transcript.empty()) {
+        std::fprintf(stderr,
+                     "mvf: --replay-transcript replays recorded answers; it "
+                     "contradicts --oracle-noise\n");
+        return false;
+    }
+    // A cache above a replaying transcript desynchronizes the replay
+    // cursor on duplicate patterns.
+    if (scenario->params.oracle_model.cache &&
+        !scenario->params.replay_transcript.empty()) {
+        std::fprintf(stderr,
+                     "mvf: --replay-transcript contradicts --oracle-cache\n");
+        return false;
+    }
     if (quick) {
         if (!population_set) scenario->params.ga.population = 8;
         if (!generations_set) scenario->params.ga.generations = 4;
@@ -391,6 +481,17 @@ void print_record(const flow::ScenarioRecord& r) {
                     a.outcome.c_str(), a.queries, survivors.c_str(),
                     a.count_mode.empty() ? "" : " via ",
                     a.count_mode.c_str(), a.seconds);
+        if (!(a.oracle == attack::OracleStats{})) {
+            std::printf(
+                "    oracle: %llu patterns (%llu scalar, %llu block calls), "
+                "%llu cache hits, %llu noisy bits%s\n",
+                static_cast<unsigned long long>(a.oracle.patterns),
+                static_cast<unsigned long long>(a.oracle.scalar_queries),
+                static_cast<unsigned long long>(a.oracle.block_queries),
+                static_cast<unsigned long long>(a.oracle.cache_hits),
+                static_cast<unsigned long long>(a.oracle.noisy_bits),
+                a.oracle.budget_exhausted ? ", budget exhausted" : "");
+        }
     }
     std::printf("  %.1fs\n", r.seconds);
 }
