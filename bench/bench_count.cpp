@@ -235,6 +235,27 @@ int main(int argc, char** argv) {
         }
     }
 
+    if (!args.json_path.empty()) {
+        benchx::BenchJson bj("count", args);
+        for (const Row& r : rows) {
+            report::Json j = report::Json::object();
+            j.set("family", r.name);
+            j.set("space_bits", r.space_bits);
+            j.set("exact_count", r.exact_count);
+            j.set("exact_status", r.exact_status);
+            j.set("exact_seconds", r.exact_seconds);
+            j.set("decisions", r.decisions);
+            j.set("components", r.components);
+            j.set("cache_hits", r.cache_hits);
+            j.set("enum_count", r.enum_count);
+            j.set("enum_status", r.enum_status);
+            j.set("enum_seconds", r.enum_seconds);
+            bj.add_row(std::move(j));
+        }
+        bj.set("failures", failures);
+        bj.write();
+    }
+
     std::printf(
         "\nnote: 'capped' rows are the legacy lower bound (cap 2^%d); the\n"
         "exact column is the uncapped projected count.  The dead-tail\n"

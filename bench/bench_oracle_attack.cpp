@@ -41,6 +41,7 @@
 #include "attack/random_camo.hpp"
 #include "bench_common.hpp"
 #include "flow/obfuscation_flow.hpp"
+#include "obs/trace.hpp"
 #include "sbox/sbox_data.hpp"
 #include "util/csv.hpp"
 #include "util/stopwatch.hpp"
@@ -193,6 +194,65 @@ void word_parallel_microbench(const mvf::camo::CamoLibrary& lib,
     }
 }
 
+/// Measures what the tracing instrumentation costs when NO sink is
+/// installed, and DIES if it exceeds 2% of the attack's wall time.  The
+/// event count is taken from a real traced run (sink on /dev/null), the
+/// per-event disabled cost from a tight Span construct/destruct loop --
+/// each site must boil down to one atomic load + branch.
+void disabled_tracing_overhead_assert(
+    const mvf::camo::CamoLibrary& lib, std::uint64_t seed,
+    const mvf::attack::OracleAttackParams& params) {
+    using namespace mvf;
+    util::Rng rng(seed * 977 + 8);
+    const camo::CamoNetlist nl = attack::random_camo_netlist(lib, 8, 2, 16, rng);
+    attack::SimOracle oracle(nl, nl.configuration_for_code(0));
+
+    // Untraced reference run (best of 3 against scheduler noise).
+    double untraced_s = 1e30;
+    for (int trial = 0; trial < 3; ++trial) {
+        util::Stopwatch sw;
+        attack::oracle_attack(nl, oracle, params);
+        untraced_s = std::min(untraced_s, sw.elapsed_seconds());
+    }
+
+    // The same attack traced into /dev/null counts the event sites crossed.
+    std::uint64_t events = 0;
+    {
+        obs::TraceSink sink("/dev/null");
+        if (sink.ok()) {
+            obs::set_trace_sink(&sink);
+            attack::oracle_attack(nl, oracle, params);
+            obs::set_trace_sink(nullptr);
+            events = sink.events();
+        }
+    }
+
+    // Per-event cost with tracing disabled: one Span per two events.
+    const int reps = 2'000'000;
+    int live = 0;
+    util::Stopwatch sw;
+    for (int i = 0; i < reps; ++i) {
+        obs::Span span("noop", "bench");
+        if (span) ++live;
+    }
+    const double per_event_s = sw.elapsed_seconds() / (2.0 * reps);
+
+    const double overhead_s = per_event_s * static_cast<double>(events);
+    const double pct =
+        untraced_s > 0.0 ? overhead_s / untraced_s * 100.0 : 0.0;
+    std::printf(
+        "disabled-tracing overhead: %.1f ns/event x %llu events = %.1f us "
+        "on a %.3fs attack (%.4f%%, live spans %d)\n\n",
+        per_event_s * 1e9, static_cast<unsigned long long>(events),
+        overhead_s * 1e6, untraced_s, pct, live);
+    if (pct >= 2.0) {
+        std::fprintf(stderr,
+                     "FATAL: disabled tracing costs %.2f%% of attack wall "
+                     "time (acceptance bound: 2%%)\n", pct);
+        std::exit(1);
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -230,6 +290,7 @@ int main(int argc, char** argv) {
                         "queries", "conflicts", "eliminated_vars", "survivors",
                         "pre_seconds", "plain_seconds", "solved"});
     }
+    benchx::BenchJson bj("oracle_attack", args);
     double total_pre = 0.0;
     double total_plain = 0.0;
     const auto emit = [&](const Row& row) {
@@ -237,6 +298,24 @@ int main(int argc, char** argv) {
         std::fflush(stdout);
         total_pre += row.attack.seconds;
         total_plain += row.plain.seconds;
+        if (bj.enabled()) {
+            report::Json r = report::Json::object();
+            r.set("circuit", row.name);
+            r.set("pis", row.pis);
+            r.set("pos", row.pos);
+            r.set("cells", row.cells);
+            r.set("config_bits", row.space_bits);
+            r.set("queries", row.attack.queries);
+            r.set("conflicts", row.attack.sat_stats.conflicts);
+            r.set("solves", row.attack.sat_stats.solves);
+            r.set("max_decision_level", row.attack.sat_stats.max_decision_level);
+            r.set("eliminated_vars", row.attack.sat_stats.eliminated_vars);
+            r.set("survivors", row.attack.surviving_configs);
+            r.set("pre_seconds", row.attack.seconds);
+            r.set("plain_seconds", row.plain.seconds);
+            r.set("solved", row.attack.solved());
+            bj.add_row(std::move(r));
+        }
         if (csv) {
             csv->write_row(
                 {row.name, util::CsvWriter::field(static_cast<std::size_t>(row.pis)),
@@ -263,6 +342,8 @@ int main(int argc, char** argv) {
     // revisions.
     attack_params.count_mode = attack::CountMode::kEnumerate;
     attack_params.max_survivors = 1u << 12;
+
+    disabled_tracing_overhead_assert(camo_lib, args.seed, attack_params);
 
     for (const Size& size : sizes) {
         util::Rng rng(args.seed * 977 + static_cast<std::uint64_t>(size.pis));
@@ -306,6 +387,15 @@ int main(int argc, char** argv) {
             "\nrandom warm-up on rand%d: 64 block-queried patterns cut "
             "distinguishing inputs %d -> %d (%.3fs -> %.3fs CEGAR)\n\n",
             pis, base.queries, warm.queries, base.seconds, warm.seconds);
+        if (bj.enabled()) {
+            report::Json w = report::Json::object();
+            w.set("pis", pis);
+            w.set("base_queries", base.queries);
+            w.set("warm_queries", warm.queries);
+            w.set("base_seconds", base.seconds);
+            w.set("warm_seconds", warm.seconds);
+            bj.set("random_warmup", std::move(w));
+        }
     }
 
     // The paper's own flow output (4 merged 4-bit S-boxes) under the same
@@ -334,5 +424,8 @@ int main(int argc, char** argv) {
         "the oracle; the flow's other viable functions are BY DESIGN\n"
         "different functions, so a working-chip adversary eliminates them --\n"
         "the paper's security model assumes the attacker has no such chip.\n");
+    bj.set("total_pre_seconds", total_pre);
+    bj.set("total_plain_seconds", total_plain);
+    bj.write();
     return 0;
 }

@@ -23,18 +23,11 @@ void accumulate(sat::Solver::Stats* into, const sat::Solver::Stats& from) {
     into->eliminated_vars += from.eliminated_vars;
     into->subsumed_clauses += from.subsumed_clauses;
     into->strengthened_lits += from.strengthened_lits;
-}
-
-const char* status_name(OracleAttackResult::Status s) {
-    switch (s) {
-        case OracleAttackResult::Status::kSolved: return "solved";
-        case OracleAttackResult::Status::kNoSurvivor: return "no survivor";
-        case OracleAttackResult::Status::kIterationLimit: return "iteration limit";
-        case OracleAttackResult::Status::kSurvivorLimit: return "survivor limit";
-        case OracleAttackResult::Status::kApproxSolved: return "approx solved";
-        case OracleAttackResult::Status::kQueryBudget: return "query budget";
-    }
-    return "unknown";
+    into->solves += from.solves;
+    into->solve_seconds += from.solve_seconds;
+    // A maximum, not a total: the deepest level any aggregated call reached.
+    into->max_decision_level =
+        std::max(into->max_decision_level, from.max_decision_level);
 }
 
 }  // namespace
@@ -89,6 +82,9 @@ report::Json AdversaryReport::to_json() const {
         o.set("budget_exhausted", oracle.budget_exhausted);
         j.set("oracle", std::move(o));
     }
+    if (!metrics.empty()) {
+        j.set("metrics", metrics.to_json());
+    }
     report::Json s = report::Json::object();
     s.set("conflicts", sat.conflicts);
     s.set("decisions", sat.decisions);
@@ -101,6 +97,9 @@ report::Json AdversaryReport::to_json() const {
     s.set("eliminated_vars", sat.eliminated_vars);
     s.set("subsumed_clauses", sat.subsumed_clauses);
     s.set("strengthened_lits", sat.strengthened_lits);
+    s.set("solves", sat.solves);
+    s.set("solve_seconds", sat.solve_seconds);
+    s.set("max_decision_level", sat.max_decision_level);
     j.set("sat", std::move(s));
     return j;
 }
@@ -134,6 +133,22 @@ AdversaryReport AdversaryReport::from_json(const report::Json& j) {
     }
     if (const report::Json* f = s.find("strengthened_lits")) {
         r.sat.strengthened_lits = f->as_uint();
+    }
+    // Solve-call telemetry postdates the observability layer; tolerate its
+    // absence so archived reports keep parsing.
+    if (const report::Json* f = s.find("solves")) {
+        r.sat.solves = f->as_uint();
+    }
+    if (const report::Json* f = s.find("solve_seconds")) {
+        r.sat.solve_seconds = f->as_number();
+    }
+    if (const report::Json* f = s.find("max_decision_level")) {
+        r.sat.max_decision_level = f->as_uint();
+    }
+    // The metrics block is only present when the run collected latency
+    // histograms; tolerate its absence.
+    if (const report::Json* m = j.find("metrics")) {
+        r.metrics = obs::AttackMetrics::from_json(*m);
     }
     // The oracle-stats block postdates the first-class oracle layer;
     // tolerate its absence so archived reports keep parsing.
@@ -182,7 +197,7 @@ bool AdversaryReport::operator==(const AdversaryReport& o) const {
            count_mode == o.count_mode && count == o.count &&
            approx_xor_levels == o.approx_xor_levels &&
            approx_rounds == o.approx_rounds && oracle == o.oracle &&
-           seconds == o.seconds &&
+           metrics == o.metrics && seconds == o.seconds &&
            sat.conflicts == o.sat.conflicts && sat.decisions == o.sat.decisions &&
            sat.propagations == o.sat.propagations &&
            sat.restarts == o.sat.restarts && sat.learned == o.sat.learned &&
@@ -191,7 +206,10 @@ bool AdversaryReport::operator==(const AdversaryReport& o) const {
            sat.preprocess_runs == o.sat.preprocess_runs &&
            sat.eliminated_vars == o.sat.eliminated_vars &&
            sat.subsumed_clauses == o.sat.subsumed_clauses &&
-           sat.strengthened_lits == o.sat.strengthened_lits;
+           sat.strengthened_lits == o.sat.strengthened_lits &&
+           sat.solves == o.sat.solves &&
+           sat.solve_seconds == o.sat.solve_seconds &&
+           sat.max_decision_level == o.sat.max_decision_level;
 }
 
 AdversaryReport PlausibilityAdversary::attack(const camo::CamoNetlist& netlist,
@@ -231,7 +249,7 @@ AdversaryReport CegarAdversary::attack(const camo::CamoNetlist& netlist,
     AdversaryReport report;
     report.adversary = std::string(name());
     report.success = res.solved();
-    report.outcome = status_name(res.status);
+    report.outcome = std::string(attack_status_name(res.status));
     // Total oracle patterns issued: warm-up blocks + distinguishing inputs.
     report.queries = res.queries + res.warmup_queries;
     report.survivors = res.surviving_configs;
@@ -242,6 +260,7 @@ AdversaryReport CegarAdversary::attack(const camo::CamoNetlist& netlist,
         report.approx_xor_levels = res.approx_xor_levels;
         report.approx_rounds = res.approx_rounds;
     }
+    report.metrics = res.metrics;
     report.seconds = res.seconds;
     report.sat = res.sat_stats;
     last_result_ = res;
@@ -322,7 +341,7 @@ AdversaryReport RandomSamplingAdversary::attack(
     report.success = result.counted && result.surviving_configs == 1 &&
                      result.status == OracleAttackResult::Status::kSolved;
     report.outcome = budget_tripped
-                         ? std::string(status_name(result.status))
+                         ? std::string(attack_status_name(result.status))
                          : std::to_string(result.queries) +
                                " random queries, " +
                                (result.counted ? result.survivors.to_string()

@@ -70,6 +70,9 @@ struct AdversaryReport {
     /// cache hits, noisy bits, budget state.  All-zero for oracle-less
     /// adversaries, and the JSON block is omitted then.
     OracleStats oracle;
+    /// Latency histograms (obs::AttackMetrics) when the attack collected
+    /// them; empty() otherwise, and the JSON block is omitted then.
+    obs::AttackMetrics metrics;
     double seconds = 0.0;
     sat::Solver::Stats sat;  ///< aggregated over the attack's SAT queries
 

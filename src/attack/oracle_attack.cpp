@@ -3,9 +3,11 @@
 #include <cassert>
 
 #include <algorithm>
+#include <chrono>
 
 #include "count/approx_counter.hpp"
 #include "count/cnf.hpp"
+#include "obs/trace.hpp"
 #include "sat/cnf_builder.hpp"
 #include "sim/netlist_sim.hpp"
 #include "util/rng.hpp"
@@ -32,7 +34,32 @@ bool count_mode_from_name(std::string_view name, CountMode* out) {
     return true;
 }
 
+std::string_view attack_status_name(OracleAttackResult::Status s) {
+    switch (s) {
+        case OracleAttackResult::Status::kSolved: return "solved";
+        case OracleAttackResult::Status::kNoSurvivor: return "no survivor";
+        case OracleAttackResult::Status::kIterationLimit: return "iteration limit";
+        case OracleAttackResult::Status::kSurvivorLimit: return "survivor limit";
+        case OracleAttackResult::Status::kApproxSolved: return "approx solved";
+        case OracleAttackResult::Status::kQueryBudget: return "query budget";
+    }
+    return "unknown";
+}
+
 namespace {
+
+std::string pattern_bits(const std::vector<bool>& pattern) {
+    std::string s;
+    s.reserve(pattern.size());
+    for (const bool b : pattern) s.push_back(b ? '1' : '0');
+    return s;
+}
+
+double us_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
 
 void pin_outputs(sat::Solver* solver, const sat::CnfBuilder::Copy& copy,
                  const std::vector<bool>& outputs) {
@@ -143,6 +170,21 @@ void count_consistent_configs(const CamoNetlist& netlist,
                               OracleAttackResult* result) {
     assert(inputs.size() == answers.size());
     OracleAttackResult& res = *result;
+    report::Json span_args;
+    if (obs::tracing()) {
+        span_args = report::Json::object();
+        span_args.set("mode", std::string(count_mode_name(params.count_mode)));
+        span_args.set("constraints", static_cast<std::uint64_t>(inputs.size()));
+    }
+    obs::Span span("count-survivors", "count", std::move(span_args));
+    const auto finish_span = [&]() {
+        if (!span) return;
+        report::Json ea = report::Json::object();
+        ea.set("survivors", res.survivors.to_string());
+        ea.set("mode", std::string(count_mode_name(res.count_mode)));
+        ea.set("status", std::string(attack_status_name(res.status)));
+        span.set_end_args(std::move(ea));
+    };
     res.counted = true;
     res.count_mode = params.count_mode;
     sat::Solver counter;
@@ -160,6 +202,7 @@ void count_consistent_configs(const CamoNetlist& netlist,
 
     if (params.count_mode == CountMode::kEnumerate) {
         enumerate_survivor_count(netlist, &counter, &family, params, &res);
+        finish_span();
         return;
     }
     // Projection = every selector variable: the count is over whole
@@ -176,6 +219,7 @@ void count_consistent_configs(const CamoNetlist& netlist,
     // report numbers, not assignments).
     if (counter.solve() != sat::Solver::Result::kSat) {
         res.status = OracleAttackResult::Status::kNoSurvivor;
+        finish_span();
         return;
     }
     res.witness_config = family.config_from_model();
@@ -221,6 +265,7 @@ void count_consistent_configs(const CamoNetlist& netlist,
         }
     }
     res.surviving_configs = res.survivors.to_u64_saturating();
+    finish_span();
 }
 
 OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
@@ -229,6 +274,40 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
     const int r = netlist.num_pos();
     util::Stopwatch sw;
     OracleAttackResult result;
+
+    // Latency metrics: local histograms snapshot into result.metrics; when
+    // the process-global switch is on they feed the shared registry too
+    // (same samples, one timing call).  `collect` off keeps the hot path at
+    // one branch per site -- no clock reads.
+    const bool collect = params.collect_metrics || obs::metrics_enabled();
+    obs::Histogram oracle_hist, solve_hist;
+    obs::Histogram* reg_oracle_hist = nullptr;
+    obs::Histogram* reg_solve_hist = nullptr;
+    if (obs::metrics_enabled()) {
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+        reg.counter("attack.runs").add();
+        reg_oracle_hist = &reg.histogram("attack.oracle_query_us");
+        reg_solve_hist = &reg.histogram("attack.sat_solve_us");
+    }
+    const auto observe_query = [&](double us) {
+        if (!collect) return;
+        oracle_hist.observe(us);
+        if (reg_oracle_hist) reg_oracle_hist->observe(us);
+    };
+    const auto observe_solve = [&](double us) {
+        if (!collect) return;
+        solve_hist.observe(us);
+        if (reg_solve_hist) reg_solve_hist->observe(us);
+    };
+
+    report::Json attack_args;
+    if (obs::tracing()) {
+        attack_args = report::Json::object();
+        attack_args.set("pis", m);
+        attack_args.set("pos", r);
+        attack_args.set("nodes", netlist.num_nodes());
+    }
+    obs::Span attack_span("oracle-attack", "attack", std::move(attack_args));
 
     // Two selector families in one incremental solver, mitered over shared
     // symbolic inputs: a model is (config A, config B, input X) with A and B
@@ -314,6 +393,12 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
     // input is solved for.
     bool budget_tripped = false;
     if (params.random_warmup > 0) {
+        report::Json warm_args;
+        if (obs::tracing()) {
+            warm_args = report::Json::object();
+            warm_args.set("patterns", params.random_warmup);
+        }
+        obs::Span warm_span("warmup", "attack", std::move(warm_args));
         util::Rng wrng(params.warmup_seed);
         int remaining = params.random_warmup;
         const auto take_answer = [&](const std::vector<std::uint64_t>& words,
@@ -330,8 +415,11 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
             std::vector<std::uint64_t> words(static_cast<std::size_t>(m));
             for (std::uint64_t& w : words) w = wrng.next_u64();
             try {
+                const auto q0 = collect ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point();
                 const std::vector<std::uint64_t> po_words =
                     oracle.query_block(words, count);
+                if (collect) observe_query(us_since(q0));
                 for (int k = 0; k < count; ++k) {
                     take_answer(words, k, unpack_lane(po_words, k));
                 }
@@ -342,7 +430,12 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
                 // spent before terminating honestly.
                 try {
                     for (int k = 0; k < count; ++k) {
-                        take_answer(words, k, oracle.query(unpack_lane(words, k)));
+                        const auto q0 =
+                            collect ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point();
+                        std::vector<bool> out = oracle.query(unpack_lane(words, k));
+                        if (collect) observe_query(us_since(q0));
+                        take_answer(words, k, std::move(out));
                     }
                 } catch (const OracleBudgetExceeded&) {
                     result.status = OracleAttackResult::Status::kQueryBudget;
@@ -358,7 +451,29 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
     std::vector<bool> pattern(static_cast<std::size_t>(m));
     while (!budget_tripped) {
         assumptions.clear();
-        if (solver.solve() != sat::Solver::Result::kSat) break;
+        // One span per CEGAR iteration; the final (UNSAT, convergence)
+        // solve gets its own span with converged=true in the end args.
+        report::Json iter_args;
+        if (obs::tracing()) {
+            iter_args = report::Json::object();
+            iter_args.set("iteration", result.queries);
+        }
+        obs::Span iter_span("cegar-iteration", "attack", std::move(iter_args));
+        const bool sat = solver.solve() == sat::Solver::Result::kSat;
+        // Captured now: canonicalization and the next iteration overwrite
+        // last_solve(), and this delta is what the span reports.
+        const sat::Solver::SolveDelta delta = solver.last_solve();
+        observe_solve(delta.seconds * 1e6);
+        if (!sat) {
+            if (iter_span) {
+                report::Json ea = report::Json::object();
+                ea.set("converged", true);
+                ea.set("conflicts", delta.conflicts);
+                ea.set("propagations", delta.propagations);
+                iter_span.set_end_args(std::move(ea));
+            }
+            break;
+        }
         if (params.max_iterations > 0 &&
             result.queries >= params.max_iterations) {
             result.status = OracleAttackResult::Status::kIterationLimit;
@@ -388,7 +503,10 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
         }
         std::vector<bool> answer;
         try {
+            const auto q0 = collect ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point();
             answer = oracle.query(pattern);
+            if (collect) observe_query(us_since(q0));
         } catch (const OracleBudgetExceeded&) {
             // Honest termination: the threat model ran out of chip access.
             result.status = OracleAttackResult::Status::kQueryBudget;
@@ -400,6 +518,15 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
         result.distinguishing_inputs.push_back(pattern);
         constraint_inputs.push_back(pattern);
         answers.push_back(std::move(answer));
+        if (iter_span) {
+            report::Json ea = report::Json::object();
+            ea.set("pattern", pattern_bits(pattern));
+            ea.set("conflicts", delta.conflicts);
+            ea.set("decisions", delta.decisions);
+            ea.set("propagations", delta.propagations);
+            ea.set("max_decision_level", delta.max_decision_level);
+            iter_span.set_end_args(std::move(ea));
+        }
         if (params.solver.preprocess && params.solver.inprocess_growth > 1.0 &&
             static_cast<double>(solver.num_clauses()) >
                 params.solver.inprocess_growth *
@@ -426,6 +553,18 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
     }
 
     result.seconds = sw.elapsed_seconds();
+    if (collect) {
+        result.metrics.oracle_query_us = oracle_hist.snapshot();
+        result.metrics.sat_solve_us = solve_hist.snapshot();
+    }
+    if (attack_span) {
+        report::Json ea = report::Json::object();
+        ea.set("status", std::string(attack_status_name(result.status)));
+        ea.set("queries", result.queries);
+        ea.set("warmup_queries", result.warmup_queries);
+        if (result.counted) ea.set("survivors", result.survivors.to_string());
+        attack_span.set_end_args(std::move(ea));
+    }
     return result;
 }
 

@@ -27,6 +27,7 @@
 #include "camo/camo_netlist.hpp"
 #include "count/count128.hpp"
 #include "count/projected_counter.hpp"
+#include "obs/metrics.hpp"
 #include "sat/simplify.hpp"
 #include "sat/solver.hpp"
 
@@ -116,6 +117,12 @@ struct OracleAttackParams {
     /// distinguishing-input count (see bench_oracle_attack).
     int random_warmup = 0;
     std::uint64_t warmup_seed = 1;
+    /// Collect per-attack latency metrics (oracle-query and SAT-solve
+    /// histograms) into OracleAttackResult::metrics.  Also on whenever the
+    /// process-global switch (obs::set_metrics_enabled, the CLI's
+    /// --metrics) is; off by default because the per-query timing calls,
+    /// while cheap, are measurable on microsecond-scale oracles.
+    bool collect_metrics = false;
     /// DEPRECATED replay side-channel, superseded by TranscriptOracle
     /// (attack/oracle.hpp): wrap the run in a recording TranscriptOracle
     /// and replay through TranscriptOracle's replay mode instead -- the
@@ -175,6 +182,10 @@ struct OracleAttackResult {
     std::vector<std::vector<bool>> distinguishing_inputs;
 
     sat::Solver::Stats sat_stats;  ///< CEGAR solver (miter + I/O constraints)
+    /// Latency histograms (microseconds), filled when
+    /// OracleAttackParams::collect_metrics or the global metrics switch is
+    /// on; empty() otherwise.
+    obs::AttackMetrics metrics;
     /// Cells encoded once instead of per-family across all shared stamps
     /// (0 when shared_miter is off or nothing was shareable).
     std::uint64_t shared_cells = 0;
@@ -184,6 +195,10 @@ struct OracleAttackResult {
         return status == Status::kSolved || status == Status::kApproxSolved;
     }
 };
+
+/// Human-readable status ("solved", "iteration limit", ...), shared by the
+/// adversary reports and the trace spans.
+std::string_view attack_status_name(OracleAttackResult::Status s);
 
 /// Runs the CEGAR attack on `netlist` against `oracle`.  The oracle must
 /// answer with netlist.num_pos() outputs for netlist.num_pis() inputs.

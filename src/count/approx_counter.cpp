@@ -5,6 +5,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -69,6 +71,32 @@ ApproxCounter::ApproxCounter(Cnf cnf, ApproxConfig config)
 
 ApproxResult ApproxCounter::count() {
     ApproxResult result;
+    report::Json span_args;
+    if (obs::tracing()) {
+        span_args = report::Json::object();
+        span_args.set("projection",
+                      static_cast<std::uint64_t>(cnf_.projection.size()));
+        span_args.set("epsilon", config_.epsilon);
+        span_args.set("delta", config_.delta);
+    }
+    obs::Span span("approx-count", "count", std::move(span_args));
+    const auto finish_span = [&]() {
+        if (span) {
+            report::Json ea = report::Json::object();
+            ea.set("estimate", result.estimate.to_string());
+            ea.set("ok", result.ok);
+            ea.set("exact", result.exact);
+            ea.set("xor_levels", result.xor_levels);
+            ea.set("rounds", result.rounds);
+            span.set_end_args(std::move(ea));
+        }
+        if (obs::metrics_enabled()) {
+            obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+            reg.counter("count.approx_runs").add();
+            reg.counter("count.approx_solver_calls")
+                .add(static_cast<std::uint64_t>(result.solver_calls));
+        }
+    };
     util::Stopwatch budget_clock;
     const auto out_of_time = [this, &budget_clock]() {
         return config_.max_seconds > 0.0 &&
@@ -129,6 +157,7 @@ ApproxResult ApproxCounter::count() {
             result.estimate = Count128(*n);
             result.ok = true;
             result.exact = true;
+            finish_span();
             return result;
         }
     }
@@ -260,7 +289,10 @@ ApproxResult ApproxCounter::count() {
         // level: the round fails and contributes nothing to the median.
     }
 
-    if (estimates.empty()) return result;  // every round failed; ok=false
+    if (estimates.empty()) {  // every round failed; ok=false
+        finish_span();
+        return result;
+    }
     std::sort(estimates.begin(), estimates.end(),
               [](const Count128& a, const Count128& b) { return a < b; });
     std::sort(levels.begin(), levels.end());
@@ -268,6 +300,7 @@ ApproxResult ApproxCounter::count() {
     result.xor_levels = levels[levels.size() / 2];
     result.rounds = static_cast<int>(estimates.size());
     result.ok = true;
+    finish_span();
     return result;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mvf::count {
 
 using sat::Lit;
@@ -393,6 +396,14 @@ Count128 ProjectedCounter::count_component(Component&& comp) {
 
 ProjectedCounter::Result ProjectedCounter::count() {
     Result result;
+    report::Json span_args;
+    if (obs::tracing()) {
+        span_args = report::Json::object();
+        span_args.set("projection",
+                      static_cast<std::uint64_t>(projection_.size()));
+        span_args.set("clauses", static_cast<std::uint64_t>(db_.size()));
+    }
+    obs::Span span("projected-count", "count", std::move(span_args));
     if (!root_conflict_) {
         Component root;
         root.vars = projection_;
@@ -408,6 +419,24 @@ ProjectedCounter::Result ProjectedCounter::count() {
     result.exact = !aborted_ && !result.count.saturated();
     stats_.cache_entries = cache_.size();
     result.stats = stats_;
+    if (span) {
+        report::Json ea = report::Json::object();
+        ea.set("count", result.count.to_string());
+        ea.set("exact", result.exact);
+        ea.set("decisions", stats_.decisions);
+        ea.set("components", stats_.components);
+        ea.set("cache_hits", stats_.cache_hits);
+        ea.set("cache_stores", stats_.cache_stores);
+        span.set_end_args(std::move(ea));
+    }
+    if (obs::metrics_enabled()) {
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+        reg.counter("count.exact_runs").add();
+        reg.counter("count.decisions").add(stats_.decisions);
+        reg.counter("count.components").add(stats_.components);
+        reg.counter("count.cache_hits").add(stats_.cache_hits);
+        reg.counter("count.cache_stores").add(stats_.cache_stores);
+    }
     return result;
 }
 

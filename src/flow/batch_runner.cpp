@@ -1,12 +1,18 @@
 #include "flow/batch_runner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
+#include "obs/trace.hpp"
 #include "sbox/sbox_data.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -73,6 +79,13 @@ std::vector<std::string> split_csv(const std::string& value) {
 }
 
 ScenarioRecord run_one(const Scenario& scenario, int index) {
+    report::Json span_args;
+    if (obs::tracing()) {
+        span_args = report::Json::object();
+        span_args.set("scenario", scenario.name);
+        span_args.set("index", index);
+    }
+    obs::Span span("scenario", "batch", std::move(span_args));
     ScenarioRecord record;
     record.index = index;
     record.name = scenario.name;
@@ -106,6 +119,12 @@ ScenarioRecord run_one(const Scenario& scenario, int index) {
         record.error = e.what();
     }
     record.seconds = sw.elapsed_seconds();
+    if (span) {
+        report::Json ea = report::Json::object();
+        ea.set("ok", record.ok);
+        if (!record.ok) ea.set("error", record.error);
+        span.set_end_args(std::move(ea));
+    }
     return record;
 }
 
@@ -260,6 +279,9 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
                 if (s.params.random_queries <= 0) {
                     spec_error(line_no, "random_queries must be > 0");
                 }
+            } else if (key == "metrics") {
+                s.params.oracle.collect_metrics =
+                    parse_flag(value, line_no, key);
             } else {
                 spec_error(line_no,
                            "unknown key \"" + key +
@@ -271,7 +293,7 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
                                "shared_miter canonical_inputs query_budget "
                                "oracle_noise oracle_cache save_transcript "
                                "replay_transcript random_warmup "
-                               "random_queries)");
+                               "random_queries metrics)");
             }
         }
         if (!any) continue;  // blank/comment line
@@ -387,12 +409,55 @@ std::vector<ScenarioRecord> BatchRunner::run(
                      r.name.c_str(), r.ok ? "ok" : r.error.c_str(), r.seconds);
     };
 
+    // Heartbeat: while scenarios run, a side thread streams completed/total
+    // counts as "batch-progress" counter samples into the trace -- the
+    // progress records a monitoring consumer tails instead of waiting for
+    // the final report.  Active only when a trace sink is installed.
+    std::atomic<int> completed{0};
+    obs::TraceSink* const sink = obs::tracing();
+    const bool heartbeat_active =
+        sink != nullptr && params_.heartbeat_ms > 0 && count > 0;
+    std::mutex hb_mu;
+    std::condition_variable hb_cv;
+    bool hb_done = false;
+    std::thread heartbeat;
+    if (heartbeat_active) {
+        heartbeat = std::thread([&] {
+            const auto sample = [&] {
+                report::Json v = report::Json::object();
+                v.set("completed", completed.load(std::memory_order_relaxed));
+                v.set("total", count);
+                sink->counter("batch-progress", std::move(v));
+                sink->flush();  // tailing consumers see the sample now
+            };
+            std::unique_lock<std::mutex> lock(hb_mu);
+            while (!hb_done) {
+                sample();
+                hb_cv.wait_for(lock,
+                               std::chrono::milliseconds(params_.heartbeat_ms),
+                               [&] { return hb_done; });
+            }
+            sample();  // final completed == total record
+        });
+    }
+    const auto stop_heartbeat = [&] {
+        if (!heartbeat_active) return;
+        {
+            std::lock_guard<std::mutex> lock(hb_mu);
+            hb_done = true;
+        }
+        hb_cv.notify_all();
+        heartbeat.join();
+    };
+
     if (params_.jobs <= 1 || count <= 1) {
         for (int i = 0; i < count; ++i) {
             records[static_cast<std::size_t>(i)] =
                 run_one(scenarios[static_cast<std::size_t>(i)], i);
+            completed.fetch_add(1, std::memory_order_relaxed);
             report_progress(records[static_cast<std::size_t>(i)], count);
         }
+        stop_heartbeat();
         return records;
     }
 
@@ -400,15 +465,17 @@ std::vector<ScenarioRecord> BatchRunner::run(
     std::vector<std::future<void>> futures;
     futures.reserve(scenarios.size());
     for (int i = 0; i < count; ++i) {
-        futures.push_back(pool.submit([&scenarios, &records, i] {
+        futures.push_back(pool.submit([&scenarios, &records, &completed, i] {
             records[static_cast<std::size_t>(i)] =
                 run_one(scenarios[static_cast<std::size_t>(i)], i);
+            completed.fetch_add(1, std::memory_order_relaxed);
         }));
     }
     for (int i = 0; i < count; ++i) {
         futures[static_cast<std::size_t>(i)].get();
         report_progress(records[static_cast<std::size_t>(i)], count);
     }
+    stop_heartbeat();
     return records;
 }
 

@@ -45,7 +45,8 @@ std::vector<ViableFunction> scenario_functions(const Scenario& scenario);
 /// count_mode is named), enum_survivors, preprocess, shared_miter,
 /// canonical_inputs, and the oracle threat-model keys query_budget (> 0),
 /// oracle_noise ([0, 1)), oracle_cache, save_transcript/replay_transcript
-/// (file paths), random_warmup, random_queries.  Contradictory keys (e.g.
+/// (file paths), random_warmup, random_queries, metrics (0/1: per-attack
+/// latency histograms in the report).  Contradictory keys (e.g.
 /// epsilon with count_mode=enumerate, or oracle_noise with
 /// replay_transcript) are rejected, not ignored.
 std::vector<Scenario> parse_scenario_spec(const std::string& text);
@@ -85,6 +86,11 @@ struct BatchParams {
     int jobs = 1;
     /// Per-scenario progress line on stderr.
     bool verbose = false;
+    /// Heartbeat period for the trace's "batch-progress" counter stream
+    /// (completed/total scenario counts -- the NDJSON progress records a
+    /// future `mvf serve` will reuse).  Only active while a trace sink is
+    /// installed; 0 disables.
+    int heartbeat_ms = 1000;
 };
 
 class BatchRunner {

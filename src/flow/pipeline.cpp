@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mvf::flow {
@@ -157,6 +158,14 @@ void AttackStage::run(FlowContext& ctx) {
 
     attack::SimOracle chip(netlist, netlist.configuration_for_code(0));
     for (const std::string& name : adversaries_) {
+        // Per-adversary span: progress is visible DURING the attack stage,
+        // not just in the after-the-fact stage event.
+        report::Json adv_args;
+        if (obs::tracing()) {
+            adv_args = report::Json::object();
+            adv_args.set("adversary", name);
+        }
+        obs::Span adv_span("adversary", "flow", std::move(adv_args));
         std::unique_ptr<attack::Adversary> adversary =
             attack::AdversaryRegistry::instance().create(name, options);
         // The per-code truth-table extraction is only paid when a
@@ -215,10 +224,25 @@ PipelineStatus Pipeline::run(FlowContext& ctx) const {
         if (ctx.should_stop()) {
             status.completed = false;
             status.stopped_before = std::string(stage.name());
+            // A cut-short run used to go silent here, breaking the "called
+            // after every stage" progress contract; report the abort with
+            // the stage that was cut, to the progress callback and trace.
+            if (ctx.progress) {
+                ctx.progress(StageEvent{stage.name(), i, total, 0.0, false});
+            }
+            if (obs::TraceSink* sink = obs::tracing()) {
+                report::Json args = report::Json::object();
+                args.set("stopped_before", std::string(stage.name()));
+                args.set("stages_run", status.stages_run);
+                sink->instant("pipeline-aborted", "flow", std::move(args));
+            }
             return status;
         }
         util::Stopwatch sw;
-        stage.run(ctx);
+        {
+            obs::Span span(stage.name(), "flow");
+            stage.run(ctx);
+        }
         ++status.stages_run;
         if (ctx.progress) {
             ctx.progress(StageEvent{stage.name(), i, total, sw.elapsed_seconds()});

@@ -44,12 +44,15 @@ private:
     std::shared_ptr<std::atomic<bool>> flag_;
 };
 
-/// Emitted after each completed stage.
+/// Emitted after each completed stage, and once with completed=false naming
+/// the first stage NOT run when cancellation or the deadline cuts the
+/// pipeline short (so a progress consumer always sees how a run ended).
 struct StageEvent {
     std::string_view stage;
     int index = 0;  ///< 0-based position in the pipeline
     int total = 0;  ///< stages in the pipeline
     double seconds = 0.0;
+    bool completed = true;  ///< false on the final cut-short event
 };
 
 using ProgressFn = std::function<void(const StageEvent&)>;
@@ -69,7 +72,9 @@ struct FlowContext {
     CancelToken cancel;
     /// Soft deadline checked between stages (a running stage finishes).
     std::optional<std::chrono::steady_clock::time_point> deadline;
-    ProgressFn progress;  ///< optional; called after every stage
+    /// Optional; called after every completed stage, plus a final
+    /// completed=false event when the run is cut short (see StageEvent).
+    ProgressFn progress;
 
     /// Set by SynthesizeStage: the merged specification of the selected
     /// pin assignment (needed by validation and viable-set adversaries).

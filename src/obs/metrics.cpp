@@ -1,0 +1,194 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace mvf::obs {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+void set_metrics_enabled(bool on) {
+    g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+// --- HistogramSnapshot -----------------------------------------------------
+
+void HistogramSnapshot::merge(const HistogramSnapshot& o) {
+    if (o.count == 0) return;
+    if (count == 0) {
+        *this = o;
+        return;
+    }
+    count += o.count;
+    sum += o.sum;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+    for (int i = 0; i < kBuckets; ++i) buckets[i] += o.buckets[i];
+}
+
+report::Json HistogramSnapshot::to_json() const {
+    report::Json j = report::Json::object();
+    j.set("count", count);
+    j.set("sum", sum);
+    j.set("min", count > 0 ? min : 0.0);
+    j.set("max", count > 0 ? max : 0.0);
+    report::Json bs = report::Json::array();
+    for (int i = 0; i < kBuckets; ++i) {
+        if (buckets[i] == 0) continue;
+        report::Json pair = report::Json::array();
+        pair.push_back(i);
+        pair.push_back(buckets[i]);
+        bs.push_back(std::move(pair));
+    }
+    j.set("buckets", std::move(bs));
+    return j;
+}
+
+HistogramSnapshot HistogramSnapshot::from_json(const report::Json& j) {
+    if (!j.is_object()) throw report::JsonError("histogram: not an object");
+    HistogramSnapshot h;
+    h.count = j.at("count").as_uint();
+    h.sum = j.at("sum").as_number();
+    h.min = j.at("min").as_number();
+    h.max = j.at("max").as_number();
+    for (const report::Json& pair : j.at("buckets").items()) {
+        if (!pair.is_array() || pair.size() != 2) {
+            throw report::JsonError("histogram: bucket entry is not a pair");
+        }
+        const std::int64_t idx = pair.at(std::size_t{0}).as_int();
+        if (idx < 0 || idx >= kBuckets) {
+            throw report::JsonError("histogram: bucket index out of range");
+        }
+        h.buckets[static_cast<std::size_t>(idx)] =
+            pair.at(std::size_t{1}).as_uint();
+    }
+    return h;
+}
+
+// --- Histogram -------------------------------------------------------------
+
+void Histogram::observe(double value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    buckets_[static_cast<std::size_t>(HistogramSnapshot::bucket_of(value))]
+        .fetch_add(1, std::memory_order_relaxed);
+    // sum/min/max converge via CAS; contention here is negligible (a few
+    // thousand samples per attack) and readers only see snapshots.
+    std::uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+    while (!sum_bits_.compare_exchange_weak(
+        cur, std::bit_cast<std::uint64_t>(std::bit_cast<double>(cur) + value),
+        std::memory_order_relaxed)) {
+    }
+    cur = min_bits_.load(std::memory_order_relaxed);
+    while (value < std::bit_cast<double>(cur) &&
+           !min_bits_.compare_exchange_weak(
+               cur, std::bit_cast<std::uint64_t>(value),
+               std::memory_order_relaxed)) {
+    }
+    cur = max_bits_.load(std::memory_order_relaxed);
+    while (value > std::bit_cast<double>(cur) &&
+           !max_bits_.compare_exchange_weak(
+               cur, std::bit_cast<std::uint64_t>(value),
+               std::memory_order_relaxed)) {
+    }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+    HistogramSnapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+    if (s.count > 0) {
+        s.min = std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+        s.max = std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+    }
+    for (int i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+        s.buckets[static_cast<std::size_t>(i)] =
+            buckets_[static_cast<std::size_t>(i)].load(
+                std::memory_order_relaxed);
+    }
+    return s;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry r;
+    return r;
+}
+
+namespace {
+
+template <typename T>
+T& find_or_create(
+    std::vector<std::pair<std::string, std::unique_ptr<T>>>* entries,
+    std::string_view name) {
+    for (auto& [n, p] : *entries) {
+        if (n == name) return *p;
+    }
+    entries->emplace_back(std::string(name), std::make_unique<T>());
+    return *entries->back().second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return find_or_create(&counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return find_or_create(&gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return find_or_create(&histograms_, name);
+}
+
+report::Json MetricsRegistry::snapshot_json() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    report::Json j = report::Json::object();
+    report::Json counters = report::Json::object();
+    for (const auto& [name, c] : counters_) counters.set(name, c->value());
+    j.set("counters", std::move(counters));
+    report::Json gauges = report::Json::object();
+    for (const auto& [name, g] : gauges_) gauges.set(name, g->value());
+    j.set("gauges", std::move(gauges));
+    report::Json hists = report::Json::object();
+    for (const auto& [name, h] : histograms_) {
+        hists.set(name, h->snapshot().to_json());
+    }
+    j.set("histograms", std::move(hists));
+    return j;
+}
+
+void MetricsRegistry::reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+// --- AttackMetrics ---------------------------------------------------------
+
+report::Json AttackMetrics::to_json() const {
+    report::Json j = report::Json::object();
+    j.set("oracle_query_us", oracle_query_us.to_json());
+    j.set("sat_solve_us", sat_solve_us.to_json());
+    return j;
+}
+
+AttackMetrics AttackMetrics::from_json(const report::Json& j) {
+    if (!j.is_object()) throw report::JsonError("metrics: not an object");
+    AttackMetrics m;
+    // Tolerant-absence: future metric families may add members here; an
+    // old reader of a new report just skips what it does not know.
+    if (const report::Json* q = j.find("oracle_query_us")) {
+        m.oracle_query_us = HistogramSnapshot::from_json(*q);
+    }
+    if (const report::Json* s = j.find("sat_solve_us")) {
+        m.sat_solve_us = HistogramSnapshot::from_json(*s);
+    }
+    return m;
+}
+
+}  // namespace mvf::obs

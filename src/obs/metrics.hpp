@@ -1,0 +1,168 @@
+#pragma once
+// Metrics: named counters, gauges, and fixed-bucket latency histograms,
+// snapshot-able into report::Json.
+//
+// Two consumers, one representation:
+//   - the process-global MetricsRegistry (`MetricsRegistry::global()`),
+//     filled by instrumentation sites when `metrics_enabled()` and dumped
+//     by `mvf ... --metrics` (and into the batch report's "metrics"
+//     block), and
+//   - per-attack AttackMetrics, the plain-value snapshot AdversaryReport
+//     carries (oracle-query and SAT-solve latency histograms), which
+//     round-trips through JSON like every other report block.
+//
+// Histograms use fixed power-of-two buckets (bucket i counts samples in
+// [2^(i-1), 2^i) of the recorded unit, microseconds at every in-tree
+// site): cheap to record (one bit_width + one atomic increment), mergeable
+// across threads and runs, and small enough to inline into JSON reports.
+// Collection is gated the same way as tracing -- disabled metrics cost one
+// relaxed atomic load and a branch per site.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/json.hpp"
+
+namespace mvf::obs {
+
+/// Monotonic event count.  Thread-safe.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+    std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.  Thread-safe.
+class Gauge {
+public:
+    void set(double v) {
+        v_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+    }
+    double value() const {
+        return std::bit_cast<double>(v_.load(std::memory_order_relaxed));
+    }
+
+private:
+    std::atomic<std::uint64_t> v_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Plain-value histogram state: what snapshots, reports, and JSON carry.
+struct HistogramSnapshot {
+    static constexpr int kBuckets = 40;  ///< 2^39 us ~ 6.4 days; plenty
+
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< meaningful only when count > 0
+    double max = 0.0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// Bucket index for a sample: 0 holds values < 1, bucket i >= 1 holds
+    /// [2^(i-1), 2^i), the last bucket everything beyond.
+    static int bucket_of(double value) {
+        if (!(value >= 1.0)) return 0;
+        const auto v = static_cast<std::uint64_t>(value);
+        return std::min(static_cast<int>(std::bit_width(v)), kBuckets - 1);
+    }
+
+    double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+    bool empty() const { return count == 0; }
+    void merge(const HistogramSnapshot& o);
+
+    /// {"count":N,"sum":S,"min":m,"max":M,"buckets":[[i,n],...]} with the
+    /// bucket list sparse (zero buckets omitted).
+    report::Json to_json() const;
+    /// Inverse of to_json; throws report::JsonError on malformed input.
+    static HistogramSnapshot from_json(const report::Json& j);
+
+    bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Concurrent fixed-bucket histogram (see HistogramSnapshot for the bucket
+/// scheme).  observe() is wait-free; min/max converge via CAS loops.
+class Histogram {
+public:
+    void observe(double value);
+    HistogramSnapshot snapshot() const;
+
+private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_bits_{std::bit_cast<std::uint64_t>(0.0)};
+    std::atomic<std::uint64_t> min_bits_{
+        std::bit_cast<std::uint64_t>(1e308)};
+    std::atomic<std::uint64_t> max_bits_{
+        std::bit_cast<std::uint64_t>(-1e308)};
+    std::array<std::atomic<std::uint64_t>, HistogramSnapshot::kBuckets>
+        buckets_{};
+};
+
+/// Name -> metric registry.  Lookup registers on first use and returns a
+/// stable reference (metrics live as long as the registry); all methods
+/// are thread-safe.  snapshot_json() flattens everything into one JSON
+/// object for reports and the --metrics dump.
+class MetricsRegistry {
+public:
+    /// The process-global registry the instrumentation sites feed.
+    static MetricsRegistry& global();
+
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    Histogram& histogram(std::string_view name);
+
+    /// {"counters":{name:n,...},"gauges":{...},"histograms":{name:{...}}}
+    /// with members in registration order.
+    report::Json snapshot_json() const;
+
+    /// Drops every registered metric (testing hook; the global registry
+    /// accumulates for the process lifetime otherwise).
+    void reset();
+
+private:
+    mutable std::mutex mu_;
+    std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+    std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+    std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+/// Process-global collection switch (the CLI's --metrics flag).  Sites
+/// check this exactly like tracing(): one relaxed load + branch when off.
+extern std::atomic<bool> g_metrics_enabled;
+
+inline bool metrics_enabled() {
+    return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool on);
+
+/// Per-attack latency metrics: the plain-value block AdversaryReport (and
+/// OracleAttackResult) carry.  Collected when the attack's
+/// `collect_metrics` param or the global switch is on; empty() otherwise
+/// and the JSON block is omitted.
+struct AttackMetrics {
+    HistogramSnapshot oracle_query_us;  ///< per oracle query()/query_block()
+    HistogramSnapshot sat_solve_us;     ///< per CEGAR Solver::solve() call
+
+    bool empty() const {
+        return oracle_query_us.empty() && sat_solve_us.empty();
+    }
+    void merge(const AttackMetrics& o) {
+        oracle_query_us.merge(o.oracle_query_us);
+        sat_solve_us.merge(o.sat_solve_us);
+    }
+
+    report::Json to_json() const;
+    /// Inverse of to_json; throws report::JsonError on malformed input.
+    static AttackMetrics from_json(const report::Json& j);
+
+    bool operator==(const AttackMetrics&) const = default;
+};
+
+}  // namespace mvf::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <queue>
 
 namespace mvf::sat {
@@ -481,7 +482,28 @@ void Solver::extend_model() const {
 }
 
 Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
-    if (!ok_) return Result::kUnsat;
+    // Per-call telemetry: every return path funnels through finish() so
+    // last_solve() is a complete delta and Stats accumulates solve counts,
+    // wall time, and the deepest decision level ever reached.
+    const Stats before = stats_;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t call_max_level = 0;
+    const auto finish = [&](Result r) {
+        last_solve_.result = r;
+        last_solve_.conflicts = stats_.conflicts - before.conflicts;
+        last_solve_.decisions = stats_.decisions - before.decisions;
+        last_solve_.propagations = stats_.propagations - before.propagations;
+        last_solve_.max_decision_level = call_max_level;
+        last_solve_.seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        ++stats_.solves;
+        stats_.solve_seconds += last_solve_.seconds;
+        stats_.max_decision_level =
+            std::max(stats_.max_decision_level, call_max_level);
+        return r;
+    };
+    if (!ok_) return finish(Result::kUnsat);
 #ifndef NDEBUG
     for (const Lit a : assumptions) {
         assert(!eliminated_[static_cast<std::size_t>(lit_var(a))] &&
@@ -492,7 +514,7 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
     backtrack(0);
     if (propagate() >= 0) {
         ok_ = false;
-        return Result::kUnsat;
+        return finish(Result::kUnsat);
     }
     if (learned_budget_ <= 0.0) {
         learned_budget_ =
@@ -521,7 +543,7 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
                 // learned clauses stay (they are entailed), the trail
                 // unwinds to level 0, and the solver remains usable.
                 backtrack(0);
-                return Result::kUnknown;
+                return finish(Result::kUnknown);
             }
             if (decision_level() == 0) {
                 // A level-0 conflict is independent of any assumptions: the
@@ -530,7 +552,7 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
                 // level-0 trail and later incremental solve() calls could
                 // report bogus models (the queue is already drained).
                 ok_ = false;
-                return Result::kUnsat;
+                return finish(Result::kUnsat);
             }
             int bt_level = 0;
             analyze(conflict, &learned, &bt_level);
@@ -576,15 +598,19 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
             const Lit a = assumptions[static_cast<std::size_t>(decision_level())];
             if (value(a) == Value::kTrue) {
                 trail_lim_.push_back(static_cast<int>(trail_.size()));  // dummy level
+                call_max_level = std::max(
+                    call_max_level, static_cast<std::uint64_t>(decision_level()));
                 continue;
             }
             if (value(a) == Value::kFalse) {
                 // Leave the trail at level 0 so the instance stays usable
                 // incrementally after an assumption-failure UNSAT.
                 backtrack(0);
-                return Result::kUnsat;
+                return finish(Result::kUnsat);
             }
             trail_lim_.push_back(static_cast<int>(trail_.size()));
+            call_max_level = std::max(
+                call_max_level, static_cast<std::uint64_t>(decision_level()));
             enqueue(a, kNoReason);
             continue;
         }
@@ -600,10 +626,12 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
             }
             model_extended_ = eliminations_.empty();
             backtrack(0);
-            return Result::kSat;
+            return finish(Result::kSat);
         }
         ++stats_.decisions;
         trail_lim_.push_back(static_cast<int>(trail_.size()));
+        call_max_level = std::max(
+            call_max_level, static_cast<std::uint64_t>(decision_level()));
         enqueue(next, kNoReason);
     }
 }

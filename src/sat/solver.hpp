@@ -53,6 +53,22 @@ public:
         std::uint64_t eliminated_vars = 0;     ///< vars removed by BVE
         std::uint64_t subsumed_clauses = 0;    ///< clauses killed by subsumption
         std::uint64_t strengthened_lits = 0;   ///< lits removed by self-subsumption
+        // Per-call telemetry totals (PR 6): accumulated by solve().
+        std::uint64_t solves = 0;              ///< solve() calls completed
+        std::uint64_t max_decision_level = 0;  ///< deepest level ever reached
+        double solve_seconds = 0.0;            ///< wall time inside solve()
+    };
+
+    /// What the most recent solve() call did, as a self-contained delta --
+    /// the CEGAR span instrumentation reads this instead of diffing Stats
+    /// snapshots by hand.
+    struct SolveDelta {
+        Result result = Result::kUnknown;
+        std::uint64_t conflicts = 0;
+        std::uint64_t decisions = 0;
+        std::uint64_t propagations = 0;
+        std::uint64_t max_decision_level = 0;  ///< deepest level this call
+        double seconds = 0.0;
     };
 
     Var new_var();
@@ -108,6 +124,10 @@ public:
     std::vector<std::vector<Lit>> snapshot_clauses() const;
 
     const Stats& stats() const { return stats_; }
+
+    /// Telemetry for the most recent solve() call (all-zero before the
+    /// first call).
+    const SolveDelta& last_solve() const { return last_solve_; }
 
     /// Overrides the learned-clause budget (the count above which the
     /// database is reduced; it grows geometrically after each reduction).
@@ -209,6 +229,7 @@ private:
     std::vector<Elimination> eliminations_;  ///< in elimination order
     bool ok_ = true;
     Stats stats_;
+    SolveDelta last_solve_;
 
     // scratch for analyze()
     std::vector<bool> seen_;

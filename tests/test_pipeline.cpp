@@ -156,6 +156,37 @@ TEST(Pipeline, ExpiredDeadlineStopsImmediately) {
     EXPECT_EQ(status.stopped_before, "pin-search");
 }
 
+// Regression: a deadline abort used to return without any progress event,
+// so callers watching the stream never learned the run was cut short.
+TEST(Pipeline, AbortedRunEmitsFinalIncompleteProgressEvent) {
+    const auto fns = from_sboxes(sbox::present_viable_set(2));
+    ObfuscationFlow engine;
+    FlowContext ctx(engine, fns, tiny_params(5));
+    ctx.set_timeout(0.0);
+    std::vector<StageEvent> events;
+    ctx.progress = [&](const StageEvent& e) { events.push_back(e); };
+    Pipeline::standard(ctx.params).run(ctx);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_FALSE(events.back().completed);
+    EXPECT_EQ(events.back().stage, "pin-search");  // the stage that was cut
+    EXPECT_EQ(events.back().index, 0);
+
+    // Mid-run cancellation: completed events for the stages that ran, then
+    // one completed=false event naming the first stage that did not.
+    FlowContext ctx2(engine, fns, tiny_params(5));
+    std::vector<StageEvent> events2;
+    ctx2.progress = [&](const StageEvent& e) {
+        events2.push_back(e);
+        if (e.stage == "pin-search") ctx2.cancel.cancel();
+    };
+    Pipeline::standard(ctx2.params).run(ctx2);
+    ASSERT_EQ(events2.size(), 2u);
+    EXPECT_TRUE(events2[0].completed);
+    EXPECT_EQ(events2[0].stage, "pin-search");
+    EXPECT_FALSE(events2[1].completed);
+    EXPECT_EQ(events2[1].stage, "synthesize");
+}
+
 TEST(Pipeline, SynthesizeStageStandaloneUsesIdentityAssignment) {
     const auto fns = from_sboxes(sbox::present_viable_set(2));
     ObfuscationFlow engine;
@@ -248,7 +279,10 @@ std::vector<Scenario> eight_scenarios() {
 void strip_timing(std::vector<ScenarioRecord>* records) {
     for (ScenarioRecord& r : *records) {
         r.seconds = 0.0;
-        for (attack::AdversaryReport& a : r.attacks) a.seconds = 0.0;
+        for (attack::AdversaryReport& a : r.attacks) {
+            a.seconds = 0.0;
+            a.sat.solve_seconds = 0.0;
+        }
     }
 }
 
@@ -417,6 +451,13 @@ TEST(BatchRunner, SpecOracleModelKeysParseAndContradict) {
     EXPECT_EQ(ok[0].params.oracle.random_warmup, 32);
     EXPECT_EQ(ok[0].params.random_queries, 64);
     EXPECT_EQ(ok[1].params.replay_transcript, "t.json");
+
+    const std::vector<Scenario> metrics_on =
+        parse_scenario_spec("funcs=present:2 metrics=1\n");
+    ASSERT_EQ(metrics_on.size(), 1u);
+    EXPECT_TRUE(metrics_on[0].params.oracle.collect_metrics);
+    EXPECT_FALSE(parse_scenario_spec("funcs=present:2 metrics=0\n")[0]
+                     .params.oracle.collect_metrics);
 
     // Contradictory/out-of-range oracle keys fail at parse time, matching
     // the counting-flag convention.

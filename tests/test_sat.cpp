@@ -198,6 +198,52 @@ TEST(Sat, StatsAccumulate) {
     EXPECT_GT(s.stats().conflicts, 0u);
     EXPECT_GT(s.stats().decisions, 0u);
     EXPECT_GT(s.stats().propagations, 0u);
+    EXPECT_EQ(s.stats().solves, 1u);
+    EXPECT_GT(s.stats().max_decision_level, 0u);
+    EXPECT_GT(s.stats().solve_seconds, 0.0);
+}
+
+TEST(Sat, PerSolveDeltaIsolatesEachCall) {
+    Solver s;
+    add_pigeonhole(&s, 6, 5);  // UNSAT: plenty of conflicts
+    ASSERT_EQ(s.solve(), Solver::Result::kUnsat);
+    const Solver::SolveDelta first = s.last_solve();
+    EXPECT_EQ(first.result, Solver::Result::kUnsat);
+    EXPECT_GT(first.conflicts, 0u);
+    EXPECT_GT(first.decisions, 0u);
+    EXPECT_GT(first.propagations, 0u);
+    EXPECT_GT(first.max_decision_level, 0u);
+    EXPECT_GE(first.seconds, 0.0);
+    EXPECT_EQ(first.conflicts, s.stats().conflicts);
+
+    // A trivially satisfiable second solve on a fresh solver: the delta
+    // reflects only that call, while stats() keep the running totals.
+    Solver t;
+    add_pigeonhole(&t, 6, 5);
+    ASSERT_EQ(t.solve(), Solver::Result::kUnsat);
+    const std::uint64_t after_first = t.stats().conflicts;
+    // An UNSAT solver stays UNSAT: the second call short-circuits and the
+    // delta must be all-zero, not a stale copy of the first call's work.
+    ASSERT_EQ(t.solve(), Solver::Result::kUnsat);
+    EXPECT_EQ(t.last_solve().conflicts, 0u);
+    EXPECT_EQ(t.last_solve().result, Solver::Result::kUnsat);
+    EXPECT_EQ(t.stats().conflicts, after_first);
+    EXPECT_EQ(t.stats().solves, 2u);
+
+    // Cumulative totals across a multi-call solver: sum of the deltas.
+    Solver u;
+    for (int v = 0; v < 4; ++v) u.new_var();
+    u.add_clause({mk_lit(0), mk_lit(1)});
+    std::uint64_t decisions_sum = 0;
+    double seconds_sum = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(u.solve(), Solver::Result::kSat);
+        decisions_sum += u.last_solve().decisions;
+        seconds_sum += u.last_solve().seconds;
+    }
+    EXPECT_EQ(u.stats().solves, 3u);
+    EXPECT_EQ(u.stats().decisions, decisions_sum);
+    EXPECT_DOUBLE_EQ(u.stats().solve_seconds, seconds_sum);
 }
 
 // Brute-force satisfiability of a clause set over nv variables.

@@ -9,22 +9,29 @@
 //   mvf batch  --spec FILE --jobs N       N-way parallel scenario batch
 //   mvf adversaries                       list the registered adversaries
 //   mvf check-report FILE                 validate a batch JSON report
+//   mvf check-trace FILE                  validate an NDJSON/Chrome trace
 //
 // Scenario flags (run/attack): --funcs FAMILY:N --seed S --population P
 // --generations G --quick --no-baseline --no-camo --no-verify
 // --adversaries a,b --json FILE
+//
+// Observability (run/attack/batch): --trace FILE --trace-format ndjson|chrome
+// --metrics
 //
 // Exit codes: 0 success; 1 scenario/validation failure; 2 usage error.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "attack/adversary.hpp"
 #include "flow/batch_runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "report/json.hpp"
 #include "util/stopwatch.hpp"
 
@@ -44,6 +51,7 @@ int usage() {
         "  batch        run a scenario spec file, optionally in parallel\n"
         "  adversaries  list the registered adversaries\n"
         "  check-report validate a batch JSON report\n"
+        "  check-trace  validate a trace file written by --trace\n"
         "\n"
         "scenario options (run/attack):\n"
         "  --funcs FAMILY:N   viable set: present:2..16 or des:1..8 (default present:2)\n"
@@ -96,6 +104,15 @@ int usage() {
         "                     adversary (default 128)\n"
         "\n"
         "  --json FILE        also write the JSON record(s) to FILE\n"
+        "\n"
+        "observability options (run/attack/batch):\n"
+        "  --trace FILE       stream structured span/counter events to FILE\n"
+        "                     (per CEGAR iteration, pipeline stage, scenario)\n"
+        "  --trace-format F   ndjson (default; one JSON record per line) or\n"
+        "                     chrome (load in Perfetto / chrome://tracing)\n"
+        "  --metrics          collect latency histograms and counters; the\n"
+        "                     registry snapshot is printed (and embedded in\n"
+        "                     the --json report as \"metrics\")\n"
         "\n"
         "batch options:\n"
         "  --spec FILE        scenario spec (required); see README for the format\n"
@@ -159,11 +176,19 @@ bool parse_double_flag(const std::string& value, const char* flag,
     }
 }
 
+/// Process-level observability switches (run/attack/batch).
+struct ObsFlags {
+    std::string trace_path;  ///< empty = tracing off
+    obs::TraceFormat trace_format = obs::TraceFormat::kNdjson;
+    bool metrics = false;
+};
+
 /// Parses the shared scenario flags into `scenario`; `json_path` receives
 /// --json.  Returns false (after printing) on a bad flag.
 bool parse_scenario_flags(int argc, char** argv, int start,
                           flow::Scenario* scenario, std::string* json_path,
-                          int* jobs, std::string* spec_path, bool* verbose) {
+                          int* jobs, std::string* spec_path, bool* verbose,
+                          ObsFlags* obs_flags) {
     // --quick provides defaults, applied after the loop so an explicit
     // --population/--generations/--max-survivors wins regardless of the
     // order the flags appear in.
@@ -362,6 +387,21 @@ bool parse_scenario_flags(int argc, char** argv, int start,
             while (std::getline(in, item, ',')) {
                 if (!item.empty()) scenario->params.adversaries.push_back(item);
             }
+        } else if (arg == "--trace" && obs_flags) {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            obs_flags->trace_path = value;
+        } else if (arg == "--trace-format" && obs_flags) {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!obs::trace_format_from_name(value,
+                                             &obs_flags->trace_format)) {
+                std::fprintf(stderr,
+                             "mvf: --trace-format expects ndjson or chrome, "
+                             "got \"%s\"\n",
+                             value.c_str());
+                return false;
+            }
+        } else if (arg == "--metrics" && obs_flags) {
+            obs_flags->metrics = true;
         } else if (arg == "--json" && json_path) {
             if (!next_value(argc, argv, &i, &value)) return false;
             *json_path = value;
@@ -498,9 +538,11 @@ void print_record(const flow::ScenarioRecord& r) {
 
 int write_report(const std::string& path,
                  const std::vector<flow::ScenarioRecord>& records,
-                 double total_seconds) {
+                 double total_seconds, const report::Json* metrics) {
+    report::Json doc = flow::batch_report(records, total_seconds);
+    if (metrics) doc.set("metrics", *metrics);
     const report::JsonWriter writer(path);
-    if (!writer.write(flow::batch_report(records, total_seconds))) {
+    if (!writer.write(doc)) {
         std::fprintf(stderr, "mvf: cannot write %s\n", path.c_str());
         return 1;
     }
@@ -508,7 +550,25 @@ int write_report(const std::string& path,
 }
 
 int run_scenarios(const std::vector<flow::Scenario>& scenarios, int jobs,
-                  bool verbose, const std::string& json_path) {
+                  bool verbose, const std::string& json_path,
+                  const ObsFlags& obs_flags) {
+    // The sink outlives the batch; uninstall before it is destroyed so no
+    // late event races the close.
+    std::optional<obs::TraceSink> sink;
+    if (!obs_flags.trace_path.empty()) {
+        sink.emplace(obs_flags.trace_path, obs_flags.trace_format);
+        if (!sink->ok()) {
+            std::fprintf(stderr, "mvf: cannot open trace file %s\n",
+                         obs_flags.trace_path.c_str());
+            return 2;
+        }
+        obs::set_trace_sink(&*sink);
+    }
+    if (obs_flags.metrics) {
+        obs::MetricsRegistry::global().reset();
+        obs::set_metrics_enabled(true);
+    }
+
     util::Stopwatch sw;
     flow::BatchParams batch;
     batch.jobs = jobs;
@@ -516,6 +576,16 @@ int run_scenarios(const std::vector<flow::Scenario>& scenarios, int jobs,
     const std::vector<flow::ScenarioRecord> records =
         flow::BatchRunner(batch).run(scenarios);
     const double total = sw.elapsed_seconds();
+
+    if (sink) {
+        obs::set_trace_sink(nullptr);
+        sink->flush();
+    }
+    std::optional<report::Json> metrics;
+    if (obs_flags.metrics) {
+        obs::set_metrics_enabled(false);
+        metrics = obs::MetricsRegistry::global().snapshot_json();
+    }
 
     int failures = 0;
     for (const flow::ScenarioRecord& r : records) {
@@ -526,8 +596,18 @@ int run_scenarios(const std::vector<flow::Scenario>& scenarios, int jobs,
                 static_cast<int>(records.size()),
                 records.size() == 1 ? "" : "s", failures,
                 failures == 1 ? "" : "s", total, jobs);
+    if (metrics) {
+        std::printf("metrics:\n%s\n", metrics->dump(2).c_str());
+    }
+    if (sink) {
+        std::printf("trace written to %s (%llu events, %s)\n",
+                    sink->path().c_str(),
+                    static_cast<unsigned long long>(sink->events()),
+                    std::string(obs::trace_format_name(sink->format())).c_str());
+    }
     if (!json_path.empty()) {
-        const int rc = write_report(json_path, records, total);
+        const int rc = write_report(json_path, records, total,
+                                    metrics ? &*metrics : nullptr);
         if (rc != 0) return rc;
         std::printf("report written to %s\n", json_path.c_str());
     }
@@ -537,8 +617,9 @@ int run_scenarios(const std::vector<flow::Scenario>& scenarios, int jobs,
 int cmd_run(int argc, char** argv, bool force_attack) {
     flow::Scenario scenario;
     std::string json_path;
+    ObsFlags obs_flags;
     if (!parse_scenario_flags(argc, argv, 2, &scenario, &json_path, nullptr,
-                              nullptr, nullptr)) {
+                              nullptr, nullptr, &obs_flags)) {
         return 2;
     }
     if (force_attack && scenario.params.adversaries.empty()) {
@@ -549,7 +630,8 @@ int cmd_run(int argc, char** argv, bool force_attack) {
         scenario.name = scenario.family + std::to_string(scenario.n) + "-s" +
                         std::to_string(scenario.params.seed);
     }
-    return run_scenarios({scenario}, /*jobs=*/1, /*verbose=*/false, json_path);
+    return run_scenarios({scenario}, /*jobs=*/1, /*verbose=*/false, json_path,
+                         obs_flags);
 }
 
 int cmd_batch(int argc, char** argv) {
@@ -558,8 +640,9 @@ int cmd_batch(int argc, char** argv) {
     std::string spec_path;
     int jobs = 1;
     bool verbose = false;
+    ObsFlags obs_flags;
     if (!parse_scenario_flags(argc, argv, 2, &ignored, &json_path, &jobs,
-                              &spec_path, &verbose)) {
+                              &spec_path, &verbose, &obs_flags)) {
         return 2;
     }
     if (spec_path.empty()) {
@@ -578,7 +661,7 @@ int cmd_batch(int argc, char** argv) {
                      spec_path.c_str());
         return 2;
     }
-    return run_scenarios(scenarios, jobs, verbose, json_path);
+    return run_scenarios(scenarios, jobs, verbose, json_path, obs_flags);
 }
 
 int cmd_adversaries() {
@@ -645,6 +728,30 @@ int cmd_check_report(int argc, char** argv) {
     }
 }
 
+int cmd_check_trace(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: mvf check-trace FILE\n");
+        return 2;
+    }
+    const std::string path = argv[2];
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "mvf check-trace: cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const obs::TraceValidation v = obs::validate_trace(text.str());
+    if (!v.ok) {
+        std::fprintf(stderr, "mvf check-trace: %s: %s\n", path.c_str(),
+                     v.error.c_str());
+        return 1;
+    }
+    std::printf("%s: %d record(s), %d open span(s), ok\n", path.c_str(),
+                v.records, v.open_spans);
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -655,6 +762,7 @@ int main(int argc, char** argv) {
     if (command == "batch") return cmd_batch(argc, argv);
     if (command == "adversaries") return cmd_adversaries();
     if (command == "check-report") return cmd_check_report(argc, argv);
+    if (command == "check-trace") return cmd_check_trace(argc, argv);
     if (command == "--help" || command == "-h" || command == "help") {
         usage();
         return 0;
