@@ -53,6 +53,9 @@ report::Json AdversaryReport::to_json() const {
     // carries full precision and wins on parse.
     j.set("survivors", std::min(survivors, std::uint64_t{1} << 53));
     j.set("seconds", seconds);
+    if (!spec_hash.empty()) {
+        j.set("spec_hash", spec_hash);
+    }
     if (!count_mode.empty()) {
         report::Json c = report::Json::object();
         c.set("mode", count_mode);
@@ -112,6 +115,11 @@ AdversaryReport AdversaryReport::from_json(const report::Json& j) {
     r.queries = static_cast<int>(j.at("queries").as_int());
     r.survivors = j.at("survivors").as_uint();
     r.seconds = j.at("seconds").as_number();
+    // Provenance stamping postdates the serve subsystem; tolerate its
+    // absence so archived reports keep parsing.
+    if (const report::Json* f = j.find("spec_hash")) {
+        r.spec_hash = f->as_string();
+    }
     const report::Json& s = j.at("sat");
     r.sat.conflicts = s.at("conflicts").as_uint();
     r.sat.decisions = s.at("decisions").as_uint();
@@ -198,6 +206,7 @@ bool AdversaryReport::operator==(const AdversaryReport& o) const {
            approx_xor_levels == o.approx_xor_levels &&
            approx_rounds == o.approx_rounds && oracle == o.oracle &&
            metrics == o.metrics && seconds == o.seconds &&
+           spec_hash == o.spec_hash &&
            sat.conflicts == o.sat.conflicts && sat.decisions == o.sat.decisions &&
            sat.propagations == o.sat.propagations &&
            sat.restarts == o.sat.restarts && sat.learned == o.sat.learned &&

@@ -75,6 +75,11 @@ struct AdversaryReport {
     obs::AttackMetrics metrics;
     double seconds = 0.0;
     sat::Solver::Stats sat;  ///< aggregated over the attack's SAT queries
+    /// Canonical hash of the scenario spec that produced this report
+    /// (flow::spec_hash), stamped by the attack stage; empty when the
+    /// attack ran outside a scenario.  Provenance: an archived report
+    /// names exactly which experiment it came from.
+    std::string spec_hash;
 
     report::Json to_json() const;
     /// Inverse of to_json(); throws report::JsonError on malformed input.

@@ -24,7 +24,8 @@
 //                     OracleBudgetExceeded so attacks terminate honestly
 //   NoisyOracle       seeded per-bit flip rate (measurement error)
 //   TranscriptOracle  record + replay through the same API the attack
-//                     uses (replaces OracleAttackParams::forced_queries)
+//                     uses (the only replay mechanism; the old
+//                     OracleAttackParams::forced_queries alias is gone)
 //   OracleStack       builds the decorator pile from OracleModelParams and
 //                     aggregates OracleStats for reporting
 //
@@ -273,8 +274,7 @@ struct OracleTranscript {
 /// behind the oracle: queries are verified against the recorded sequence
 /// and answered from it, and scripted_pattern() walks the recorded
 /// patterns so a replay-aware attack re-issues the exact sequence through
-/// the same API it uses live (this replaces the forced_queries
-/// side-channel).
+/// the same API it uses live.
 class TranscriptOracle final : public Oracle {
 public:
     /// Record mode: wraps `inner` and records what it answers.

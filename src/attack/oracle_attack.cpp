@@ -479,12 +479,7 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
             result.status = OracleAttackResult::Status::kIterationLimit;
             break;
         }
-        if (params.forced_queries &&
-            static_cast<std::size_t>(result.queries) < params.forced_queries->size()) {
-            // Deprecated alias of transcript replay; see OracleAttackParams.
-            pattern = (*params.forced_queries)[static_cast<std::size_t>(result.queries)];
-            assert(static_cast<int>(pattern.size()) == m);
-        } else if (const std::vector<bool>* scripted = oracle.scripted_pattern()) {
+        if (const std::vector<bool>* scripted = oracle.scripted_pattern()) {
             // A replaying TranscriptOracle prescribes the query sequence
             // through the public API; the per-iteration solve above still
             // runs, so the CEGAR work is identical -- only the pattern

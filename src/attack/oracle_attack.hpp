@@ -123,18 +123,6 @@ struct OracleAttackParams {
     /// --metrics) is; off by default because the per-query timing calls,
     /// while cheap, are measurable on microsecond-scale oracles.
     bool collect_metrics = false;
-    /// DEPRECATED replay side-channel, superseded by TranscriptOracle
-    /// (attack/oracle.hpp): wrap the run in a recording TranscriptOracle
-    /// and replay through TranscriptOracle's replay mode instead -- the
-    /// attack consults Oracle::scripted_pattern() each iteration, so
-    /// replay flows through the same public API as live queries.  While
-    /// this field is set, iteration k queries the oracle on
-    /// (*forced_queries)[k] instead of the solver model (the
-    /// per-iteration solve still runs; only the pattern choice is
-    /// pinned).  Kept as an alias for one release;
-    /// tests/test_oracle.cpp proves both mechanisms produce bit-identical
-    /// outcomes.
-    const std::vector<std::vector<bool>>* forced_queries = nullptr;
 };
 
 struct OracleAttackResult {

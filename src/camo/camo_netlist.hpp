@@ -50,6 +50,9 @@ public:
     int pi(int i) const { return pis_[static_cast<std::size_t>(i)]; }
     int num_pos() const { return static_cast<int>(pos_.size()); }
     int po(int i) const { return pos_[static_cast<std::size_t>(i)]; }
+    const std::string& po_name(int i) const {
+        return po_names_[static_cast<std::size_t>(i)];
+    }
 
     /// Total look-alike area in GE.
     double area() const;

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "flow/spec_hash.hpp"
 #include "obs/trace.hpp"
 #include "sbox/sbox_data.hpp"
 #include "util/stopwatch.hpp"
@@ -78,7 +79,10 @@ std::vector<std::string> split_csv(const std::string& value) {
     return out;
 }
 
-ScenarioRecord run_one(const Scenario& scenario, int index) {
+}  // namespace
+
+ScenarioRecord run_scenario(const Scenario& scenario, int index,
+                            const ScenarioRunHooks& hooks) {
     report::Json span_args;
     if (obs::tracing()) {
         span_args = report::Json::object();
@@ -92,6 +96,7 @@ ScenarioRecord run_one(const Scenario& scenario, int index) {
     record.family = scenario.family;
     record.n = scenario.n;
     record.seed = scenario.params.seed;
+    record.spec_hash = spec_hash(scenario);
 
     util::Stopwatch sw;
     try {
@@ -101,7 +106,17 @@ ScenarioRecord run_one(const Scenario& scenario, int index) {
         // results cannot depend on what ran before or concurrently.
         ObfuscationFlow engine;
         FlowContext ctx(engine, functions, scenario.params);
-        Pipeline::standard(scenario.params).run(ctx);
+        if (hooks.cancel) ctx.cancel = *hooks.cancel;
+        if (hooks.deadline) ctx.deadline = hooks.deadline;
+        ctx.progress = hooks.progress;
+        if (hooks.stage_store) {
+            ctx.stage_store = hooks.stage_store;
+            ctx.stage_key = [&scenario](std::string_view stage) {
+                return stage_cache_key(scenario, stage);
+            };
+        }
+        const PipelineStatus ps = Pipeline::standard(scenario.params).run(ctx);
+        record.cache_hits = ps.stages_cached;
 
         const FlowResult& r = ctx.result;
         record.random_avg = r.random_avg;
@@ -113,22 +128,39 @@ ScenarioRecord run_one(const Scenario& scenario, int index) {
         record.camo_cells = r.camo_stats.num_cells;
         record.config_space_bits = r.camo_stats.config_space_bits;
         record.attacks = r.attack_reports;
-        record.ok = true;
+        if (ps.completed) {
+            record.ok = true;
+            record.status = "ok";
+        } else {
+            record.ok = false;
+            record.status = "cancelled";
+            record.error = "cancelled before stage " + ps.stopped_before;
+        }
     } catch (const std::exception& e) {
         record.ok = false;
+        record.status = "error";
         record.error = e.what();
+    } catch (...) {
+        // A non-std exception still may not sink the batch (or the serve
+        // scheduler's worker); the record carries what little we know.
+        record.ok = false;
+        record.status = "error";
+        record.error = "unknown exception (not derived from std::exception)";
     }
     record.seconds = sw.elapsed_seconds();
+    for (attack::AdversaryReport& a : record.attacks) {
+        a.spec_hash = record.spec_hash;
+    }
     if (span) {
         report::Json ea = report::Json::object();
         ea.set("ok", record.ok);
+        ea.set("status", record.status);
         if (!record.ok) ea.set("error", record.error);
+        if (record.cache_hits > 0) ea.set("cache_hits", record.cache_hits);
         span.set_end_args(std::move(ea));
     }
     return record;
 }
-
-}  // namespace
 
 std::vector<ViableFunction> scenario_functions(const Scenario& scenario) {
     if (scenario.family == "present") {
@@ -381,7 +413,11 @@ report::Json ScenarioRecord::to_json() const {
     j.set("n", n);
     j.set("seed", seed);
     j.set("ok", ok);
+    j.set("status", status.empty() ? std::string(ok ? "ok" : "error")
+                                   : status);
     if (!ok) j.set("error", error);
+    if (!spec_hash.empty()) j.set("spec_hash", spec_hash);
+    if (cache_hits > 0) j.set("cache_hits", cache_hits);
     j.set("seconds", seconds);
     j.set("random_avg", random_avg);
     j.set("random_best", random_best);
@@ -453,7 +489,7 @@ std::vector<ScenarioRecord> BatchRunner::run(
     if (params_.jobs <= 1 || count <= 1) {
         for (int i = 0; i < count; ++i) {
             records[static_cast<std::size_t>(i)] =
-                run_one(scenarios[static_cast<std::size_t>(i)], i);
+                run_scenario(scenarios[static_cast<std::size_t>(i)], i);
             completed.fetch_add(1, std::memory_order_relaxed);
             report_progress(records[static_cast<std::size_t>(i)], count);
         }
@@ -465,11 +501,15 @@ std::vector<ScenarioRecord> BatchRunner::run(
     std::vector<std::future<void>> futures;
     futures.reserve(scenarios.size());
     for (int i = 0; i < count; ++i) {
-        futures.push_back(pool.submit([&scenarios, &records, &completed, i] {
-            records[static_cast<std::size_t>(i)] =
-                run_one(scenarios[static_cast<std::size_t>(i)], i);
-            completed.fetch_add(1, std::memory_order_relaxed);
-        }));
+        // Sharded submission spreads the batch round-robin across the
+        // workers' deques; idle workers steal from the back, so a shard
+        // stuck behind one long scenario drains via its neighbours.
+        futures.push_back(
+            pool.submit_sharded(i, [&scenarios, &records, &completed, i] {
+                records[static_cast<std::size_t>(i)] =
+                    run_scenario(scenarios[static_cast<std::size_t>(i)], i);
+                completed.fetch_add(1, std::memory_order_relaxed);
+            }));
     }
     for (int i = 0; i < count; ++i) {
         futures[static_cast<std::size_t>(i)].get();

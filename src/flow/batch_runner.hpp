@@ -63,7 +63,15 @@ struct ScenarioRecord {
     int n = 0;
     std::uint64_t seed = 0;
     bool ok = false;
+    /// "ok", "error" (exception; text in `error`), or "cancelled" (the
+    /// run's cancel token fired or its deadline passed mid-pipeline).
+    std::string status;
     std::string error;  ///< exception text when !ok
+    /// Canonical spec hash (flow::spec_hash) -- provenance for archived
+    /// reports; also stamped into each attack report.
+    std::string spec_hash;
+    /// Pipeline stages restored from the stage-result cache (0 = fresh run).
+    int cache_hits = 0;
     double seconds = 0.0;
 
     // Flow summary (Table-I shaped).
@@ -80,6 +88,28 @@ struct ScenarioRecord {
 
     report::Json to_json() const;
 };
+
+/// External wiring for one scenario run (all optional).  BatchRunner uses
+/// it internally; the serve scheduler passes its own cancel token, deadline
+/// and shared stage cache.
+struct ScenarioRunHooks {
+    /// Cooperative cancellation (copies share the flag; see CancelToken).
+    std::optional<CancelToken> cancel;
+    /// Soft deadline checked between pipeline stages.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// Per-stage progress (also receives cache-hit events).
+    ProgressFn progress;
+    /// Shared stage-result cache; keys come from flow::stage_cache_key for
+    /// the scenario being run.  Not owned.
+    StageStore* stage_store = nullptr;
+};
+
+/// Runs one scenario in isolation (private ObfuscationFlow => private
+/// synthesis caches): the unit both BatchRunner and the serve scheduler
+/// execute.  Never throws -- failures and cancellation are captured in the
+/// record's status/error fields.
+ScenarioRecord run_scenario(const Scenario& scenario, int index,
+                            const ScenarioRunHooks& hooks = {});
 
 struct BatchParams {
     /// Worker threads; 1 = serial in the calling thread.

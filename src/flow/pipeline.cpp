@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "flow/stage_io.hpp"
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
@@ -219,7 +220,46 @@ Pipeline& Pipeline::add(std::unique_ptr<Stage> stage) {
 PipelineStatus Pipeline::run(FlowContext& ctx) const {
     PipelineStatus status;
     const int total = num_stages();
-    for (int i = 0; i < total; ++i) {
+    int start = 0;
+    if (ctx.stage_store && ctx.stage_key) {
+        // Deepest hit wins: a snapshot taken after stage k contains the
+        // output of every stage up to k, so one restore covers them all.
+        for (int i = total - 1; i >= 0; --i) {
+            const std::string key =
+                ctx.stage_key(stages_[static_cast<std::size_t>(i)]->name());
+            if (key.empty()) continue;
+            report::Json snapshot;
+            if (!ctx.stage_store->load(key, &snapshot)) continue;
+            try {
+                restore_context(snapshot, &ctx);
+            } catch (const report::JsonError&) {
+                // A corrupt snapshot (e.g. a truncated disk spill) misses
+                // instead of sinking the run; shallower entries may still
+                // hit.
+                continue;
+            }
+            start = i + 1;
+            status.stages_cached = start;
+            for (int k = 0; k < start; ++k) {
+                if (ctx.progress) {
+                    ctx.progress(
+                        StageEvent{stages_[static_cast<std::size_t>(k)]->name(),
+                                   k, total, 0.0, true, true});
+                }
+            }
+            if (obs::TraceSink* sink = obs::tracing()) {
+                report::Json args = report::Json::object();
+                args.set("stage",
+                         std::string(
+                             stages_[static_cast<std::size_t>(i)]->name()));
+                args.set("key", key);
+                args.set("stages_restored", start);
+                sink->instant("stage-cache-hit", "flow", std::move(args));
+            }
+            break;
+        }
+    }
+    for (int i = start; i < total; ++i) {
         Stage& stage = *stages_[static_cast<std::size_t>(i)];
         if (ctx.should_stop()) {
             status.completed = false;
@@ -244,6 +284,12 @@ PipelineStatus Pipeline::run(FlowContext& ctx) const {
             stage.run(ctx);
         }
         ++status.stages_run;
+        if (ctx.stage_store && ctx.stage_key) {
+            const std::string key = ctx.stage_key(stage.name());
+            if (!key.empty()) {
+                ctx.stage_store->store(key, snapshot_context(ctx));
+            }
+        }
         if (ctx.progress) {
             ctx.progress(StageEvent{stage.name(), i, total, sw.elapsed_seconds()});
         }

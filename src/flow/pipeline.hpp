@@ -53,9 +53,26 @@ struct StageEvent {
     int total = 0;  ///< stages in the pipeline
     double seconds = 0.0;
     bool completed = true;  ///< false on the final cut-short event
+    /// The stage was skipped via a stage-store hit (its snapshot was
+    /// restored instead of running it); seconds is 0.
+    bool cached = false;
 };
 
 using ProgressFn = std::function<void(const StageEvent&)>;
+
+/// Stage-result cache interface.  Pipeline::run consults it before running
+/// (deepest hit wins -- stages up to the hit restore from the snapshot) and
+/// stores a fresh snapshot after each completed stage.  Implementations
+/// must be safe for concurrent calls from multiple scenario runs (the
+/// serve scheduler shares one store across jobs); see serve::StageCache.
+class StageStore {
+public:
+    virtual ~StageStore() = default;
+    /// Fills *out and returns true when `key` is present.
+    virtual bool load(const std::string& key, report::Json* out) = 0;
+    virtual void store(const std::string& key,
+                       const report::Json& snapshot) = 0;
+};
 
 /// Everything a stage may read or extend.  One context corresponds to one
 /// scenario run; the referenced ObfuscationFlow owns the memoized
@@ -75,6 +92,13 @@ struct FlowContext {
     /// Optional; called after every completed stage, plus a final
     /// completed=false event when the run is cut short (see StageEvent).
     ProgressFn progress;
+
+    /// Optional stage-result cache.  Active only when BOTH are set:
+    /// stage_key maps a stage name to its cache key (flow::stage_cache_key
+    /// bound to the scenario; "" = never cache that stage), stage_store
+    /// holds the snapshots.  Not owned.
+    StageStore* stage_store = nullptr;
+    std::function<std::string(std::string_view)> stage_key;
 
     /// Set by SynthesizeStage: the merged specification of the selected
     /// pin assignment (needed by validation and viable-set adversaries).
@@ -147,6 +171,9 @@ private:
 struct PipelineStatus {
     bool completed = true;  ///< false when cancellation/deadline stopped it
     int stages_run = 0;
+    /// Stages skipped by restoring a stage-store snapshot (they precede
+    /// every stage counted in stages_run).
+    int stages_cached = 0;
     /// Name of the first stage NOT run (empty when completed).
     std::string stopped_before;
 };

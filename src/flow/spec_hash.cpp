@@ -1,0 +1,186 @@
+#include "flow/spec_hash.hpp"
+
+#include "attack/oracle_attack.hpp"
+#include "util/hash.hpp"
+
+namespace mvf::flow {
+
+namespace {
+
+const char* effort_name(synth::Effort e) {
+    switch (e) {
+        case synth::Effort::kFast: return "fast";
+        case synth::Effort::kDefault: return "default";
+        case synth::Effort::kHigh: return "high";
+    }
+    return "unknown";
+}
+
+const char* build_style_name(BuildStyle s) {
+    return s == BuildStyle::kFactored ? "factored" : "shared-extract";
+}
+
+report::Json ga_json(const Scenario& s) {
+    report::Json j = report::Json::object();
+    j.set("population", s.params.ga.population);
+    j.set("generations", s.params.ga.generations);
+    j.set("crossover_prob", s.params.ga.crossover_prob);
+    j.set("mutation_prob", s.params.ga.mutation_prob);
+    j.set("tournament_size", s.params.ga.tournament_size);
+    j.set("elite", s.params.ga.elite);
+    return j;
+}
+
+report::Json map_json(const Scenario& s) {
+    report::Json j = report::Json::object();
+    j.set("cut_max_leaves", s.params.map.cuts.max_leaves);
+    j.set("cut_max_cuts_per_node", s.params.map.cuts.max_cuts_per_node);
+    j.set("cut_include_trivial", s.params.map.cuts.include_trivial);
+    j.set("recovery_iterations", s.params.map.recovery_iterations);
+    return j;
+}
+
+report::Json camo_json(const Scenario& s) {
+    report::Json j = report::Json::object();
+    j.set("subtree_max_depth", s.params.camo.subtree.max_depth);
+    j.set("subtree_max_signal_leaves", s.params.camo.subtree.max_signal_leaves);
+    j.set("subtree_max_candidates", s.params.camo.subtree.max_candidates);
+    return j;
+}
+
+report::Json oracle_json(const Scenario& s) {
+    const attack::OracleAttackParams& o = s.params.oracle;
+    report::Json j = report::Json::object();
+    j.set("count_mode", std::string(attack::count_mode_name(o.count_mode)));
+    j.set("max_survivors", o.max_survivors);
+    j.set("count_cache_mb", o.count_cache_mb);
+    j.set("count_max_decisions", o.count_max_decisions);
+    j.set("epsilon", o.epsilon);
+    j.set("delta", o.delta);
+    j.set("count_seed", o.count_seed);
+    j.set("max_iterations", o.max_iterations);
+    j.set("enumerate_survivors", o.enumerate_survivors);
+    j.set("shared_miter", o.shared_miter);
+    j.set("canonical_inputs", o.canonical_inputs);
+    j.set("random_warmup", o.random_warmup);
+    j.set("warmup_seed", o.warmup_seed);
+    j.set("collect_metrics", o.collect_metrics);
+    report::Json solver = report::Json::object();
+    solver.set("preprocess", o.solver.preprocess);
+    solver.set("elim_occ_limit", o.solver.elim_occ_limit);
+    solver.set("elim_growth", o.solver.elim_growth);
+    solver.set("elim_resolvent_limit", o.solver.elim_resolvent_limit);
+    solver.set("max_rounds", o.solver.max_rounds);
+    solver.set("inprocess_growth", o.solver.inprocess_growth);
+    j.set("solver", std::move(solver));
+    return j;
+}
+
+report::Json oracle_model_json(const Scenario& s) {
+    const attack::OracleModelParams& m = s.params.oracle_model;
+    report::Json j = report::Json::object();
+    j.set("query_budget", m.query_budget);
+    j.set("noise", m.noise);
+    j.set("noise_seed", m.noise_seed);
+    j.set("cache", m.cache);
+    return j;
+}
+
+report::Json attack_json(const Scenario& s) {
+    report::Json j = report::Json::object();
+    report::Json adversaries = report::Json::array();
+    for (const std::string& a : s.params.adversaries) adversaries.push_back(a);
+    j.set("adversaries", std::move(adversaries));
+    j.set("run_oracle_attack", s.params.run_oracle_attack);
+    j.set("random_queries", s.params.random_queries);
+    j.set("replay_transcript", s.params.replay_transcript);
+    j.set("oracle", oracle_json(s));
+    j.set("oracle_model", oracle_model_json(s));
+    return j;
+}
+
+/// Shared base of every subset: the experiment identity plus what the
+/// pin-search stage consumes (GA knobs, fitness synthesis/mapping, the
+/// equal-budget random baseline).  The seed is NOT here -- subsets are
+/// seed-free so the cache key can spell it out explicitly.
+report::Json pin_search_json(const Scenario& s) {
+    report::Json j = report::Json::object();
+    j.set("schema", kSpecSchemaVersion);
+    j.set("family", s.family);
+    j.set("n", s.n);
+    j.set("ga", ga_json(s));
+    j.set("fitness_effort", effort_name(s.params.fitness_effort));
+    j.set("fitness_build", build_style_name(s.params.fitness_build));
+    j.set("map", map_json(s));
+    j.set("random_count", s.params.random_count);
+    j.set("run_random_baseline", s.params.run_random_baseline);
+    return j;
+}
+
+report::Json synthesize_json(const Scenario& s) {
+    report::Json j = pin_search_json(s);
+    j.set("final_effort", effort_name(s.params.final_effort));
+    j.set("final_best_of_builds", s.params.final_best_of_builds);
+    return j;
+}
+
+report::Json camo_cover_json(const Scenario& s) {
+    report::Json j = synthesize_json(s);
+    j.set("camo", camo_json(s));
+    return j;
+}
+
+/// Everything semantic: what the attack stage (and with it the complete
+/// scenario outcome) depends on.
+report::Json full_json(const Scenario& s) {
+    report::Json j = camo_cover_json(s);
+    j.set("run_camo_mapping", s.params.run_camo_mapping);
+    j.set("verify", s.params.verify);
+    j.set("attack", attack_json(s));
+    return j;
+}
+
+std::string subset_hash(const report::Json& subset) {
+    return util::fnv1a64_hex(report::canonicalized(subset).dump());
+}
+
+}  // namespace
+
+report::Json canonical_spec_json(const Scenario& scenario) {
+    report::Json j = full_json(scenario);
+    j.set("seed", scenario.params.seed);
+    return report::canonicalized(j);
+}
+
+std::string spec_hash(const Scenario& scenario) {
+    return util::fnv1a64_hex(canonical_spec_json(scenario).dump());
+}
+
+std::string stage_cache_key(const Scenario& scenario, std::string_view stage) {
+    // Transcript record/replay tie the scenario to files the cache cannot
+    // fingerprint (and recording is a side effect a cache hit would skip):
+    // such scenarios always run fresh.
+    if (!scenario.params.save_transcript.empty() ||
+        !scenario.params.replay_transcript.empty()) {
+        return "";
+    }
+    std::string subset;
+    if (stage == "pin-search") {
+        subset = subset_hash(pin_search_json(scenario));
+    } else if (stage == "synthesize") {
+        subset = subset_hash(synthesize_json(scenario));
+    } else if (stage == "camo-cover") {
+        subset = subset_hash(camo_cover_json(scenario));
+    } else if (stage == "validate") {
+        // Validation has no knobs of its own beyond the covered netlist.
+        subset = subset_hash(camo_cover_json(scenario));
+    } else if (stage == "attack") {
+        subset = subset_hash(full_json(scenario));
+    } else {
+        return "";  // custom stages opt into caching by name, not by default
+    }
+    return subset + ":s" + std::to_string(scenario.params.seed) + ":" +
+           std::string(stage);
+}
+
+}  // namespace mvf::flow

@@ -36,6 +36,16 @@ TraceSink::TraceSink(std::string path, TraceFormat format)
     }
 }
 
+TraceSink::TraceSink(std::FILE* stream, std::string label, TraceFormat format)
+    : path_(std::move(label)),
+      format_(format),
+      file_(stream),
+      epoch_(std::chrono::steady_clock::now()) {
+    if (file_ && format_ == TraceFormat::kChrome) {
+        std::fputs("[\n", file_);
+    }
+}
+
 TraceSink::~TraceSink() {
     if (!file_) return;
     if (format_ == TraceFormat::kChrome) {

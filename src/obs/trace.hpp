@@ -61,6 +61,11 @@ class TraceSink {
 public:
     explicit TraceSink(std::string path,
                        TraceFormat format = TraceFormat::kNdjson);
+    /// Adopts an already-open stream (closed on destruction) -- the serve
+    /// subsystem points a per-job sink at a client socket via
+    /// fdopen(dup(fd)).  `label` stands in for path() in diagnostics.
+    explicit TraceSink(std::FILE* stream, std::string label = "<stream>",
+                       TraceFormat format = TraceFormat::kNdjson);
     ~TraceSink();
     TraceSink(const TraceSink&) = delete;
     TraceSink& operator=(const TraceSink&) = delete;

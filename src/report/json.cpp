@@ -1,5 +1,6 @@
 #include "report/json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -392,6 +393,30 @@ std::string Json::dump(int indent) const {
 
 Json Json::parse(const std::string& text) {
     return Parser(text).parse_document();
+}
+
+Json canonicalized(const Json& j) {
+    switch (j.type()) {
+        case Json::Type::kArray: {
+            Json out = Json::array();
+            for (const Json& item : j.items()) out.push_back(canonicalized(item));
+            return out;
+        }
+        case Json::Type::kObject: {
+            std::vector<std::pair<std::string, Json>> sorted;
+            sorted.reserve(j.members().size());
+            for (const auto& [key, value] : j.members()) {
+                sorted.emplace_back(key, canonicalized(value));
+            }
+            std::sort(sorted.begin(), sorted.end(),
+                      [](const auto& a, const auto& b) { return a.first < b.first; });
+            Json out = Json::object();
+            for (auto& [key, value] : sorted) out.set(key, std::move(value));
+            return out;
+        }
+        default:
+            return j;
+    }
 }
 
 bool JsonWriter::write(const Json& document, int indent) const {

@@ -102,6 +102,11 @@ private:
     std::vector<std::pair<std::string, Json>> obj_;  // insertion-ordered
 };
 
+/// Recursively sorts object members by key (arrays keep their order).
+/// Two documents that differ only in member order canonicalize to equal
+/// values -- the property spec hashing and the serve stage cache key on.
+Json canonicalized(const Json& j);
+
 /// Writes one JSON document to a file (pretty-printed, trailing newline).
 /// Mirrors util::CsvWriter's shape: construct with a path, check ok().
 class JsonWriter {

@@ -1,0 +1,182 @@
+#include "serve/client.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mvf::serve {
+
+namespace {
+
+report::Json transport_error(const std::string& what) {
+    report::Json j = report::Json::object();
+    j.set("ok", false);
+    j.set("error", what);
+    return j;
+}
+
+/// Reads lines until one parses as a protocol response (has "ok"),
+/// forwarding trace records (have "ph") to `on_trace`.  Returns a
+/// transport error object on EOF.
+report::Json read_response(util::Socket& socket, const TraceLineFn& on_trace,
+                           int* trace_lines) {
+    std::string line;
+    while (socket.recv_line(&line)) {
+        if (line.empty()) continue;
+        report::Json j;
+        try {
+            j = report::Json::parse(line);
+        } catch (const report::JsonError&) {
+            continue;  // torn line mid-disconnect; keep scanning
+        }
+        if (j.is_object() && j.contains("ok")) return j;
+        if (j.is_object() && j.contains("ph")) {
+            if (trace_lines) ++*trace_lines;
+            if (on_trace) on_trace(line);
+        }
+    }
+    return transport_error("connection closed by server");
+}
+
+}  // namespace
+
+report::Json Client::roundtrip(const report::Json& request) const {
+    try {
+        util::Socket socket = util::Socket::connect(addr_);
+        if (!socket.send_line(request.dump())) {
+            return transport_error("send failed: " + addr_.to_string());
+        }
+        return read_response(socket, {}, nullptr);
+    } catch (const std::exception& e) {
+        return transport_error(e.what());
+    }
+}
+
+bool Client::ping(std::string* error) const {
+    report::Json req = report::Json::object();
+    req.set("op", "ping");
+    const report::Json resp = roundtrip(req);
+    const report::Json* ok = resp.find("ok");
+    if (ok && ok->is_bool() && ok->as_bool()) return true;
+    if (error) {
+        const report::Json* e = resp.find("error");
+        *error = e && e->is_string() ? e->as_string() : "ping failed";
+    }
+    return false;
+}
+
+ClientResult Client::submit(const std::string& spec_text, bool wait,
+                            bool stream, double timeout_s,
+                            const TraceLineFn& on_trace) const {
+    ClientResult result;
+    try {
+        util::Socket socket = util::Socket::connect(addr_);
+        report::Json req = report::Json::object();
+        req.set("op", "submit");
+        req.set("spec", spec_text);
+        req.set("wait", wait);
+        req.set("stream", stream);
+        if (timeout_s > 0.0) req.set("timeout_s", timeout_s);
+        if (!socket.send_line(req.dump())) {
+            result.error = "send failed: " + addr_.to_string();
+            return result;
+        }
+        const report::Json ack = read_response(socket, {}, nullptr);
+        const report::Json* ok = ack.find("ok");
+        if (!ok || !ok->is_bool() || !ok->as_bool()) {
+            const report::Json* e = ack.find("error");
+            result.error =
+                e && e->is_string() ? e->as_string() : "submit rejected";
+            return result;
+        }
+        if (const report::Json* j = ack.find("job"); j && j->is_string()) {
+            result.job = j->as_string();
+        }
+        if (!wait) {
+            result.ok = true;
+            return result;
+        }
+        const report::Json results =
+            read_response(socket, on_trace, &result.trace_lines);
+        const report::Json* rok = results.find("ok");
+        if (!rok || !rok->is_bool() || !rok->as_bool()) {
+            const report::Json* e = results.find("error");
+            result.error =
+                e && e->is_string() ? e->as_string() : "results missing";
+            return result;
+        }
+        result.results = results;
+        result.ok = true;
+        return result;
+    } catch (const std::exception& e) {
+        result.error = e.what();
+        return result;
+    }
+}
+
+ClientResult Client::watch(const std::string& job,
+                           const TraceLineFn& on_trace) const {
+    ClientResult result;
+    result.job = job;
+    try {
+        util::Socket socket = util::Socket::connect(addr_);
+        report::Json req = report::Json::object();
+        req.set("op", "watch");
+        req.set("job", job);
+        if (!socket.send_line(req.dump())) {
+            result.error = "send failed: " + addr_.to_string();
+            return result;
+        }
+        const report::Json ack = read_response(socket, {}, nullptr);
+        const report::Json* ok = ack.find("ok");
+        if (!ok || !ok->is_bool() || !ok->as_bool()) {
+            const report::Json* e = ack.find("error");
+            result.error =
+                e && e->is_string() ? e->as_string() : "watch rejected";
+            return result;
+        }
+        const report::Json results =
+            read_response(socket, on_trace, &result.trace_lines);
+        const report::Json* rok = results.find("ok");
+        if (!rok || !rok->is_bool() || !rok->as_bool()) {
+            const report::Json* e = results.find("error");
+            result.error =
+                e && e->is_string() ? e->as_string() : "results missing";
+            return result;
+        }
+        result.results = results;
+        result.ok = true;
+        return result;
+    } catch (const std::exception& e) {
+        result.error = e.what();
+        return result;
+    }
+}
+
+report::Json Client::status(const std::string& job) const {
+    report::Json req = report::Json::object();
+    req.set("op", "status");
+    if (!job.empty()) req.set("job", job);
+    return roundtrip(req);
+}
+
+report::Json Client::results(const std::string& job) const {
+    report::Json req = report::Json::object();
+    req.set("op", "results");
+    req.set("job", job);
+    return roundtrip(req);
+}
+
+report::Json Client::cancel(const std::string& job) const {
+    report::Json req = report::Json::object();
+    req.set("op", "cancel");
+    req.set("job", job);
+    return roundtrip(req);
+}
+
+report::Json Client::shutdown() const {
+    report::Json req = report::Json::object();
+    req.set("op", "shutdown");
+    return roundtrip(req);
+}
+
+}  // namespace mvf::serve

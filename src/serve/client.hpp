@@ -1,0 +1,62 @@
+#pragma once
+// Thin client for the `mvf serve` line protocol (the backend of
+// `mvf submit/watch/status/cancel/shutdown --connect ADDR`).
+//
+// One connection per operation.  Streamed trace records (lines carrying
+// "ph") are separated from protocol responses (lines carrying "ok") and
+// handed to `on_trace` as raw NDJSON lines, so the CLI can tee them to a
+// file that `mvf check-trace` validates.
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "report/json.hpp"
+#include "util/socket.hpp"
+
+namespace mvf::serve {
+
+/// Raw NDJSON trace line observer (no trailing newline).
+using TraceLineFn = std::function<void(const std::string&)>;
+
+/// Outcome of one submit/watch round trip.
+struct ClientResult {
+    bool ok = false;
+    std::string error;          ///< protocol/transport error when !ok
+    std::string job;            ///< job id from the ack (submit) or request
+    report::Json results;       ///< the final results response ("op":"results")
+    int trace_lines = 0;        ///< streamed records seen
+};
+
+class Client {
+public:
+    explicit Client(util::SocketAddr addr) : addr_(std::move(addr)) {}
+
+    /// True when the server answers ping.
+    bool ping(std::string* error = nullptr) const;
+
+    /// Submits `spec_text`; when `wait`, blocks until the job finishes and
+    /// fills result.results.  `stream` requests trace records (delivered
+    /// to on_trace; implies wait on the server side only when wait too).
+    ClientResult submit(const std::string& spec_text, bool wait, bool stream,
+                        double timeout_s = 0.0,
+                        const TraceLineFn& on_trace = {}) const;
+
+    /// Attaches to a running job, streams until terminal.
+    ClientResult watch(const std::string& job,
+                       const TraceLineFn& on_trace = {}) const;
+
+    /// One-line ops.  Return the server's response or an ok=false object
+    /// with "error" set on transport failure.
+    report::Json status(const std::string& job = "") const;
+    report::Json results(const std::string& job) const;
+    report::Json cancel(const std::string& job) const;
+    report::Json shutdown() const;
+
+private:
+    report::Json roundtrip(const report::Json& request) const;
+
+    util::SocketAddr addr_;
+};
+
+}  // namespace mvf::serve

@@ -1,0 +1,59 @@
+#pragma once
+// The `mvf serve` wire protocol: line-delimited JSON over a stream socket.
+//
+// Every request is one JSON object on one line with an "op" member;
+// every response is one JSON object on one line with an "ok" member.
+// Between a streaming submit/watch's ack and its final response the server
+// interleaves NDJSON trace records (obs::TraceSink pointed at the client
+// socket) -- those lines carry a "ph" member and never an "ok", so a
+// client demultiplexes by key.
+//
+//   op        request members                  response
+//   --------  -------------------------------  -------------------------------
+//   ping      -                                {"ok":true}
+//   submit    spec (text), jobs?, timeout_s?,  ack {"ok":true,"job":id};
+//             stream?, wait? (default true)    wait: results line after run
+//   status    job? (all jobs when absent)      {"ok":true,"jobs":[...]}
+//   results   job                              {"ok":true,"report":...,
+//                                               "records_hash":...,...}
+//   watch     job                              streams until terminal, then
+//                                              the job's results line
+//   cancel    job                              {"ok":true,"state":...}
+//   shutdown  -                                {"ok":true} then server exits
+//
+// Errors: {"ok":false,"error":"..."} -- unknown op, malformed JSON,
+// unknown job id, malformed scenario spec.
+//
+// records_hash is the bit-identity fingerprint CI keys on: the batch
+// records as JSON with volatile members (wall-clock timings, latency
+// histograms, cache-hit counts) stripped recursively, canonicalized, and
+// FNV-1a hashed -- equal hashes mean semantically identical results, no
+// matter which stages came from the cache.
+
+#include <string>
+#include <vector>
+
+#include "flow/batch_runner.hpp"
+#include "report/json.hpp"
+
+namespace mvf::serve {
+
+/// Protocol schema version, echoed in every ack.
+inline constexpr int kProtocolVersion = 1;
+
+/// Recursively removes volatile members ("seconds", "total_seconds",
+/// "solve_seconds", "metrics", "cache_hits") -- everything that may
+/// legitimately differ between a fresh and a cache-served run of the same
+/// experiment.
+report::Json strip_volatile(const report::Json& j);
+
+/// FNV-1a of the canonicalized, volatile-stripped records array.
+std::string records_hash(const std::vector<flow::ScenarioRecord>& records);
+
+/// {"ok":false,"error":text} on one line.
+std::string error_line(const std::string& text);
+
+/// Serializes `j` compactly; the protocol's one-line framing.
+std::string response_line(const report::Json& j);
+
+}  // namespace mvf::serve

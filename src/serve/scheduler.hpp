@@ -1,0 +1,123 @@
+#pragma once
+// Job scheduler for the experiment server.
+//
+// A job is one submitted scenario batch.  The scheduler shards every
+// job's scenarios across one shared util::ThreadPool via submit_sharded
+// (per-worker deques + work-stealing), so scenarios from several
+// concurrent jobs interleave instead of head-of-line blocking, and all
+// jobs share one flow::StageStore -- a scenario one client already paid
+// for is a cache restore for every later client.
+//
+// Per-job wiring: a flow::CancelToken (cancel() flips it; queued scenarios
+// then complete immediately as "cancelled" records, the running one stops
+// at its next stage boundary), an optional deadline, and any number of
+// attached obs::TraceSink streams that receive per-stage progress and
+// job-progress counters (the serve sessions point these at client
+// sockets).  A sink detaching mid-run -- client disconnected -- is
+// harmless: emission just stops reaching it.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow/batch_runner.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mvf::serve {
+
+enum class JobState { kQueued, kRunning, kDone, kCancelled };
+
+std::string_view job_state_name(JobState s);
+
+/// Point-in-time view of one job.
+struct JobStatus {
+    std::string id;
+    JobState state = JobState::kQueued;
+    int completed = 0;  ///< scenarios finished (any status)
+    int total = 0;
+    int failures = 0;    ///< records with status "error"
+    int cache_hits = 0;  ///< pipeline stages restored, summed over records
+    double seconds = 0.0;
+    std::string records_hash;  ///< set once terminal
+};
+
+struct SubmitOptions {
+    /// Wall-clock budget for the whole job (0 = none).
+    double timeout_s = 0.0;
+    /// Initial trace stream (more can attach later via watch()).
+    std::shared_ptr<obs::TraceSink> sink;
+};
+
+class JobScheduler {
+public:
+    /// `workers` pool threads; `store` may be null (no stage caching).
+    JobScheduler(int workers, flow::StageStore* store);
+    /// Cancels everything still running and drains the pool.
+    ~JobScheduler();
+
+    /// Enqueues a job; returns its id ("j1", "j2", ...).
+    std::string submit(std::vector<flow::Scenario> scenarios,
+                       const SubmitOptions& options = {});
+
+    /// Flips the job's cancel token; false for unknown ids.  Idempotent.
+    bool cancel(const std::string& id);
+
+    std::optional<JobStatus> status(const std::string& id) const;
+    std::vector<JobStatus> jobs() const;
+
+    /// Attaches a trace stream to a job; terminal jobs get no events
+    /// (false).  Streams live until the job finishes.
+    bool watch(const std::string& id, std::shared_ptr<obs::TraceSink> sink);
+
+    /// Blocks until the job is terminal; false for unknown ids.
+    bool wait(const std::string& id);
+
+    /// Records in input order; empty optional for unknown ids (records of
+    /// unfinished scenarios are placeholders -- call after wait()).
+    std::optional<std::vector<flow::ScenarioRecord>> records(
+        const std::string& id) const;
+
+    /// Cancels every non-terminal job (shutdown path).
+    void cancel_all();
+
+    int workers() const { return pool_.num_threads(); }
+
+private:
+    struct Job {
+        std::string id;
+        std::vector<flow::Scenario> scenarios;
+        flow::CancelToken cancel;
+        std::optional<std::chrono::steady_clock::time_point> deadline;
+        std::chrono::steady_clock::time_point submitted;
+        std::vector<flow::ScenarioRecord> records;
+        int completed = 0;
+        JobState state = JobState::kQueued;
+        double seconds = 0.0;
+        std::string records_hash;
+        std::vector<std::shared_ptr<obs::TraceSink>> sinks;
+    };
+
+    void run_scenario_task(const std::shared_ptr<Job>& job, int index);
+    void finish_scenario(const std::shared_ptr<Job>& job, int index);
+    /// Emits to every sink attached to `job` (snapshots the list under
+    /// mu_, emits outside it).
+    void emit_instant(const std::shared_ptr<Job>& job, const char* name,
+                      report::Json args);
+    JobStatus status_locked(const Job& job) const;
+
+    flow::StageStore* store_;
+    mutable std::mutex mu_;
+    std::condition_variable terminal_cv_;
+    std::vector<std::shared_ptr<Job>> jobs_;
+    std::uint64_t next_id_ = 1;
+    std::uint64_t next_shard_ = 0;
+    util::ThreadPool pool_;  ///< last: its dtor drains tasks that use *this
+};
+
+}  // namespace mvf::serve

@@ -1,0 +1,308 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace mvf::serve {
+
+namespace {
+
+/// Wraps a dup of the client fd as a line-buffered FILE* for a TraceSink:
+/// every complete NDJSON record flushes at its newline, and closing the
+/// sink closes only the dup, never the session socket.
+std::shared_ptr<obs::TraceSink> socket_sink(const util::Socket& socket) {
+    const int fd = ::dup(socket.fd());
+    if (fd < 0) return nullptr;
+    std::FILE* f = ::fdopen(fd, "w");
+    if (!f) {
+        ::close(fd);
+        return nullptr;
+    }
+    std::setvbuf(f, nullptr, _IOLBF, 0);
+    return std::make_shared<obs::TraceSink>(f, "<client>");
+}
+
+report::Json status_json(const JobStatus& st) {
+    report::Json j = report::Json::object();
+    j.set("job", st.id);
+    j.set("state", std::string(job_state_name(st.state)));
+    j.set("completed", st.completed);
+    j.set("total", st.total);
+    j.set("failures", st.failures);
+    j.set("cache_hits", st.cache_hits);
+    j.set("seconds", st.seconds);
+    if (!st.records_hash.empty()) j.set("records_hash", st.records_hash);
+    return j;
+}
+
+}  // namespace
+
+Server::Server(ServerParams params)
+    : params_(std::move(params)),
+      cache_(std::make_unique<StageCache>(params_.cache)),
+      scheduler_(std::make_unique<JobScheduler>(params_.workers,
+                                                cache_.get())) {
+    util::ignore_sigpipe();
+}
+
+Server::~Server() {
+    request_shutdown();
+    // Join OUTSIDE the lock: a still-running session thread may be inside
+    // request_shutdown() waiting for sessions_mu_ (the op=shutdown path),
+    // and joining it while holding the mutex deadlocks.  Loop in case the
+    // accept loop races one last emplace in before it notices stopping_.
+    for (;;) {
+        std::vector<std::thread> drained;
+        {
+            std::lock_guard lock(sessions_mu_);
+            if (sessions_.empty()) break;
+            drained.swap(sessions_);
+        }
+        for (std::thread& t : drained) {
+            if (t.joinable()) t.join();
+        }
+    }
+}
+
+void Server::bind() {
+    listener_ = util::ListenSocket::listen(params_.listen);
+    bound_addr_ = listener_.addr();
+}
+
+void Server::run() {
+    if (!listener_.valid()) bind();
+    if (params_.verbose) {
+        std::fprintf(stderr, "mvf serve: listening on %s (%d workers)\n",
+                     bound_addr_.to_string().c_str(), scheduler_->workers());
+    }
+    while (!stopping_.load(std::memory_order_acquire)) {
+        util::Socket client = listener_.accept();
+        if (!client.valid()) break;  // listener closed (shutdown) or error
+        std::lock_guard lock(sessions_mu_);
+        sessions_.emplace_back(
+            [this, c = std::move(client)]() mutable { session(std::move(c)); });
+    }
+    // Drain: cancel whatever still runs so the scheduler's pool empties
+    // promptly, then let its destructor join the workers.
+    scheduler_->cancel_all();
+}
+
+void Server::request_shutdown() {
+    if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+    listener_.close();  // unblocks accept()
+    scheduler_->cancel_all();
+    std::lock_guard lock(sessions_mu_);
+    for (const std::weak_ptr<util::Socket>& weak : session_sockets_) {
+        if (const std::shared_ptr<util::Socket> s = weak.lock()) {
+            // Poke, do not close: the session owns the fd and may be
+            // mid-recv; shutdown() unblocks it without racing fd reuse.
+            ::shutdown(s->fd(), SHUT_RDWR);
+        }
+    }
+}
+
+void Server::session(util::Socket socket) {
+    const auto shared = std::make_shared<util::Socket>(std::move(socket));
+    {
+        std::lock_guard lock(sessions_mu_);
+        session_sockets_.push_back(shared);
+    }
+    std::string line;
+    while (!stopping_.load(std::memory_order_acquire) &&
+           shared->recv_line(&line)) {
+        if (line.empty()) continue;
+        if (!handle(*shared, line)) break;
+    }
+}
+
+bool Server::handle(util::Socket& socket, const std::string& line) {
+    report::Json request;
+    try {
+        request = report::Json::parse(line);
+    } catch (const report::JsonError& e) {
+        socket.send_line(error_line(std::string("malformed request: ") +
+                                    e.what()));
+        return true;
+    }
+    std::string op;
+    if (const report::Json* o = request.find("op"); o && o->is_string()) {
+        op = o->as_string();
+    } else {
+        socket.send_line(error_line("request needs a string \"op\""));
+        return true;
+    }
+    if (params_.verbose) {
+        std::fprintf(stderr, "mvf serve: op=%s\n", op.c_str());
+    }
+
+    const auto job_arg = [&](std::string* id) {
+        const report::Json* j = request.find("job");
+        if (!j || !j->is_string()) return false;
+        *id = j->as_string();
+        return true;
+    };
+    const auto send_results = [&](const std::string& id) {
+        const std::optional<JobStatus> st = scheduler_->status(id);
+        const std::optional<std::vector<flow::ScenarioRecord>> records =
+            scheduler_->records(id);
+        if (!st || !records) {
+            socket.send_line(error_line("unknown job: " + id));
+            return;
+        }
+        report::Json j = report::Json::object();
+        j.set("ok", true);
+        j.set("op", "results");
+        j.set("job", id);
+        j.set("state", std::string(job_state_name(st->state)));
+        j.set("records_hash", st->records_hash);
+        j.set("cache_hits", st->cache_hits);
+        j.set("seconds", st->seconds);
+        j.set("report", flow::batch_report(*records, st->seconds));
+        socket.send_line(response_line(j));
+    };
+
+    if (op == "ping") {
+        report::Json j = report::Json::object();
+        j.set("ok", true);
+        j.set("protocol", kProtocolVersion);
+        socket.send_line(response_line(j));
+        return true;
+    }
+    if (op == "submit") {
+        const report::Json* spec = request.find("spec");
+        if (!spec || !spec->is_string()) {
+            socket.send_line(error_line("submit needs a string \"spec\""));
+            return true;
+        }
+        std::vector<flow::Scenario> scenarios;
+        try {
+            scenarios = flow::parse_scenario_spec(spec->as_string());
+        } catch (const std::invalid_argument& e) {
+            socket.send_line(error_line(e.what()));
+            return true;
+        }
+        SubmitOptions options;
+        if (const report::Json* t = request.find("timeout_s");
+            t && t->is_number()) {
+            options.timeout_s = t->as_number();
+        }
+        const auto flag = [&](const char* key, bool fallback) {
+            const report::Json* f = request.find(key);
+            return f && f->is_bool() ? f->as_bool() : fallback;
+        };
+        const bool stream = flag("stream", false);
+        const bool wait = flag("wait", true);
+        const std::string id = scheduler_->submit(std::move(scenarios));
+        report::Json ack = report::Json::object();
+        ack.set("ok", true);
+        ack.set("op", "submit");
+        ack.set("protocol", kProtocolVersion);
+        ack.set("job", id);
+        if (!socket.send_line(response_line(ack))) return false;
+        if (!wait) return true;
+        // Attach the stream only after the ack is on the wire, so the
+        // client always reads ack -> trace records -> results in order.
+        // (Events emitted before the attach are not replayed.)
+        if (stream) {
+            if (std::shared_ptr<obs::TraceSink> sink = socket_sink(socket)) {
+                scheduler_->watch(id, std::move(sink));
+            }
+        }
+        scheduler_->wait(id);
+        send_results(id);
+        return true;
+    }
+    if (op == "status") {
+        std::string id;
+        report::Json j = report::Json::object();
+        j.set("ok", true);
+        j.set("op", "status");
+        if (job_arg(&id)) {
+            const std::optional<JobStatus> st = scheduler_->status(id);
+            if (!st) {
+                socket.send_line(error_line("unknown job: " + id));
+                return true;
+            }
+            report::Json arr = report::Json::array();
+            arr.push_back(status_json(*st));
+            j.set("jobs", std::move(arr));
+        } else {
+            report::Json arr = report::Json::array();
+            for (const JobStatus& st : scheduler_->jobs()) {
+                arr.push_back(status_json(st));
+            }
+            j.set("jobs", std::move(arr));
+        }
+        j.set("cache", cache_->stats_json());
+        socket.send_line(response_line(j));
+        return true;
+    }
+    if (op == "results") {
+        std::string id;
+        if (!job_arg(&id)) {
+            socket.send_line(error_line("results needs a string \"job\""));
+            return true;
+        }
+        send_results(id);
+        return true;
+    }
+    if (op == "watch") {
+        std::string id;
+        if (!job_arg(&id)) {
+            socket.send_line(error_line("watch needs a string \"job\""));
+            return true;
+        }
+        if (!scheduler_->status(id)) {
+            socket.send_line(error_line("unknown job: " + id));
+            return true;
+        }
+        report::Json ack = report::Json::object();
+        ack.set("ok", true);
+        ack.set("op", "watch");
+        ack.set("job", id);
+        if (!socket.send_line(response_line(ack))) return false;
+        if (std::shared_ptr<obs::TraceSink> sink = socket_sink(socket)) {
+            scheduler_->watch(id, std::move(sink));  // no-op when terminal
+        }
+        scheduler_->wait(id);
+        send_results(id);
+        return true;
+    }
+    if (op == "cancel") {
+        std::string id;
+        if (!job_arg(&id)) {
+            socket.send_line(error_line("cancel needs a string \"job\""));
+            return true;
+        }
+        if (!scheduler_->cancel(id)) {
+            socket.send_line(error_line("unknown job: " + id));
+            return true;
+        }
+        const std::optional<JobStatus> st = scheduler_->status(id);
+        report::Json j = report::Json::object();
+        j.set("ok", true);
+        j.set("op", "cancel");
+        j.set("job", id);
+        if (st) j.set("state", std::string(job_state_name(st->state)));
+        socket.send_line(response_line(j));
+        return true;
+    }
+    if (op == "shutdown") {
+        report::Json j = report::Json::object();
+        j.set("ok", true);
+        j.set("op", "shutdown");
+        socket.send_line(response_line(j));
+        request_shutdown();
+        return false;
+    }
+    socket.send_line(error_line("unknown op \"" + op + "\""));
+    return true;
+}
+
+}  // namespace mvf::serve

@@ -1,0 +1,137 @@
+#include "serve/stage_cache.hpp"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mvf::serve {
+
+StageCache::StageCache(StageCacheParams params) : params_(std::move(params)) {
+    if (!params_.spill_dir.empty()) {
+        // Best effort; a failed mkdir surfaces on the first spill write.
+        ::mkdir(params_.spill_dir.c_str(), 0777);
+    }
+}
+
+std::string StageCache::spill_path(const std::string& key) const {
+    std::string name = key;
+    for (char& c : name) {
+        if (c == ':' || c == '/') c = '_';
+    }
+    return params_.spill_dir + "/" + name + ".json";
+}
+
+bool StageCache::load(const std::string& key, report::Json* out) {
+    std::unique_lock lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);  // touch
+        const std::string dump = it->second->second;
+        ++stats_.hits;
+        lock.unlock();
+        try {
+            *out = report::Json::parse(dump);
+            return true;
+        } catch (const report::JsonError&) {
+            return false;  // cannot happen for our own dumps; be safe
+        }
+    }
+    if (params_.spill_dir.empty()) {
+        ++stats_.misses;
+        return false;
+    }
+    lock.unlock();
+    std::ifstream in(spill_path(key));
+    if (!in) {
+        std::lock_guard relock(mu_);
+        ++stats_.misses;
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string dump = text.str();
+    try {
+        *out = report::Json::parse(dump);
+    } catch (const report::JsonError&) {
+        // Truncated/foreign file: treat as a miss (the pipeline will
+        // recompute and overwrite it).
+        std::lock_guard relock(mu_);
+        ++stats_.misses;
+        return false;
+    }
+    std::lock_guard relock(mu_);
+    ++stats_.spill_hits;
+    if (index_.find(key) == index_.end()) {
+        insert_locked(key, std::move(dump));  // promote to the memory tier
+    }
+    return true;
+}
+
+void StageCache::store(const std::string& key, const report::Json& snapshot) {
+    std::string dump = snapshot.dump();
+    if (!params_.spill_dir.empty()) {
+        // Write-through, atomically: a reader (or a crashed server's next
+        // incarnation) never sees a half-written snapshot.
+        const std::string path = spill_path(key);
+        const std::string tmp = path + ".tmp";
+        std::ofstream out(tmp, std::ios::trunc);
+        if (out) {
+            out << dump;
+            out.close();
+            if (out.good()) {
+                std::rename(tmp.c_str(), path.c_str());
+            } else {
+                std::remove(tmp.c_str());
+            }
+        }
+    }
+    std::lock_guard lock(mu_);
+    ++stats_.stores;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        bytes_ -= it->second->second.size();
+        lru_.erase(it->second);
+        index_.erase(it);
+    }
+    insert_locked(key, std::move(dump));
+}
+
+void StageCache::insert_locked(const std::string& key, std::string dump) {
+    // An entry larger than the whole budget would evict everything and
+    // still not fit; skip the memory tier (the spill copy, if any, serves).
+    if (dump.size() > params_.max_bytes) return;
+    bytes_ += dump.size();
+    lru_.emplace_front(key, std::move(dump));
+    index_.emplace(key, lru_.begin());
+    while (bytes_ > params_.max_bytes && !lru_.empty()) {
+        bytes_ -= lru_.back().second.size();
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+StageCache::Stats StageCache::stats() const {
+    std::lock_guard lock(mu_);
+    Stats s = stats_;
+    s.entries = lru_.size();
+    s.bytes = bytes_;
+    return s;
+}
+
+report::Json StageCache::stats_json() const {
+    const Stats s = stats();
+    report::Json j = report::Json::object();
+    j.set("hits", s.hits);
+    j.set("spill_hits", s.spill_hits);
+    j.set("misses", s.misses);
+    j.set("stores", s.stores);
+    j.set("evictions", s.evictions);
+    j.set("entries", static_cast<std::uint64_t>(s.entries));
+    j.set("bytes", static_cast<std::uint64_t>(s.bytes));
+    return j;
+}
+
+}  // namespace mvf::serve

@@ -1,0 +1,78 @@
+#pragma once
+// Incremental stage-result cache for the experiment server.
+//
+// Implements flow::StageStore over FlowContext snapshots keyed by
+// flow::stage_cache_key -- (canonical-spec-subset hash, seed, stage).  A
+// re-submitted scenario restores the deepest cached snapshot and re-runs
+// only the stages past it; an identical re-submit re-runs nothing but the
+// restore, which is where `mvf serve`'s >= 5x second-run speedup comes
+// from (CI's serve-smoke job asserts it).
+//
+// Storage is two-tier:
+//   * an in-memory LRU bounded by a byte budget (entries are the compact
+//     JSON dumps, so the accounting is exact);
+//   * an optional write-through spill directory: every store also lands as
+//     a file, loads fall back to it on a memory miss (and promote), and
+//     LRU eviction only drops the memory copy -- a server restart with the
+//     same --cache-dir starts warm.
+//
+// Thread safety: one mutex around everything.  Entries are a few hundred
+// KB and load/store happen once per pipeline stage (seconds apart), so
+// contention is irrelevant; correctness under the scheduler's concurrent
+// jobs is what matters.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "flow/pipeline.hpp"
+
+namespace mvf::serve {
+
+struct StageCacheParams {
+    /// In-memory budget for the LRU tier (compact-dump bytes).
+    std::size_t max_bytes = 256u << 20;
+    /// Write-through spill directory ("" = memory only).  Created lazily;
+    /// unwritable directories degrade to memory-only with a stderr note.
+    std::string spill_dir;
+};
+
+class StageCache final : public flow::StageStore {
+public:
+    explicit StageCache(StageCacheParams params = {});
+
+    bool load(const std::string& key, report::Json* out) override;
+    void store(const std::string& key, const report::Json& snapshot) override;
+
+    struct Stats {
+        std::uint64_t hits = 0;        ///< memory-tier hits
+        std::uint64_t spill_hits = 0;  ///< disk-tier hits (promoted)
+        std::uint64_t misses = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+        std::size_t bytes = 0;
+    };
+    Stats stats() const;
+
+    report::Json stats_json() const;
+
+private:
+    /// Inserts the dump under `key`, evicting from the LRU tail to stay in
+    /// budget.  Requires mu_ held.
+    void insert_locked(const std::string& key, std::string dump);
+    std::string spill_path(const std::string& key) const;
+
+    StageCacheParams params_;
+    mutable std::mutex mu_;
+    /// Front = most recent.  Values are compact JSON dumps.
+    std::list<std::pair<std::string, std::string>> lru_;
+    std::unordered_map<std::string, decltype(lru_)::iterator> index_;
+    std::size_t bytes_ = 0;
+    Stats stats_;
+};
+
+}  // namespace mvf::serve

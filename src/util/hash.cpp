@@ -1,0 +1,19 @@
+#include "util/hash.hpp"
+
+namespace mvf::util {
+
+std::string hash_hex(std::uint64_t h) {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[h & 0xf];
+        h >>= 4;
+    }
+    return out;
+}
+
+std::string fnv1a64_hex(std::string_view data) {
+    return hash_hex(fnv1a64(data));
+}
+
+}  // namespace mvf::util

@@ -1,0 +1,38 @@
+#pragma once
+// Deterministic non-cryptographic hashing for cache keys and provenance.
+//
+// The experiment server keys its stage-result cache on a hash of the
+// canonical scenario serialization, and reports carry the same hash as
+// provenance (`spec_hash`).  Both uses need a hash that is stable across
+// processes, platforms and library versions -- which std::hash explicitly
+// is not -- so this is a fixed-parameter FNV-1a over bytes.  Collisions
+// only cost a wrong cache association, never correctness of fresh runs,
+// and 64 bits is plenty for the cache sizes involved.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mvf::util {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// FNV-1a over the bytes of `data`, continuing from `seed` (chainable).
+constexpr std::uint64_t fnv1a64(std::string_view data,
+                                std::uint64_t seed = kFnvOffset) {
+    std::uint64_t h = seed;
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/// Fixed-width (16 hex digits, lowercase) rendering of a 64-bit hash.
+std::string hash_hex(std::uint64_t h);
+
+/// hash_hex(fnv1a64(data)) -- the canonical spec-hash spelling.
+std::string fnv1a64_hex(std::string_view data);
+
+}  // namespace mvf::util

@@ -6,9 +6,25 @@
 // joins its workers on destruction.  Determinism is the caller's job --
 // BatchRunner achieves it by giving every scenario its own isolated
 // context and seed so results are independent of scheduling order.
+//
+// Two submission paths:
+//   submit()          one shared FIFO queue, any worker takes the oldest
+//   submit_sharded()  per-worker deques with work-stealing: the task lands
+//                     on deque `shard % num_threads`, its owner pops from
+//                     the front (FIFO per shard), and an idle worker steals
+//                     from the BACK of the fullest other deque -- so a
+//                     shard stuck behind one long task drains through its
+//                     neighbours instead of serializing.
+//
+// All queues share one mutex: at the granularity the pool is used for
+// (whole scenarios, seconds each) queue contention is unmeasurable, and
+// the single lock keeps wait_idle and shutdown trivially correct.  The
+// stealing discipline is about *placement* (keeping related work on one
+// worker until someone runs dry), not about lock-free throughput.
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -31,22 +47,37 @@ public:
 
     int num_threads() const { return static_cast<int>(workers_.size()); }
 
-    /// Enqueues a task; the future resolves when it finishes (or rethrows
-    /// what it threw).
+    /// Enqueues a task on the shared queue; the future resolves when it
+    /// finishes (or rethrows what it threw).
     std::future<void> submit(std::function<void()> task);
+
+    /// Enqueues a task on worker deque `shard % num_threads()`.  The owner
+    /// drains its deque FIFO; idle workers steal from other deques' backs.
+    std::future<void> submit_sharded(std::size_t shard,
+                                     std::function<void()> task);
 
     /// Blocks until every task submitted so far has completed.
     void wait_idle();
 
-private:
-    void worker_loop();
+    /// Tasks taken from another worker's deque (stealing actually
+    /// happened); monotone, for tests and telemetry.
+    std::size_t steals() const;
 
-    std::mutex mutex_;
+private:
+    void worker_loop(std::size_t worker);
+    /// Pops the next task for `worker` (own deque, shared queue, then
+    /// steal); pending_ must be > 0.  Requires mutex_ held.
+    std::packaged_task<void()> take_locked(std::size_t worker);
+
+    mutable std::mutex mutex_;
     std::condition_variable work_ready_;
     std::condition_variable idle_;
     std::queue<std::packaged_task<void()>> queue_;
+    std::vector<std::deque<std::packaged_task<void()>>> shards_;
     std::vector<std::thread> workers_;
+    std::size_t pending_ = 0;  ///< queued but not yet taken, all queues
     std::size_t in_flight_ = 0;
+    std::size_t steals_ = 0;
     bool stopping_ = false;
 };
 

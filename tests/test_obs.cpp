@@ -150,6 +150,64 @@ TEST(TraceSink, MultithreadedWritersStayWellFormed) {
     std::remove(path.c_str());
 }
 
+TEST(TraceSink, ConcurrentHammerOnOneSinkStaysValid) {
+    // The serve scheduler points several job threads at ONE sink (a client
+    // socket): hammer a single sink with direct emit calls from many
+    // threads and require the interleaved output to still validate --
+    // whole lines, monotone timestamps, balanced spans.
+    const std::string path = testing::TempDir() + "mvf_obs_hammer.ndjson";
+    constexpr int kThreads = 8;
+    constexpr int kEventsPerThread = 200;
+    {
+        TraceSink sink(path);
+        ASSERT_TRUE(sink.ok());
+        std::vector<std::thread> writers;
+        for (int t = 0; t < kThreads; ++t) {
+            writers.emplace_back([&sink, t] {
+                for (int i = 0; i < kEventsPerThread; ++i) {
+                    report::Json args = report::Json::object();
+                    args.set("thread", t);
+                    args.set("i", i);
+                    // A mix of record kinds, like a live job stream
+                    // (stage instants + job-progress counters).
+                    if (i % 3 == 0) {
+                        sink.counter("job-progress", std::move(args));
+                    } else {
+                        sink.instant("stage", "serve", std::move(args));
+                    }
+                    if (i % 16 == 0) sink.flush();
+                }
+            });
+        }
+        for (std::thread& w : writers) w.join();
+        EXPECT_EQ(sink.events(),
+                  static_cast<std::uint64_t>(kThreads) * kEventsPerThread);
+    }
+    const TraceValidation v = validate_trace(slurp(path));
+    EXPECT_TRUE(v.ok) << v.error;
+    EXPECT_EQ(v.records, kThreads * kEventsPerThread);
+    EXPECT_EQ(v.open_spans, 0);
+    std::remove(path.c_str());
+}
+
+TEST(TraceSink, AdoptedStreamConstructorWritesNdjson) {
+    // The FILE*-adopting constructor is how serve wraps client sockets;
+    // the sink owns the stream and closes it on destruction.
+    const std::string path = testing::TempDir() + "mvf_obs_stream.ndjson";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    {
+        TraceSink sink(f, "<test-stream>");
+        ASSERT_TRUE(sink.ok());
+        sink.instant("hello", "test");
+        sink.flush();
+    }
+    const TraceValidation v = validate_trace(slurp(path));
+    EXPECT_TRUE(v.ok) << v.error;
+    EXPECT_EQ(v.records, 1);
+    std::remove(path.c_str());
+}
+
 TEST(TraceSink, SpanIsInertWithoutSink) {
     // No sink installed: spans must not crash, allocate args, or count.
     ASSERT_EQ(obs::tracing(), nullptr);

@@ -6,8 +6,8 @@
 // bit); (b) decorator composition -- budget, cache, noise and transcript
 // stacked in any order must preserve each layer's semantics; (c) transcript
 // record -> replay reproducing bit-identical CEGAR outcomes through the
-// public oracle API, including the deprecated forced_queries alias; and
-// (d) honest kQueryBudget termination with exact CountingOracle accounting.
+// public oracle API; and (d) honest kQueryBudget termination with exact
+// CountingOracle accounting.
 
 #include <gtest/gtest.h>
 
@@ -460,9 +460,12 @@ TEST(OracleAttack, TranscriptReplayReproducesBitIdenticalOutcomes) {
     }
 }
 
-TEST(OracleAttack, ForcedQueriesAliasMatchesTranscriptReplay) {
-    // The deprecated OracleAttackParams::forced_queries side-channel and
-    // TranscriptOracle replay must drive the attack identically.
+TEST(OracleAttack, TranscriptReplayIsBitIdenticalToLiveRun) {
+    // Chip-free TranscriptOracle replay must reproduce the recorded live
+    // attack exactly -- status, query count, survivors, distinguishing
+    // inputs and witness, bit for bit.  (This test previously covered the
+    // forced_queries alias; replay through the oracle layer is now the
+    // only mechanism.)
     const CamoLibrary lib = standard_camo_library();
     util::Rng rng(53);
     const CamoNetlist nl = attack::random_camo_netlist(lib, 6, 2, 10, rng);
@@ -471,22 +474,17 @@ TEST(OracleAttack, ForcedQueriesAliasMatchesTranscriptReplay) {
     const OracleAttackParams params = enumerate_params();
     const OracleAttackResult live = oracle_attack(nl, recorder, params);
     ASSERT_NE(live.status, OracleAttackResult::Status::kNoSurvivor);
+    ASSERT_EQ(static_cast<int>(live.distinguishing_inputs.size()),
+              live.queries);
 
-    // Legacy replay: pin the patterns, let the chip answer.
-    SimOracle chip_legacy(nl, nl.configuration_for_code(0));
-    OracleAttackParams legacy = params;
-    legacy.forced_queries = &live.distinguishing_inputs;
-    const OracleAttackResult via_alias = oracle_attack(nl, chip_legacy, legacy);
-
-    // New replay: chip-free, through the oracle layer.
     TranscriptOracle replay(recorder.transcript());
-    const OracleAttackResult via_oracle = oracle_attack(nl, replay, params);
+    const OracleAttackResult replayed = oracle_attack(nl, replay, params);
 
-    EXPECT_EQ(via_alias.status, via_oracle.status);
-    EXPECT_EQ(via_alias.queries, via_oracle.queries);
-    EXPECT_EQ(via_alias.surviving_configs, via_oracle.surviving_configs);
-    EXPECT_EQ(via_alias.distinguishing_inputs, via_oracle.distinguishing_inputs);
-    EXPECT_EQ(via_alias.witness_config, via_oracle.witness_config);
+    EXPECT_EQ(replayed.status, live.status);
+    EXPECT_EQ(replayed.queries, live.queries);
+    EXPECT_EQ(replayed.surviving_configs, live.surviving_configs);
+    EXPECT_EQ(replayed.distinguishing_inputs, live.distinguishing_inputs);
+    EXPECT_EQ(replayed.witness_config, live.witness_config);
 }
 
 TEST(OracleAttack, RandomWarmupPreservesOutcomeAndCutsIterations) {

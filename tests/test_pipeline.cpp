@@ -491,6 +491,39 @@ TEST(BatchRunner, UnknownFamilyFailsTheScenarioOnly) {
     EXPECT_NE(records[0].error.find("martian"), std::string::npos);
 }
 
+TEST(BatchRunner, ThrowingScenarioMidBatchDegradesGracefully) {
+    // A spec with an invalid scenario in the middle: the bad record is
+    // marked status="error" with the exception text, and every other
+    // scenario still runs to completion -- in parallel too.
+    const std::vector<Scenario> scenarios = parse_scenario_spec(
+        "funcs=present:2 population=8 generations=3 seed=31 attack=none\n"
+        "funcs=martian:2 population=8 generations=3 seed=32 attack=none\n"
+        "funcs=present:2 population=8 generations=3 seed=33 attack=none\n");
+    ASSERT_EQ(scenarios.size(), 3u);
+
+    BatchParams params;
+    params.jobs = 2;
+    const std::vector<ScenarioRecord> records =
+        BatchRunner(params).run(scenarios);
+    ASSERT_EQ(records.size(), 3u);
+
+    EXPECT_TRUE(records[0].ok);
+    EXPECT_EQ(records[0].status, "ok");
+    EXPECT_FALSE(records[1].ok);
+    EXPECT_EQ(records[1].status, "error");
+    EXPECT_NE(records[1].error.find("martian"), std::string::npos);
+    EXPECT_TRUE(records[2].ok);
+    EXPECT_EQ(records[2].status, "ok");
+
+    // The status lands in the JSON report (the field serve clients and
+    // check-report consume), and the failed record still carries its
+    // provenance hash.
+    EXPECT_EQ(records[1].to_json().at("status").as_string(), "error");
+    EXPECT_FALSE(records[1].spec_hash.empty());
+    const report::Json doc = batch_report(records, 1.0);
+    EXPECT_EQ(doc.at("failures").as_int(), 1);
+}
+
 // ------------------------------------------------- adversary JSON reports --
 
 TEST(Adversary, EveryRegisteredAdversaryReportRoundTripsThroughJson) {

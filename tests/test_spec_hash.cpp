@@ -1,0 +1,153 @@
+// Canonical spec hashing (flow/spec_hash.hpp): the identity under the
+// serve subsystem's stage-result cache and the provenance stamp in every
+// AdversaryReport.  The contract under test: hashes are deterministic,
+// key-order independent, blind to presentation-only fields (the scenario
+// name), and sensitive to every semantic knob.
+
+#include <gtest/gtest.h>
+
+#include "attack/adversary.hpp"
+#include "flow/batch_runner.hpp"
+#include "flow/spec_hash.hpp"
+#include "report/json.hpp"
+#include "util/hash.hpp"
+
+namespace mvf::flow {
+namespace {
+
+Scenario base_scenario() {
+    Scenario s;
+    s.name = "a-name";
+    s.family = "present";
+    s.n = 2;
+    s.params.seed = 7;
+    s.params.ga.population = 8;
+    s.params.ga.generations = 3;
+    return s;
+}
+
+TEST(SpecHash, DeterministicAndNameIndependent) {
+    const Scenario a = base_scenario();
+    Scenario b = base_scenario();
+    b.name = "a-completely-different-label";
+    EXPECT_EQ(spec_hash(a), spec_hash(a));
+    // The name is presentation, not semantics: same experiment, same hash.
+    EXPECT_EQ(spec_hash(a), spec_hash(b));
+    EXPECT_EQ(spec_hash(a).size(), 16u);  // fnv1a64 hex
+}
+
+TEST(SpecHash, KeyOrderDoesNotMatter) {
+    // The hash is over the canonicalized dump, so two object encodings
+    // that differ only in key insertion order collapse to one digest.
+    report::Json forward = report::Json::object();
+    forward.set("alpha", 1);
+    forward.set("beta", 2.5);
+    forward.set("gamma", "x");
+    report::Json backward = report::Json::object();
+    backward.set("gamma", "x");
+    backward.set("beta", 2.5);
+    backward.set("alpha", 1);
+    EXPECT_NE(forward.dump(), backward.dump());
+    EXPECT_EQ(util::fnv1a64_hex(report::canonicalized(forward).dump()),
+              util::fnv1a64_hex(report::canonicalized(backward).dump()));
+
+    // And the canonical spec itself is already in canonical key order:
+    // re-parsing and re-canonicalizing its dump is the identity.
+    const report::Json spec = canonical_spec_json(base_scenario());
+    const report::Json reparsed = report::Json::parse(spec.dump());
+    EXPECT_EQ(report::canonicalized(reparsed).dump(), spec.dump());
+}
+
+TEST(SpecHash, SemanticChangesChangeTheHash) {
+    const std::string base = spec_hash(base_scenario());
+
+    Scenario seed = base_scenario();
+    seed.params.seed = 8;
+    EXPECT_NE(spec_hash(seed), base);
+
+    Scenario ga = base_scenario();
+    ga.params.ga.population = 9;
+    EXPECT_NE(spec_hash(ga), base);
+
+    Scenario family = base_scenario();
+    family.family = "des";
+    EXPECT_NE(spec_hash(family), base);
+
+    Scenario oracle = base_scenario();
+    oracle.params.oracle.count_mode = attack::CountMode::kEnumerate;
+    EXPECT_NE(spec_hash(oracle), base);
+
+    Scenario model = base_scenario();
+    model.params.oracle_model.query_budget = 64;
+    EXPECT_NE(spec_hash(model), base);
+
+    Scenario adversaries = base_scenario();
+    adversaries.params.adversaries = {"cegar"};
+    EXPECT_NE(spec_hash(adversaries), base);
+}
+
+TEST(StageCacheKey, CumulativeSubsetsShareEarlyStages) {
+    // An attack-only change must leave the pin-search/synthesize/camo-cover
+    // keys intact (those stages' work is reusable) while changing the
+    // attack key -- the property the incremental cache relies on.
+    const Scenario a = base_scenario();
+    Scenario b = base_scenario();
+    b.params.oracle.max_iterations = 5;
+
+    for (const char* stage : {"pin-search", "synthesize", "camo-cover",
+                              "validate"}) {
+        EXPECT_EQ(stage_cache_key(a, stage), stage_cache_key(b, stage))
+            << stage;
+        EXPECT_FALSE(stage_cache_key(a, stage).empty()) << stage;
+    }
+    EXPECT_NE(stage_cache_key(a, "attack"), stage_cache_key(b, "attack"));
+
+    // A GA change invalidates every stage.
+    Scenario c = base_scenario();
+    c.params.ga.generations = 4;
+    for (const char* stage : {"pin-search", "synthesize", "camo-cover",
+                              "validate", "attack"}) {
+        EXPECT_NE(stage_cache_key(a, stage), stage_cache_key(c, stage))
+            << stage;
+    }
+
+    // The seed is spelled out in the key, not folded into the subset hash.
+    Scenario d = base_scenario();
+    d.params.seed = 8;
+    EXPECT_NE(stage_cache_key(a, "pin-search"),
+              stage_cache_key(d, "pin-search"));
+    EXPECT_NE(stage_cache_key(a, "pin-search").find(":s7:"),
+              std::string::npos);
+}
+
+TEST(StageCacheKey, TranscriptScenariosAndUnknownStagesAreUncacheable) {
+    Scenario record = base_scenario();
+    record.params.save_transcript = "t.json";
+    EXPECT_EQ(stage_cache_key(record, "pin-search"), "");
+
+    Scenario replay = base_scenario();
+    replay.params.replay_transcript = "t.json";
+    EXPECT_EQ(stage_cache_key(replay, "attack"), "");
+
+    EXPECT_EQ(stage_cache_key(base_scenario(), "custom-stage"), "");
+}
+
+TEST(SpecHash, AdversaryReportCarriesTheStamp) {
+    attack::AdversaryReport report;
+    report.adversary = "cegar";
+    report.spec_hash = spec_hash(base_scenario());
+    const report::Json j = report.to_json();
+    ASSERT_TRUE(j.contains("spec_hash"));
+    const attack::AdversaryReport parsed =
+        attack::AdversaryReport::from_json(report::Json::parse(j.dump()));
+    EXPECT_EQ(parsed.spec_hash, report.spec_hash);
+    EXPECT_TRUE(parsed == report);
+
+    // Unstamped reports (pre-serve producers) omit the key entirely.
+    attack::AdversaryReport bare;
+    bare.adversary = "cegar";
+    EXPECT_FALSE(bare.to_json().contains("spec_hash"));
+}
+
+}  // namespace
+}  // namespace mvf::flow

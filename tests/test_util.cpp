@@ -1,16 +1,23 @@
-// Tests for utility components (RNG, statistics, CSV).
+// Tests for utility components (RNG, statistics, CSV, thread pool).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mvf::util {
 namespace {
@@ -157,6 +164,61 @@ TEST(Stopwatch, MeasuresElapsedTime) {
     const double before = sw.elapsed_seconds();
     sw.reset();
     EXPECT_LE(sw.elapsed_seconds(), before + 1.0);
+}
+
+TEST(ThreadPool, ShardedSubmissionRunsEveryTask) {
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    for (std::size_t i = 0; i < 64; ++i) {
+        futures.push_back(pool.submit_sharded(i, [&ran] { ++ran; }));
+    }
+    for (std::future<void>& f : futures) f.get();
+    EXPECT_EQ(ran.load(), 64);
+    pool.wait_idle();
+}
+
+TEST(ThreadPool, ShardedAndSharedQueuesCoexist) {
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    for (std::size_t i = 0; i < 16; ++i) {
+        futures.push_back(pool.submit_sharded(i, [&ran] { ++ran; }));
+        futures.push_back(pool.submit([&ran] { ++ran; }));
+    }
+    for (std::future<void>& f : futures) f.get();
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, IdleWorkersStealFromALoadedShard) {
+    // Pile every task onto shard 0 of a multi-worker pool; the only way
+    // the other workers contribute (and steals() moves) is by stealing
+    // from shard 0's deque.  Tasks block until all workers participate
+    // would be flaky -- instead make them slow enough that one worker
+    // alone cannot drain the deque before an idle neighbour grabs some.
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i) {
+        futures.push_back(pool.submit_sharded(0, [&ran] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            ++ran;
+        }));
+    }
+    for (std::future<void>& f : futures) f.get();
+    EXPECT_EQ(ran.load(), 32);
+    EXPECT_GT(pool.steals(), 0u);
+}
+
+TEST(ThreadPool, ShardedTaskExceptionsPropagateThroughTheFuture) {
+    ThreadPool pool(2);
+    std::future<void> bad =
+        pool.submit_sharded(1, [] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The worker survives the throwing task.
+    std::atomic<bool> ran{false};
+    pool.submit_sharded(1, [&ran] { ran = true; }).get();
+    EXPECT_TRUE(ran.load());
 }
 
 }  // namespace

@@ -7,6 +7,12 @@
 //   mvf run    [scenario flags]           one scenario, human-readable summary
 //   mvf attack [scenario flags]           run + red-team with --adversaries
 //   mvf batch  --spec FILE --jobs N       N-way parallel scenario batch
+//   mvf serve  --listen ADDR              persistent experiment server
+//   mvf submit --connect ADDR --spec FILE submit a spec to a server
+//   mvf watch  --connect ADDR --job ID    stream a running job
+//   mvf status --connect ADDR             server job + cache status
+//   mvf cancel --connect ADDR --job ID    cancel a server job
+//   mvf shutdown --connect ADDR           stop a server
 //   mvf adversaries                       list the registered adversaries
 //   mvf check-report FILE                 validate a batch JSON report
 //   mvf check-trace FILE                  validate an NDJSON/Chrome trace
@@ -33,6 +39,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "report/json.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/socket.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -49,6 +58,12 @@ int usage() {
         "  attack       run one scenario and red-team it (default: every\n"
         "               registered adversary)\n"
         "  batch        run a scenario spec file, optionally in parallel\n"
+        "  serve        start the persistent experiment server\n"
+        "  submit       submit a spec file to a running server\n"
+        "  watch        attach to a running server job's progress stream\n"
+        "  status       show a server's jobs and stage-cache stats\n"
+        "  cancel       cancel a server job\n"
+        "  shutdown     stop a running server\n"
         "  adversaries  list the registered adversaries\n"
         "  check-report validate a batch JSON report\n"
         "  check-trace  validate a trace file written by --trace\n"
@@ -118,7 +133,27 @@ int usage() {
         "  --spec FILE        scenario spec (required); see README for the format\n"
         "  --jobs N           worker threads (default 1)\n"
         "  --json FILE        write the batch report to FILE\n"
-        "  --verbose          per-scenario progress on stderr\n");
+        "  --verbose          per-scenario progress on stderr\n"
+        "\n"
+        "serve options:\n"
+        "  --listen ADDR      unix:/path.sock or tcp:host:port (port 0 =\n"
+        "                     kernel-assigned; the bound address is printed)\n"
+        "  --jobs N           scheduler worker threads (default 2)\n"
+        "  --cache-mb N       in-memory stage-cache budget (default 256)\n"
+        "  --cache-dir DIR    spill stage snapshots to DIR (cache survives\n"
+        "                     restarts and memory eviction)\n"
+        "  --verbose          per-request logging on stderr\n"
+        "\n"
+        "client options (submit/watch/status/cancel/shutdown):\n"
+        "  --connect ADDR     server address (required)\n"
+        "  --spec FILE        scenario spec to submit (submit)\n"
+        "  --job ID           job id (watch/cancel; optional for status)\n"
+        "  --stream           stream NDJSON progress records (submit)\n"
+        "  --trace-out FILE   tee streamed records to FILE (implies --stream;\n"
+        "                     the file passes mvf check-trace)\n"
+        "  --no-wait          return after the ack, don't wait for results\n"
+        "  --timeout S        server-side job deadline in seconds\n"
+        "  --json FILE        write the results report to FILE\n");
     return 2;
 }
 
@@ -728,6 +763,299 @@ int cmd_check_report(int argc, char** argv) {
     }
 }
 
+// ------------------------------------------------------------- serve --
+
+int cmd_serve(int argc, char** argv) {
+    serve::ServerParams params;
+    std::string listen;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--listen") {
+            if (!next_value(argc, argv, &i, &value)) return 2;
+            listen = value;
+        } else if (arg == "--jobs") {
+            if (!next_value(argc, argv, &i, &value)) return 2;
+            if (!parse_int_flag(value, "--jobs", &params.workers)) return 2;
+            if (params.workers <= 0) {
+                std::fprintf(stderr, "mvf serve: --jobs must be > 0\n");
+                return 2;
+            }
+        } else if (arg == "--cache-mb") {
+            if (!next_value(argc, argv, &i, &value)) return 2;
+            int mb = 0;
+            if (!parse_int_flag(value, "--cache-mb", &mb)) return 2;
+            if (mb <= 0) {
+                std::fprintf(stderr, "mvf serve: --cache-mb must be > 0\n");
+                return 2;
+            }
+            params.cache.max_bytes = static_cast<std::size_t>(mb) << 20;
+        } else if (arg == "--cache-dir") {
+            if (!next_value(argc, argv, &i, &value)) return 2;
+            params.cache.spill_dir = value;
+        } else if (arg == "--verbose") {
+            params.verbose = true;
+        } else {
+            std::fprintf(stderr, "mvf serve: unknown option %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (listen.empty()) {
+        std::fprintf(stderr, "mvf serve: --listen ADDR is required\n");
+        return 2;
+    }
+    try {
+        params.listen = util::SocketAddr::parse(listen);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "mvf serve: %s\n", e.what());
+        return 2;
+    }
+    try {
+        serve::Server server(std::move(params));
+        server.bind();
+        // The resolved address (tcp port 0 in particular) on stdout, so
+        // scripts can capture where to connect.
+        std::printf("listening on %s\n", server.bound_addr().to_string().c_str());
+        std::fflush(stdout);
+        server.run();
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "mvf serve: %s\n", e.what());
+        return 1;
+    }
+}
+
+/// Shared client-side flag parse for submit/watch/status/cancel/shutdown.
+struct ClientFlags {
+    std::string connect;
+    std::string spec_path;
+    std::string job;
+    std::string json_path;
+    std::string trace_out;
+    double timeout_s = 0.0;
+    bool stream = false;
+    bool no_wait = false;
+};
+
+bool parse_client_flags(int argc, char** argv, const char* command,
+                        ClientFlags* flags) {
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--connect") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            flags->connect = value;
+        } else if (arg == "--spec") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            flags->spec_path = value;
+        } else if (arg == "--job") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            flags->job = value;
+        } else if (arg == "--json") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            flags->json_path = value;
+        } else if (arg == "--trace-out") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            flags->trace_out = value;
+            flags->stream = true;
+        } else if (arg == "--stream" || arg == "--watch") {
+            flags->stream = true;
+        } else if (arg == "--no-wait") {
+            flags->no_wait = true;
+        } else if (arg == "--timeout") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_double_flag(value, "--timeout", &flags->timeout_s)) {
+                return false;
+            }
+        } else {
+            std::fprintf(stderr, "mvf %s: unknown option %s\n", command,
+                         arg.c_str());
+            return false;
+        }
+    }
+    if (flags->connect.empty()) {
+        std::fprintf(stderr, "mvf %s: --connect ADDR is required\n", command);
+        return false;
+    }
+    return true;
+}
+
+std::optional<util::SocketAddr> parse_connect(const std::string& text,
+                                              const char* command) {
+    try {
+        return util::SocketAddr::parse(text);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "mvf %s: %s\n", command, e.what());
+        return std::nullopt;
+    }
+}
+
+/// One machine-parsable summary line for submit/watch, consumed by the
+/// serve-smoke CI job (grep for job=/records_hash=/cache_hits=).
+int print_client_result(const serve::ClientResult& result,
+                        const std::string& json_path) {
+    if (!result.ok) {
+        std::fprintf(stderr, "mvf: %s\n", result.error.c_str());
+        if (!result.job.empty()) std::printf("job=%s ok=0\n", result.job.c_str());
+        return 1;
+    }
+    std::string state;
+    std::string records_hash;
+    int cache_hits = 0;
+    double seconds = 0.0;
+    if (const report::Json* s = result.results.find("state");
+        s && s->is_string()) {
+        state = s->as_string();
+    }
+    if (const report::Json* h = result.results.find("records_hash");
+        h && h->is_string()) {
+        records_hash = h->as_string();
+    }
+    if (const report::Json* c = result.results.find("cache_hits");
+        c && c->is_number()) {
+        cache_hits = c->as_int();
+    }
+    if (const report::Json* s = result.results.find("seconds");
+        s && s->is_number()) {
+        seconds = s->as_number();
+    }
+    std::printf(
+        "job=%s ok=%d state=%s records_hash=%s cache_hits=%d seconds=%.3f "
+        "trace_lines=%d\n",
+        result.job.c_str(), state == "done" ? 1 : 0, state.c_str(),
+        records_hash.c_str(), cache_hits, seconds, result.trace_lines);
+    if (!json_path.empty()) {
+        if (const report::Json* rep = result.results.find("report")) {
+            const report::JsonWriter writer(json_path);
+            if (!writer.write(*rep)) {
+                std::fprintf(stderr, "mvf: cannot write %s\n",
+                             json_path.c_str());
+                return 1;
+            }
+            std::printf("report written to %s\n", json_path.c_str());
+        }
+    }
+    return state == "done" ? 0 : 1;
+}
+
+/// Opens --trace-out and returns an observer appending raw NDJSON lines.
+serve::TraceLineFn trace_tee(std::ofstream* out) {
+    if (!out || !out->is_open()) return {};
+    return [out](const std::string& line) { *out << line << '\n'; };
+}
+
+int cmd_submit(int argc, char** argv) {
+    ClientFlags flags;
+    if (!parse_client_flags(argc, argv, "submit", &flags)) return 2;
+    if (flags.spec_path.empty()) {
+        std::fprintf(stderr, "mvf submit: --spec FILE is required\n");
+        return 2;
+    }
+    std::ifstream in(flags.spec_path);
+    if (!in) {
+        std::fprintf(stderr, "mvf submit: cannot open %s\n",
+                     flags.spec_path.c_str());
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::optional<util::SocketAddr> addr =
+        parse_connect(flags.connect, "submit");
+    if (!addr) return 2;
+    std::ofstream trace_file;
+    if (!flags.trace_out.empty()) {
+        trace_file.open(flags.trace_out);
+        if (!trace_file) {
+            std::fprintf(stderr, "mvf submit: cannot open %s\n",
+                         flags.trace_out.c_str());
+            return 2;
+        }
+    }
+    const serve::Client client(*addr);
+    const serve::ClientResult result =
+        client.submit(text.str(), /*wait=*/!flags.no_wait, flags.stream,
+                      flags.timeout_s, trace_tee(&trace_file));
+    if (flags.no_wait) {
+        if (!result.ok) {
+            std::fprintf(stderr, "mvf submit: %s\n", result.error.c_str());
+            return 1;
+        }
+        std::printf("job=%s ok=1 state=queued\n", result.job.c_str());
+        return 0;
+    }
+    return print_client_result(result, flags.json_path);
+}
+
+int cmd_watch(int argc, char** argv) {
+    ClientFlags flags;
+    if (!parse_client_flags(argc, argv, "watch", &flags)) return 2;
+    if (flags.job.empty()) {
+        std::fprintf(stderr, "mvf watch: --job ID is required\n");
+        return 2;
+    }
+    const std::optional<util::SocketAddr> addr =
+        parse_connect(flags.connect, "watch");
+    if (!addr) return 2;
+    std::ofstream trace_file;
+    if (!flags.trace_out.empty()) {
+        trace_file.open(flags.trace_out);
+        if (!trace_file) {
+            std::fprintf(stderr, "mvf watch: cannot open %s\n",
+                         flags.trace_out.c_str());
+            return 2;
+        }
+    }
+    const serve::Client client(*addr);
+    const serve::ClientResult result =
+        client.watch(flags.job, trace_tee(&trace_file));
+    return print_client_result(result, flags.json_path);
+}
+
+/// status/cancel/shutdown: print the server's response as indented JSON.
+int print_response(const report::Json& response) {
+    const report::Json* ok = response.find("ok");
+    if (!ok || !ok->is_bool() || !ok->as_bool()) {
+        const report::Json* e = response.find("error");
+        std::fprintf(stderr, "mvf: %s\n",
+                     e && e->is_string() ? e->as_string().c_str()
+                                         : "request failed");
+        return 1;
+    }
+    std::printf("%s\n", response.dump(2).c_str());
+    return 0;
+}
+
+int cmd_status(int argc, char** argv) {
+    ClientFlags flags;
+    if (!parse_client_flags(argc, argv, "status", &flags)) return 2;
+    const std::optional<util::SocketAddr> addr =
+        parse_connect(flags.connect, "status");
+    if (!addr) return 2;
+    return print_response(serve::Client(*addr).status(flags.job));
+}
+
+int cmd_cancel(int argc, char** argv) {
+    ClientFlags flags;
+    if (!parse_client_flags(argc, argv, "cancel", &flags)) return 2;
+    if (flags.job.empty()) {
+        std::fprintf(stderr, "mvf cancel: --job ID is required\n");
+        return 2;
+    }
+    const std::optional<util::SocketAddr> addr =
+        parse_connect(flags.connect, "cancel");
+    if (!addr) return 2;
+    return print_response(serve::Client(*addr).cancel(flags.job));
+}
+
+int cmd_shutdown(int argc, char** argv) {
+    ClientFlags flags;
+    if (!parse_client_flags(argc, argv, "shutdown", &flags)) return 2;
+    const std::optional<util::SocketAddr> addr =
+        parse_connect(flags.connect, "shutdown");
+    if (!addr) return 2;
+    return print_response(serve::Client(*addr).shutdown());
+}
+
 int cmd_check_trace(int argc, char** argv) {
     if (argc < 3) {
         std::fprintf(stderr, "usage: mvf check-trace FILE\n");
@@ -760,6 +1088,12 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(argc, argv, /*force_attack=*/false);
     if (command == "attack") return cmd_run(argc, argv, /*force_attack=*/true);
     if (command == "batch") return cmd_batch(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "submit") return cmd_submit(argc, argv);
+    if (command == "watch") return cmd_watch(argc, argv);
+    if (command == "status") return cmd_status(argc, argv);
+    if (command == "cancel") return cmd_cancel(argc, argv);
+    if (command == "shutdown") return cmd_shutdown(argc, argv);
     if (command == "adversaries") return cmd_adversaries();
     if (command == "check-report") return cmd_check_report(argc, argv);
     if (command == "check-trace") return cmd_check_trace(argc, argv);
