@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "attack/oracle_attack.hpp"
 #include "attack/random_camo.hpp"
@@ -142,6 +143,87 @@ Row run_row(const CamoNetlist& nl, const std::string& name,
     return row;
 }
 
+/// Cube-and-conquer scaling on a dense random 3-CNF (no netlist structure
+/// to decompose away, so the cube workers do real branching work).  The
+/// counts must be bit-identical across thread counts -- the cube split is
+/// a partition-sum -- and in full mode the 4-thread run must clear the 2x
+/// acceptance bar (skipped under --quick: CI smoke runners may have 2
+/// cores).
+void parallel_count_section(const benchx::BenchArgs& args,
+                            benchx::BenchJson& bj) {
+    using count::Cnf;
+    using count::CounterConfig;
+    using count::ProjectedCounter;
+
+    const int vars = args.quick ? 36 : 56;
+    const int clauses = vars * 17 / 10;  // ratio ~1.7: dense but countable
+    util::Rng rng(args.seed * 401 + 9);
+    Cnf cnf;
+    cnf.num_vars = vars;
+    for (int c = 0; c < clauses; ++c) {
+        std::vector<sat::Lit> clause;
+        for (int k = 0; k < 3; ++k) {
+            clause.push_back(sat::mk_lit(rng.uniform_int(0, vars - 1),
+                                         rng.coin(0.5)));
+        }
+        cnf.clauses.push_back(std::move(clause));
+    }
+    for (sat::Var v = 0; v < vars; ++v) cnf.projection.push_back(v);
+
+    util::Stopwatch sw;
+    ProjectedCounter serial(cnf);
+    const ProjectedCounter::Result base = serial.count();
+    const double serial_s = sw.elapsed_seconds();
+    check(base.exact, "parallel section: serial reference count not exact");
+
+    std::printf(
+        "\ncube-and-conquer scaling (dense random 3-CNF, %d vars, %d "
+        "clauses, count %s):\n",
+        vars, clauses, base.count.to_string().c_str());
+    std::printf("  serial        %8.3fs\n", serial_s);
+
+    double speedup4 = 0.0;
+    for (const int threads : {2, 4}) {
+        CounterConfig cc;
+        cc.threads = threads;
+        sw.reset();
+        ProjectedCounter parallel(cnf, cc);
+        const ProjectedCounter::Result r = parallel.count();
+        const double par_s = sw.elapsed_seconds();
+        const double speedup = par_s > 0.0 ? serial_s / par_s : 0.0;
+        if (threads == 4) speedup4 = speedup;
+        check(r.exact == base.exact &&
+                  r.count.to_string() == base.count.to_string(),
+              "parallel count diverged at " + std::to_string(threads) +
+                  " threads: " + r.count.to_string() + " vs " +
+                  base.count.to_string());
+        std::printf("  %d threads     %8.3fs   %4.1fx\n", threads, par_s,
+                    speedup);
+        if (bj.enabled()) {
+            report::Json j = report::Json::object();
+            j.set("family", "cube3cnf");
+            j.set("threads", threads);
+            j.set("serial_seconds", serial_s);
+            j.set("parallel_seconds", par_s);
+            j.set("speedup", speedup);
+            j.set("count", r.count.to_string());
+            bj.add_row(std::move(j));
+        }
+    }
+    // The 2x acceptance bound only means something where 4 workers can
+    // actually run concurrently; on fewer cores the differential above
+    // still proves bit-identity, but the timing is just timesharing.
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (!args.quick && cores >= 4) {
+        check(speedup4 >= 2.0,
+              "cube-and-conquer speedup at 4 threads is " +
+                  std::to_string(speedup4) + "x (acceptance bound: 2x)");
+    } else if (!args.quick) {
+        std::printf("  (speedup bound skipped: %u core%s)\n", cores,
+                    cores == 1 ? "" : "s");
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,8 +317,8 @@ int main(int argc, char** argv) {
         }
     }
 
-    if (!args.json_path.empty()) {
-        benchx::BenchJson bj("count", args);
+    benchx::BenchJson bj("count", args);
+    if (bj.enabled()) {
         for (const Row& r : rows) {
             report::Json j = report::Json::object();
             j.set("family", r.name);
@@ -252,9 +334,12 @@ int main(int argc, char** argv) {
             j.set("enum_seconds", r.enum_seconds);
             bj.add_row(std::move(j));
         }
-        bj.set("failures", failures);
-        bj.write();
     }
+
+    parallel_count_section(args, bj);
+
+    bj.set("failures", failures);
+    bj.write();
 
     std::printf(
         "\nnote: 'capped' rows are the legacy lower bound (cap 2^%d); the\n"

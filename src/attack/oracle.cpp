@@ -81,22 +81,28 @@ std::vector<std::uint64_t> SimOracle::query_block(
 
 std::vector<bool> CountingOracle::query(const std::vector<bool>& inputs) {
     std::vector<bool> out = inner_->query(inputs);
-    ++scalar_queries_;
-    ++patterns_;
+    scalar_queries_.fetch_add(1, std::memory_order_relaxed);
+    patterns_.fetch_add(1, std::memory_order_relaxed);
     return out;
 }
 
 std::vector<std::uint64_t> CountingOracle::query_block(
     const std::vector<std::uint64_t>& inputs, int count) {
     std::vector<std::uint64_t> out = inner_->query_block(inputs, count);
-    ++block_queries_;
-    patterns_ += static_cast<std::uint64_t>(count);
+    block_queries_.fetch_add(1, std::memory_order_relaxed);
+    patterns_.fetch_add(static_cast<std::uint64_t>(count),
+                        std::memory_order_relaxed);
     return out;
 }
 
 // --------------------------------------------------------- CachingOracle --
 
 std::vector<bool> CachingOracle::query(const std::vector<bool>& inputs) {
+    // The lock covers the forwarding call, not just the map: a miss must
+    // query-and-insert atomically so two threads asking the same fresh
+    // pattern don't both reach the chip (and so the non-thread-safe
+    // oracles below the cache are only ever entered by one thread).
+    std::lock_guard lock(mutex_);
     const auto it = cache_.find(inputs);
     if (it != cache_.end()) {
         ++hits_;
@@ -110,6 +116,7 @@ std::vector<bool> CachingOracle::query(const std::vector<bool>& inputs) {
 std::vector<std::uint64_t> CachingOracle::query_block(
     const std::vector<std::uint64_t>& inputs, int count) {
     assert(count >= 1 && count <= kQueryBlockWidth);
+    std::lock_guard lock(mutex_);
     std::vector<std::vector<bool>> patterns;
     patterns.reserve(static_cast<std::size_t>(count));
     for (int k = 0; k < count; ++k) {
@@ -145,6 +152,7 @@ std::vector<std::uint64_t> CachingOracle::query_block(
 // -------------------------------------------------------- BudgetedOracle --
 
 std::vector<bool> BudgetedOracle::query(const std::vector<bool>& inputs) {
+    std::lock_guard lock(mutex_);
     if (remaining_ == 0) {
         tripped_ = true;
         throw OracleBudgetExceeded(budget_);
@@ -156,6 +164,7 @@ std::vector<bool> BudgetedOracle::query(const std::vector<bool>& inputs) {
 
 std::vector<std::uint64_t> BudgetedOracle::query_block(
     const std::vector<std::uint64_t>& inputs, int count) {
+    std::lock_guard lock(mutex_);
     if (static_cast<std::uint64_t>(count) > remaining_) {
         tripped_ = true;
         throw OracleBudgetExceeded(budget_);
@@ -177,6 +186,7 @@ NoisyOracle::NoisyOracle(Oracle& inner, double flip_rate, std::uint64_t seed)
 }
 
 std::vector<bool> NoisyOracle::query(const std::vector<bool>& inputs) {
+    std::lock_guard lock(mutex_);
     std::vector<bool> out = inner_->query(inputs);
     for (std::size_t q = 0; q < out.size(); ++q) {
         if (rng_.coin(flip_rate_)) {
@@ -189,6 +199,7 @@ std::vector<bool> NoisyOracle::query(const std::vector<bool>& inputs) {
 
 std::vector<std::uint64_t> NoisyOracle::query_block(
     const std::vector<std::uint64_t>& inputs, int count) {
+    std::lock_guard lock(mutex_);
     std::vector<std::uint64_t> out = inner_->query_block(inputs, count);
     for (std::uint64_t& word : out) {
         std::uint64_t mask = 0;

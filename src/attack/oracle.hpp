@@ -33,9 +33,11 @@
 // compose: a noisy, budgeted, cached chip whose transcript is recorded is
 // just four wrappers deep.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -169,7 +171,8 @@ struct OracleStats {
 
 /// Counts queries, blocks and patterns that were actually ANSWERED (a
 /// budget trip below propagates before the counters move, so accounting
-/// stays exact).
+/// stays exact).  The counters are atomics, so a portfolio of attack
+/// threads sharing one stack accounts correctly without a lock.
 class CountingOracle final : public OracleDecorator {
 public:
     using OracleDecorator::OracleDecorator;
@@ -178,19 +181,25 @@ public:
     std::vector<std::uint64_t> query_block(
         const std::vector<std::uint64_t>& inputs, int count) override;
 
-    std::uint64_t scalar_queries() const { return scalar_queries_; }
-    std::uint64_t block_queries() const { return block_queries_; }
-    std::uint64_t patterns() const { return patterns_; }
+    std::uint64_t scalar_queries() const { return scalar_queries_.load(); }
+    std::uint64_t block_queries() const { return block_queries_.load(); }
+    std::uint64_t patterns() const { return patterns_.load(); }
 
 private:
-    std::uint64_t scalar_queries_ = 0;
-    std::uint64_t block_queries_ = 0;
-    std::uint64_t patterns_ = 0;
+    std::atomic<std::uint64_t> scalar_queries_ = 0;
+    std::atomic<std::uint64_t> block_queries_ = 0;
+    std::atomic<std::uint64_t> patterns_ = 0;
 };
 
 /// Answers repeated patterns from a cache instead of re-querying the chip
 /// (duplicates inside one block are deduplicated too, and the surviving
 /// misses are forwarded as ONE smaller block so batching is preserved).
+///
+/// Thread-safe: one mutex guards the cache map AND is held across the
+/// forwarding call, so concurrent users (a portfolio sharing one stack)
+/// serialize through the cache -- which also makes everything BELOW it in
+/// the stack (budget, noise, the SimOracle itself) safe to share, since
+/// only one thread is ever inside the wrapped oracle at a time.
 class CachingOracle final : public OracleDecorator {
 public:
     using OracleDecorator::OracleDecorator;
@@ -199,9 +208,13 @@ public:
     std::vector<std::uint64_t> query_block(
         const std::vector<std::uint64_t>& inputs, int count) override;
 
-    std::uint64_t hits() const { return hits_; }
+    std::uint64_t hits() const {
+        std::lock_guard lock(mutex_);
+        return hits_;
+    }
 
 private:
+    mutable std::mutex mutex_;
     std::map<std::vector<bool>, std::vector<bool>> cache_;
     std::uint64_t hits_ = 0;
 };
@@ -210,6 +223,9 @@ private:
 /// queries count 1, blocks count their pattern count), any further request
 /// -- including a block larger than what remains -- throws
 /// OracleBudgetExceeded without consuming anything.
+///
+/// Thread-safe: the check-forward-consume sequence runs under one mutex,
+/// so concurrent callers cannot jointly overdraw the budget.
 class BudgetedOracle final : public OracleDecorator {
 public:
     BudgetedOracle(Oracle& inner, std::uint64_t budget)
@@ -220,10 +236,17 @@ public:
         const std::vector<std::uint64_t>& inputs, int count) override;
 
     std::uint64_t budget() const { return budget_; }
-    std::uint64_t remaining() const { return remaining_; }
-    bool exhausted() const { return tripped_; }
+    std::uint64_t remaining() const {
+        std::lock_guard lock(mutex_);
+        return remaining_;
+    }
+    bool exhausted() const {
+        std::lock_guard lock(mutex_);
+        return tripped_;
+    }
 
 private:
+    mutable std::mutex mutex_;
     std::uint64_t budget_;
     std::uint64_t remaining_;
     bool tripped_ = false;
@@ -232,6 +255,10 @@ private:
 /// Measurement error: every answered output bit flips independently with
 /// probability `flip_rate` (seeded, so a given stack replays
 /// deterministically).
+///
+/// Thread-safe: the RNG draw and the forwarding call share one mutex
+/// (concurrent callers see a valid but scheduling-dependent flip
+/// sequence; single-threaded use stays bit-reproducible).
 class NoisyOracle final : public OracleDecorator {
 public:
     /// flip_rate must be in [0, 1); throws std::invalid_argument otherwise.
@@ -241,9 +268,13 @@ public:
     std::vector<std::uint64_t> query_block(
         const std::vector<std::uint64_t>& inputs, int count) override;
 
-    std::uint64_t flipped_bits() const { return flipped_; }
+    std::uint64_t flipped_bits() const {
+        std::lock_guard lock(mutex_);
+        return flipped_;
+    }
 
 private:
+    mutable std::mutex mutex_;
     double flip_rate_;
     util::Rng rng_;
     std::uint64_t flipped_ = 0;
@@ -275,6 +306,11 @@ struct OracleTranscript {
 /// and answered from it, and scripted_pattern() walks the recorded
 /// patterns so a replay-aware attack re-issues the exact sequence through
 /// the same API it uses live.
+///
+/// Deliberately NOT thread-safe: a transcript is one ordered query
+/// sequence, so each recorder/replayer belongs to exactly one attack
+/// thread (the portfolio gives every member its own recorder above one
+/// shared, locking CachingOracle).
 class TranscriptOracle final : public Oracle {
 public:
     /// Record mode: wraps `inner` and records what it answers.

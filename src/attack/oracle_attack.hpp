@@ -31,6 +31,10 @@
 #include "sat/simplify.hpp"
 #include "sat/solver.hpp"
 
+namespace mvf::util {
+class ThreadPool;
+}  // namespace mvf::util
+
 namespace mvf::attack {
 
 /// How the surviving-configuration count is computed once CEGAR converges.
@@ -123,6 +127,32 @@ struct OracleAttackParams {
     /// --metrics) is; off by default because the per-query timing calls,
     /// while cheap, are measurable on microsecond-scale oracles.
     bool collect_metrics = false;
+    /// The one parallelism knob: worker threads for the attack.  Feeds
+    /// both engines -- cube-and-conquer workers for the exact survivor
+    /// count (count::CounterConfig::threads) and, unless `portfolio`
+    /// overrides it, the portfolio CEGAR member count.  1 = fully serial
+    /// (the default; bit-identical to every earlier release).
+    int attack_threads = 1;
+    /// Portfolio CEGAR members racing on the netlist (0 = follow
+    /// attack_threads, 1 = force the single serial CEGAR loop, N > 1 = N
+    /// members).  Members share oracle answers through one caching layer
+    /// and short learned clauses through sat::ClauseExchange; the first
+    /// member to prove UNSAT cancels the rest and its transcript replays
+    /// bit-identically through TranscriptOracle.  Survivor counts are
+    /// invariant across member schedules (any convergent constraint set
+    /// pins the same function).  Ignored when the oracle is a replaying
+    /// transcript: replay always takes the serial path.
+    int portfolio = 0;
+    /// Selector-cube width for the parallel exact counter
+    /// (count::CounterConfig::cube_vars); 0 = auto from attack_threads.
+    int cube_vars = 0;
+    /// Worker pool for portfolio members and cube workers.  nullptr (the
+    /// default) spins up private pools; the batch runner passes its own
+    /// pool so `mvf batch --jobs N` with attack_threads > 1 cannot
+    /// oversubscribe or deadlock (workers submitting subtasks to the same
+    /// pool helping-wait via ThreadPool::run_one).  Runtime plumbing only:
+    /// excluded from spec hashing.
+    util::ThreadPool* pool = nullptr;
 };
 
 struct OracleAttackResult {
@@ -177,6 +207,13 @@ struct OracleAttackResult {
     /// Cells encoded once instead of per-family across all shared stamps
     /// (0 when shared_miter is off or nothing was shareable).
     std::uint64_t shared_cells = 0;
+    /// Portfolio: index of the member whose UNSAT proof won the race, or
+    /// -1 (serial attack, or no member converged).  When >= 0,
+    /// winner_transcript holds that member's complete query transcript --
+    /// recorded unconditionally, because the oracle stack's own recorder
+    /// sees the members' queries interleaved and is NOT replayable.
+    int winner = -1;
+    OracleTranscript winner_transcript;
     double seconds = 0.0;
 
     bool solved() const {

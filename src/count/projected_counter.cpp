@@ -2,14 +2,90 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <future>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mvf::count {
 
 using sat::Lit;
 using sat::Var;
+
+// -------------------------------------------------- SharedComponentCache --
+
+SharedComponentCache::SharedComponentCache(std::size_t budget_bytes,
+                                           int shards)
+    : shards_(static_cast<std::size_t>(std::max(1, shards))) {
+    shard_budget_ = std::max<std::size_t>(budget_bytes / shards_.size(), 4096);
+}
+
+SharedComponentCache::Shard& SharedComponentCache::shard_for(
+    const std::vector<std::uint32_t>& key) const {
+    // Decorrelate from the in-shard bucket hash by mixing the high bits.
+    const std::uint64_t h = KeyHash{}(key);
+    return shards_[static_cast<std::size_t>((h >> 17) % shards_.size())];
+}
+
+bool SharedComponentCache::lookup(const std::vector<std::uint32_t>& key,
+                                  Count128* out) const {
+    Shard& s = shard_for(key);
+    std::lock_guard lock(s.mutex);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    *out = it->second;
+    return true;
+}
+
+bool SharedComponentCache::store(std::vector<std::uint32_t> key,
+                                 const Count128& value,
+                                 std::uint64_t* evicted) {
+    const std::size_t bytes = key.size() * sizeof(std::uint32_t) + 64;
+    if (bytes > shard_budget_ / 4) return false;  // would only thrash
+    Shard& s = shard_for(key);
+    std::lock_guard lock(s.mutex);
+    const auto [it, inserted] = s.map.emplace(std::move(key), value);
+    (void)it;
+    if (!inserted) return false;  // another worker proved it first
+    s.bytes += bytes;
+    s.peak_bytes = std::max(s.peak_bytes, s.bytes);
+    if (s.bytes <= shard_budget_) return true;
+    // Same evict-every-other overflow sweep as the serial cache, per shard.
+    bool victim = false;
+    for (auto i = s.map.begin(); i != s.map.end();) {
+        if (victim) {
+            s.bytes -= i->first.size() * sizeof(std::uint32_t) + 64;
+            i = s.map.erase(i);
+            ++*evicted;
+        } else {
+            ++i;
+        }
+        victim = !victim;
+    }
+    return true;
+}
+
+std::size_t SharedComponentCache::entries() const {
+    std::size_t total = 0;
+    for (Shard& s : shards_) {
+        std::lock_guard lock(s.mutex);
+        total += s.map.size();
+    }
+    return total;
+}
+
+std::size_t SharedComponentCache::peak_bytes() const {
+    std::size_t total = 0;
+    for (Shard& s : shards_) {
+        std::lock_guard lock(s.mutex);
+        total += s.peak_bytes;
+    }
+    return total;
+}
+
+// ------------------------------------------------------- ProjectedCounter --
 
 ProjectedCounter::ProjectedCounter(Cnf cnf, CounterConfig config)
     : config_(config), num_vars_(cnf.num_vars) {
@@ -49,6 +125,51 @@ ProjectedCounter::ProjectedCounter(Cnf cnf, CounterConfig config)
         }
         db_.push_back(std::move(c));
     }
+}
+
+ProjectedCounter::ProjectedCounter(const ProjectedCounter& parent,
+                                   int worker_tag)
+    : config_(parent.config_),
+      num_vars_(parent.num_vars_),
+      db_(parent.db_),
+      projection_(parent.projection_),
+      is_proj_(parent.is_proj_),
+      root_conflict_(parent.root_conflict_) {
+    (void)worker_tag;
+    // Workers are plain serial counters: the driver wires up the shared
+    // cache/budget/abort pointers after construction.
+    config_.threads = 1;
+    config_.cube_vars = 0;
+    config_.pool = nullptr;
+    val_.assign(static_cast<std::size_t>(num_vars_), -1);
+    stamp_.assign(static_cast<std::size_t>(num_vars_), 0);
+    slot_of_.assign(static_cast<std::size_t>(num_vars_), -1);
+}
+
+bool ProjectedCounter::decision_over_budget() {
+    ++stats_.decisions;
+    if (shared_abort_ && shared_abort_->load(std::memory_order_relaxed)) {
+        aborted_ = true;
+        return true;
+    }
+    bool over;
+    if (shared_decisions_) {
+        // The budget is global across cubes: the valve fires at the same
+        // TOTAL work as a serial run would spend.
+        over = shared_decisions_->fetch_add(1, std::memory_order_relaxed) +
+                   1 >
+               config_.max_decisions;
+    } else {
+        over = config_.max_decisions > 0 &&
+               stats_.decisions > config_.max_decisions;
+    }
+    if (over) {
+        aborted_ = true;
+        if (shared_abort_) {
+            shared_abort_->store(true, std::memory_order_relaxed);
+        }
+    }
+    return over;
 }
 
 void ProjectedCounter::assign(Lit l) {
@@ -148,6 +269,14 @@ std::vector<std::uint32_t> ProjectedCounter::encode(const Component& comp) {
 
 void ProjectedCounter::cache_store(std::vector<std::uint32_t> key,
                                    const Count128& value) {
+    if (shared_cache_) {
+        std::uint64_t evicted = 0;
+        if (shared_cache_->store(std::move(key), value, &evicted)) {
+            ++stats_.cache_stores;
+        }
+        stats_.cache_evictions += evicted;
+        return;
+    }
     const std::size_t bytes = key.size() * sizeof(std::uint32_t) + 64;
     if (bytes > config_.cache_bytes / 4) return;  // would only thrash
     cache_bytes_ += bytes;
@@ -193,14 +322,10 @@ bool ProjectedCounter::exists(const std::vector<int>& cls) {
         }
     }
     if (branch < 0) return true;  // every clause satisfied
-    ++stats_.decisions;
-    if (config_.max_decisions > 0 && stats_.decisions > config_.max_decisions) {
-        // The budget applies to existence branching too: a projection-free
-        // component can still hide an exponential DPLL.  The unwound
-        // result is garbage, so aborted_ gates every consumer.
-        aborted_ = true;
-        return false;
-    }
+    // The budget applies to existence branching too: a projection-free
+    // component can still hide an exponential DPLL.  The unwound result is
+    // garbage, so aborted_ gates every consumer.
+    if (decision_over_budget()) return false;
     for (int attempt = 0; attempt < 2; ++attempt) {
         const std::size_t mark = trail_.size();
         assign(attempt == 0 ? branch : sat::lit_not(branch));
@@ -324,7 +449,13 @@ Count128 ProjectedCounter::count_children(const Component& parent) {
 Count128 ProjectedCounter::count_component(Component&& comp) {
     if (aborted_) return Count128::zero();
     std::vector<std::uint32_t> key = encode(comp);
-    if (const auto it = cache_.find(key); it != cache_.end()) {
+    if (shared_cache_) {
+        Count128 hit;
+        if (shared_cache_->lookup(key, &hit)) {
+            ++stats_.cache_hits;
+            return hit;
+        }
+    } else if (const auto it = cache_.find(key); it != cache_.end()) {
         ++stats_.cache_hits;
         return it->second;
     }
@@ -376,12 +507,7 @@ Count128 ProjectedCounter::count_component(Component&& comp) {
 
     Count128 total;
     for (int b = 0; b < 2; ++b) {
-        ++stats_.decisions;
-        if (config_.max_decisions > 0 &&
-            stats_.decisions > config_.max_decisions) {
-            aborted_ = true;
-            return Count128::zero();
-        }
+        if (decision_over_budget()) return Count128::zero();
         const std::size_t mark = trail_.size();
         assign(sat::mk_lit(branch, /*negated=*/b == 0));
         if (bcp(comp.cls)) {
@@ -394,30 +520,217 @@ Count128 ProjectedCounter::count_component(Component&& comp) {
     return total;
 }
 
+Count128 ProjectedCounter::count_cube(const std::vector<Lit>& cube) {
+    Component root;
+    root.vars = projection_;
+    root.cls.resize(db_.size());
+    for (std::size_t i = 0; i < db_.size(); ++i) {
+        root.cls[i] = static_cast<int>(i);
+    }
+    Count128 total;
+    bool consistent = true;
+    for (const Lit l : cube) {
+        const int v = lit_value(l);
+        if (v == 0) {
+            consistent = false;
+            break;
+        }
+        if (v == -1) assign(l);
+    }
+    if (consistent && bcp(root.cls)) {
+        total = count_children(root);
+    }
+    undo_to(0);
+    return total;
+}
+
+std::vector<Var> ProjectedCounter::pick_cube_vars(
+    const std::vector<int>& root_cls, int k) {
+    // The same clause-length-weighted activity count_component branches
+    // on, computed once over the whole root residual: the k winners are
+    // the variables serial search would split on early, so the cubes cut
+    // where propagation bites instead of along dead selectors.
+    std::vector<std::uint64_t> score(static_cast<std::size_t>(num_vars_), 0);
+    for (const int ci : root_cls) {
+        const std::vector<Lit>& c = db_[static_cast<std::size_t>(ci)];
+        bool satisfied = false;
+        int len = 0;
+        for (const Lit l : c) {
+            const int v = lit_value(l);
+            if (v == 1) {
+                satisfied = true;
+                break;
+            }
+            if (v == -1) ++len;
+        }
+        if (satisfied || len == 0) continue;
+        const std::uint64_t w = 1ull << (len < 16 ? 32 - 2 * len : 0);
+        for (const Lit l : c) {
+            if (lit_value(l) != -1) continue;
+            const Var v = sat::lit_var(l);
+            if (is_proj_[static_cast<std::size_t>(v)]) {
+                score[static_cast<std::size_t>(v)] += w;
+            }
+        }
+    }
+    // Only constrained variables qualify (score > 0): splitting on a free
+    // projection variable would just mirror every cube.
+    std::vector<Var> picked;
+    for (Var v = 0; v < num_vars_; ++v) {
+        if (score[static_cast<std::size_t>(v)] > 0) picked.push_back(v);
+    }
+    std::sort(picked.begin(), picked.end(), [&score](Var a, Var b) {
+        const std::uint64_t sa = score[static_cast<std::size_t>(a)];
+        const std::uint64_t sb = score[static_cast<std::size_t>(b)];
+        if (sa != sb) return sa > sb;
+        return a < b;
+    });
+    if (static_cast<int>(picked.size()) > k) {
+        picked.resize(static_cast<std::size_t>(k));
+    }
+    std::sort(picked.begin(), picked.end());  // deterministic cube bit order
+    return picked;
+}
+
+void ProjectedCounter::count_cubes(Result* result) {
+    Component root;
+    root.vars = projection_;
+    root.cls.resize(db_.size());
+    for (std::size_t i = 0; i < db_.size(); ++i) {
+        root.cls[i] = static_cast<int>(i);
+    }
+    if (!bcp(root.cls)) {
+        undo_to(0);
+        return;  // UNSAT at the root: count stays zero, exact
+    }
+    int k = config_.cube_vars;
+    if (k <= 0) {
+        // Auto width: at least 4 cubes per worker so one hard cube cannot
+        // serialize the rest of the pool behind it.
+        const int workers = std::max(1, config_.threads);
+        k = 0;
+        while ((1 << k) < 4 * workers && k < 10) ++k;
+    }
+    k = std::min(k, 16);
+    const std::vector<Var> cube_vars = pick_cube_vars(root.cls, k);
+    undo_to(0);
+    const int kk = static_cast<int>(cube_vars.size());
+    const std::size_t n_cubes = std::size_t{1} << kk;
+    const int workers = std::max(
+        1, std::min(config_.threads, static_cast<int>(n_cubes)));
+
+    SharedComponentCache shared_cache(config_.cache_bytes,
+                                      std::max(16, workers * 4));
+    std::atomic<std::uint64_t> shared_decisions{0};
+    std::atomic<bool> shared_abort{false};
+    std::atomic<std::size_t> next_cube{0};
+    std::vector<Count128> cube_counts(n_cubes);
+    struct WorkerOut {
+        CounterStats stats;
+        bool aborted = false;
+    };
+    std::vector<WorkerOut> outs(static_cast<std::size_t>(workers));
+
+    const auto run_worker = [&](int w) {
+        ProjectedCounter child(*this, w);
+        child.shared_cache_ = &shared_cache;
+        child.shared_abort_ = &shared_abort;
+        if (config_.max_decisions > 0) {
+            child.shared_decisions_ = &shared_decisions;
+        }
+        std::vector<Lit> cube(static_cast<std::size_t>(kk));
+        while (true) {
+            const std::size_t i =
+                next_cube.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n_cubes) break;
+            for (int b = 0; b < kk; ++b) {
+                cube[static_cast<std::size_t>(b)] = sat::mk_lit(
+                    cube_vars[static_cast<std::size_t>(b)],
+                    /*negated=*/((i >> b) & 1) == 0);
+            }
+            // Each slot is written by exactly one worker; no lock needed.
+            cube_counts[i] = child.count_cube(cube);
+            if (child.aborted_) break;
+        }
+        outs[static_cast<std::size_t>(w)] = {child.stats_, child.aborted_};
+    };
+
+    // The calling thread is always a member, and waiting on the submitted
+    // futures HELPS (ThreadPool::run_one) instead of blocking -- so
+    // sharing a pool whose workers are themselves inside count() cannot
+    // starve (the nested-submission deadlock regression).
+    std::unique_ptr<util::ThreadPool> local_pool;
+    util::ThreadPool* pool = config_.pool;
+    if (workers > 1 && pool == nullptr) {
+        local_pool = std::make_unique<util::ThreadPool>(workers - 1);
+        pool = local_pool.get();
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(static_cast<std::size_t>(workers - 1));
+    for (int w = 1; w < workers; ++w) {
+        futures.push_back(pool->submit([&run_worker, w] { run_worker(w); }));
+    }
+    run_worker(0);
+    for (std::future<void>& f : futures) {
+        while (f.wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready) {
+            if (!pool->run_one()) {
+                f.wait_for(std::chrono::milliseconds(1));
+            }
+        }
+        f.get();
+    }
+
+    // Deterministic merge: cube order is the fixed binary enumeration, and
+    // Count128::add saturates stickily, so a saturated cube plus an UNSAT
+    // cube renders exactly like the serial count's ">=" lower bound.
+    Count128 total;
+    for (const Count128& c : cube_counts) total.add(c);
+    result->count = total;
+    for (const WorkerOut& out : outs) {
+        stats_.decisions += out.stats.decisions;
+        stats_.propagations += out.stats.propagations;
+        stats_.components += out.stats.components;
+        stats_.cache_hits += out.stats.cache_hits;
+        stats_.cache_stores += out.stats.cache_stores;
+        stats_.cache_evictions += out.stats.cache_evictions;
+        stats_.sat_checks += out.stats.sat_checks;
+        aborted_ = aborted_ || out.aborted;
+    }
+    stats_.cache_entries = shared_cache.entries();
+    stats_.cache_peak_bytes = shared_cache.peak_bytes();
+}
+
 ProjectedCounter::Result ProjectedCounter::count() {
     Result result;
     report::Json span_args;
+    const bool cube_mode = config_.threads > 1 || config_.cube_vars > 0;
     if (obs::tracing()) {
         span_args = report::Json::object();
         span_args.set("projection",
                       static_cast<std::uint64_t>(projection_.size()));
         span_args.set("clauses", static_cast<std::uint64_t>(db_.size()));
+        span_args.set("threads", cube_mode ? std::max(1, config_.threads) : 1);
     }
     obs::Span span("projected-count", "count", std::move(span_args));
     if (!root_conflict_) {
-        Component root;
-        root.vars = projection_;
-        root.cls.resize(db_.size());
-        for (std::size_t i = 0; i < db_.size(); ++i) {
-            root.cls[i] = static_cast<int>(i);
+        if (cube_mode) {
+            count_cubes(&result);
+        } else {
+            Component root;
+            root.vars = projection_;
+            root.cls.resize(db_.size());
+            for (std::size_t i = 0; i < db_.size(); ++i) {
+                root.cls[i] = static_cast<int>(i);
+            }
+            if (bcp(root.cls)) {
+                result.count = count_children(root);
+            }
+            undo_to(0);
+            stats_.cache_entries = cache_.size();
         }
-        if (bcp(root.cls)) {
-            result.count = count_children(root);
-        }
-        undo_to(0);
     }
     result.exact = !aborted_ && !result.count.saturated();
-    stats_.cache_entries = cache_.size();
     result.stats = stats_;
     if (span) {
         report::Json ea = report::Json::object();

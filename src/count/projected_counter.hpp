@@ -27,12 +27,19 @@
 // 1 or 0 via a plain DPLL existence check.  Counts are Count128 and
 // saturate (flagged, never wrapped) beyond 2^128 - 1.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "count/cnf.hpp"
 #include "count/count128.hpp"
+
+namespace mvf::util {
+class ThreadPool;
+}  // namespace mvf::util
 
 namespace mvf::count {
 
@@ -42,8 +49,29 @@ struct CounterConfig {
     /// result stays exact, only the reuse rate degrades.
     std::size_t cache_bytes = 64ull << 20;
     /// Safety valve on branch decisions; 0 = unlimited.  When exceeded the
-    /// search aborts and Result::exact is false.
+    /// search aborts and Result::exact is false.  In cube mode the budget
+    /// is GLOBAL across all cubes (a shared atomic), so the valve fires at
+    /// the same total work as serially -- though not at the same point in
+    /// the search, so budget-aborted runs are only comparable via
+    /// exact=false, never via the partial count.
     std::uint64_t max_decisions = 0;
+    /// Worker threads for cube-and-conquer counting (<= 1 = serial).
+    int threads = 1;
+    /// Selector-cube width k: the top-level projection is split into 2^k
+    /// cubes over the k most-active projection variables, counted
+    /// independently and summed.  0 = pick automatically from `threads`
+    /// (the smallest k giving >= 4 cubes per worker).  Cube mode engages
+    /// when threads > 1 or cube_vars > 0, and is bit-identical to the
+    /// serial count: exact projected counts are partition-sums, so any
+    /// cube split of the assignment space yields the same total, and
+    /// Count128 saturation pins to the same 2^128-1 either way.
+    int cube_vars = 0;
+    /// Pool to run cube workers on; nullptr = a private pool of
+    /// `threads - 1` workers.  Sharing the caller's pool is safe even when
+    /// the caller IS a pool worker: the counter drains cubes on the
+    /// calling thread too and help-waits (ThreadPool::run_one) on its
+    /// futures, so it cannot starve with zero free workers.
+    util::ThreadPool* pool = nullptr;
 };
 
 struct CounterStats {
@@ -60,6 +88,51 @@ struct CounterStats {
     bool operator==(const CounterStats&) const = default;
 };
 
+/// Mutex-sharded component cache shared by the cube workers of one
+/// parallel count: the cube subproblems decompose into the same renamed
+/// components, so a component proved by one worker is a hit for every
+/// other.  Each shard has its own lock, map and byte budget (total /
+/// shards) with the same evict-every-other overflow sweep as the serial
+/// cache.  Correctness never depends on cache contents -- a racy
+/// lookup/store interleaving costs at most a recount.
+class SharedComponentCache {
+public:
+    SharedComponentCache(std::size_t budget_bytes, int shards);
+
+    /// True and *out filled on a hit.
+    bool lookup(const std::vector<std::uint32_t>& key, Count128* out) const;
+    /// Inserts (first writer wins); *evicted gets the entries dropped by
+    /// an overflow sweep.  Returns false when the entry was skipped (too
+    /// big for its shard) or already present.
+    bool store(std::vector<std::uint32_t> key, const Count128& value,
+               std::uint64_t* evicted);
+
+    std::size_t entries() const;
+    std::size_t peak_bytes() const;
+
+private:
+    struct KeyHash {
+        std::size_t operator()(const std::vector<std::uint32_t>& key) const {
+            std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+            for (const std::uint32_t word : key) {
+                h ^= word;
+                h *= 1099511628211ull;
+            }
+            return static_cast<std::size_t>(h);
+        }
+    };
+    struct Shard {
+        mutable std::mutex mutex;
+        std::unordered_map<std::vector<std::uint32_t>, Count128, KeyHash> map;
+        std::size_t bytes = 0;
+        std::size_t peak_bytes = 0;
+    };
+    Shard& shard_for(const std::vector<std::uint32_t>& key) const;
+
+    std::size_t shard_budget_;
+    mutable std::vector<Shard> shards_;
+};
+
 class ProjectedCounter {
 public:
     explicit ProjectedCounter(Cnf cnf, CounterConfig config = {});
@@ -74,11 +147,14 @@ public:
     };
 
     /// Runs the count.  Deterministic: identical Cnf inputs give identical
-    /// counts regardless of the cache budget (which only affects cache_*
-    /// figures and runtime).
+    /// counts regardless of the cache budget, thread count or cube width
+    /// (which only affect cache_*/decision figures and runtime).
     Result count();
 
 private:
+    /// Cube-worker clone: shares the parent's immutable database and
+    /// projection, with fresh assignment/cache state.
+    ProjectedCounter(const ProjectedCounter& parent, int worker_tag);
     /// One decomposition unit: the unassigned variables (sorted) and the
     /// unsatisfied clause indices (sorted) of a variable-connected region.
     struct Component {
@@ -112,6 +188,19 @@ private:
     bool exists(const std::vector<int>& cls);
     std::vector<std::uint32_t> encode(const Component& comp);
     void cache_store(std::vector<std::uint32_t> key, const Count128& value);
+    /// One branch decision booked against the (possibly shared) budget;
+    /// sets aborted_ and returns true when over budget or cube-cancelled.
+    bool decision_over_budget();
+    /// Counts the root restricted to `cube` (literals assigned before root
+    /// BCP); leaves the trail empty again.
+    Count128 count_cube(const std::vector<sat::Lit>& cube);
+    /// The k most-active unassigned projection variables by the same
+    /// clause-length-weighted score count_component branches on (call with
+    /// the root trail in place, i.e. after root BCP).
+    std::vector<sat::Var> pick_cube_vars(const std::vector<int>& root_cls,
+                                         int k);
+    /// Cube-and-conquer driver (threads > 1 or cube_vars > 0).
+    void count_cubes(Result* result);
 
     CounterConfig config_;
     CounterStats stats_;
@@ -135,6 +224,11 @@ private:
 
     std::unordered_map<std::vector<std::uint32_t>, Count128, KeyHash> cache_;
     std::size_t cache_bytes_ = 0;
+
+    /// Cube-worker shared state (null in serial mode / on the driver).
+    SharedComponentCache* shared_cache_ = nullptr;
+    std::atomic<std::uint64_t>* shared_decisions_ = nullptr;
+    std::atomic<bool>* shared_abort_ = nullptr;
 };
 
 }  // namespace mvf::count

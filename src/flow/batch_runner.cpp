@@ -314,6 +314,23 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
             } else if (key == "metrics") {
                 s.params.oracle.collect_metrics =
                     parse_flag(value, line_no, key);
+            } else if (key == "attack_threads") {
+                s.params.oracle.attack_threads = parse_int(value, line_no, key);
+                if (s.params.oracle.attack_threads < 1) {
+                    spec_error(line_no, "attack_threads must be >= 1");
+                }
+            } else if (key == "portfolio") {
+                // 0 = follow attack_threads, 1 = force serial CEGAR.
+                s.params.oracle.portfolio = parse_int(value, line_no, key);
+                if (s.params.oracle.portfolio < 0) {
+                    spec_error(line_no, "portfolio must be >= 0");
+                }
+            } else if (key == "cube_vars") {
+                s.params.oracle.cube_vars = parse_int(value, line_no, key);
+                if (s.params.oracle.cube_vars < 0 ||
+                    s.params.oracle.cube_vars > 16) {
+                    spec_error(line_no, "cube_vars must be in 0..16");
+                }
             } else {
                 spec_error(line_no,
                            "unknown key \"" + key +
@@ -325,7 +342,8 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
                                "shared_miter canonical_inputs query_budget "
                                "oracle_noise oracle_cache save_transcript "
                                "replay_transcript random_warmup "
-                               "random_queries metrics)");
+                               "random_queries metrics attack_threads "
+                               "portfolio cube_vars)");
             }
         }
         if (!any) continue;  // blank/comment line
@@ -385,6 +403,13 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
         if (s.params.oracle_model.cache &&
             !s.params.replay_transcript.empty()) {
             spec_error(line_no, "replay_transcript contradicts oracle_cache");
+        }
+        // A transcript is one member's ordered view; racing N members over
+        // a replay is contradictory (the attack would silently fall back
+        // to the serial path anyway -- reject it loudly instead).
+        if (s.params.oracle.portfolio > 1 &&
+            !s.params.replay_transcript.empty()) {
+            spec_error(line_no, "replay_transcript contradicts portfolio");
         }
         if (s.name.empty()) {
             s.name = s.family + std::to_string(s.n) + "-s" +
@@ -504,10 +529,20 @@ std::vector<ScenarioRecord> BatchRunner::run(
         // Sharded submission spreads the batch round-robin across the
         // workers' deques; idle workers steal from the back, so a shard
         // stuck behind one long scenario drains via its neighbours.
-        futures.push_back(
-            pool.submit_sharded(i, [&scenarios, &records, &completed, i] {
+        futures.push_back(pool.submit_sharded(
+            i, [&scenarios, &records, &completed, &pool, i] {
+                // Parallel attacks inside a parallel batch share THIS pool
+                // instead of spawning their own: the scenario worker
+                // helping-waits (ThreadPool::run_one) on its subtasks, so
+                // portfolio members and cube workers cannot deadlock or
+                // oversubscribe even with every worker busy.
+                Scenario scenario = scenarios[static_cast<std::size_t>(i)];
+                if (scenario.params.oracle.attack_threads > 1 ||
+                    scenario.params.oracle.portfolio > 1) {
+                    scenario.params.oracle.pool = &pool;
+                }
                 records[static_cast<std::size_t>(i)] =
-                    run_scenario(scenarios[static_cast<std::size_t>(i)], i);
+                    run_scenario(scenario, i);
                 completed.fetch_add(1, std::memory_order_relaxed);
             }));
     }

@@ -197,16 +197,24 @@ void AttackStage::run(FlowContext& ctx) {
         report.oracle = stack.stats();
         ctx.result.attack_reports.push_back(std::move(report));
 
-        if (!ctx.params.save_transcript.empty() && stack.recorded()) {
+        // Portfolio runs record the WINNING member's transcript inside the
+        // attack result; the stack-level recorder saw every member's
+        // queries interleaved, which is not a replayable sequence.
+        const attack::CegarAdversary* cegar =
+            dynamic_cast<const attack::CegarAdversary*>(adversary.get());
+        const attack::OracleTranscript* transcript =
+            (cegar && cegar->last_result() && cegar->last_result()->winner >= 0)
+                ? &cegar->last_result()->winner_transcript
+                : stack.recorded();
+        if (!ctx.params.save_transcript.empty() && transcript) {
             const report::JsonWriter writer(ctx.params.save_transcript);
-            if (!writer.write(stack.recorded()->to_json())) {
+            if (!writer.write(transcript->to_json())) {
                 throw std::runtime_error("cannot write oracle transcript: " +
                                          ctx.params.save_transcript);
             }
         }
         // Keep the typed CEGAR result flowing into the legacy field.
-        if (const auto* cegar =
-                dynamic_cast<const attack::CegarAdversary*>(adversary.get())) {
+        if (cegar) {
             ctx.result.oracle_attack = cegar->last_result();
         }
     }

@@ -65,6 +65,12 @@ report::Json oracle_json(const Scenario& s) {
     j.set("random_warmup", o.random_warmup);
     j.set("warmup_seed", o.warmup_seed);
     j.set("collect_metrics", o.collect_metrics);
+    // Parallelism knobs are semantic (they select the portfolio/cube
+    // engines, whose transcripts and stats differ from serial runs); the
+    // runtime pool pointer is deliberately NOT hashed.
+    j.set("attack_threads", o.attack_threads);
+    j.set("portfolio", o.portfolio);
+    j.set("cube_vars", o.cube_vars);
     report::Json solver = report::Json::object();
     solver.set("preprocess", o.solver.preprocess);
     solver.set("elim_occ_limit", o.solver.elim_occ_limit);

@@ -5,8 +5,20 @@
 #include <chrono>
 #include <queue>
 
+#include "sat/clause_exchange.hpp"
+
 namespace mvf::sat {
 namespace {
+
+/// splitmix64 finalizer: one well-mixed bit per (seed, var) for the
+/// diversified initial phases.
+bool phase_bit(std::uint64_t seed, Var v) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull *
+                                 (static_cast<std::uint64_t>(v) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return ((z ^ (z >> 31)) & 1) != 0;
+}
 
 // Luby restart sequence (1,1,2,1,1,2,4,...).
 std::uint64_t luby(std::uint64_t i) {
@@ -25,7 +37,7 @@ std::uint64_t luby(std::uint64_t i) {
 Var Solver::new_var() {
     const Var v = num_vars();
     assigns_.push_back(Value::kUnknown);
-    polarity_.push_back(false);
+    polarity_.push_back(phase_seed_ != 0 && phase_bit(phase_seed_, v));
     level_.push_back(0);
     reason_.push_back(kNoReason);
     activity_.push_back(0.0);
@@ -96,6 +108,81 @@ Var Solver::heap_pop() {
         heap_down(0);
     }
     return top;
+}
+
+void Solver::set_phase_seed(std::uint64_t seed) {
+    phase_seed_ = seed;
+    for (Var v = 0; v < num_vars(); ++v) {
+        polarity_[static_cast<std::size_t>(v)] =
+            seed != 0 && phase_bit(seed, v);
+    }
+}
+
+void Solver::set_clause_exchange(ClauseExchange* exchange, int member) {
+    exchange_ = exchange;
+    exchange_member_ = member;
+}
+
+bool Solver::import_exchange_clauses() {
+    assert(decision_level() == 0);
+    import_scratch_.clear();
+    if (exchange_->fetch(exchange_member_, exchange_epoch_,
+                         &import_scratch_) == 0) {
+        return true;
+    }
+    for (std::vector<Lit>& lits : import_scratch_) {
+        // Clauses touching a locally-eliminated variable are skipped:
+        // preprocessing diverges across members, and re-introducing an
+        // eliminated variable would bypass the constraints removed with
+        // it.  (Variables always exist -- the epoch filter guarantees the
+        // clause only mentions a formula prefix this solver has stamped.)
+        bool usable = true;
+        for (const Lit l : lits) {
+            assert(lit_var(l) < num_vars());
+            if (eliminated_[static_cast<std::size_t>(lit_var(l))]) {
+                usable = false;
+                break;
+            }
+        }
+        if (!usable) continue;
+        // Same level-0 simplification as add_clause, but the survivors are
+        // marked learned so reduce_db can drop them again.
+        std::sort(lits.begin(), lits.end());
+        std::vector<Lit> out;
+        bool tautology_or_sat = false;
+        for (const Lit l : lits) {
+            if (!out.empty() && out.back() == l) continue;
+            if (!out.empty() && out.back() == lit_not(l)) {
+                tautology_or_sat = true;
+                break;
+            }
+            if (value(l) == Value::kTrue) {
+                tautology_or_sat = true;
+                break;
+            }
+            if (value(l) == Value::kFalse) continue;
+            out.push_back(l);
+        }
+        if (tautology_or_sat) continue;
+        if (out.empty()) {
+            // The import is entailed by a prefix of this member's own
+            // formula, so an empty clause is a sound UNSAT verdict.
+            ok_ = false;
+            return false;
+        }
+        if (out.size() == 1) {
+            enqueue(out[0], kNoReason);
+            if (propagate() >= 0) {
+                ok_ = false;
+                return false;
+            }
+            continue;
+        }
+        clauses_.push_back({std::move(out), true, 0.0});
+        ++num_learned_;
+        attach(static_cast<int>(clauses_.size()) - 1);
+    }
+    return true;
 }
 
 bool Solver::add_clause(std::vector<Lit> lits) {
@@ -557,6 +644,11 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
             int bt_level = 0;
             analyze(conflict, &learned, &bt_level);
             backtrack(bt_level);
+            if (exchange_ &&
+                static_cast<int>(learned.size()) <= exchange_->max_lits()) {
+                exchange_->publish(exchange_member_, learned,
+                                   exchange_epoch_);
+            }
             if (learned.size() == 1) {
                 enqueue(learned[0], kNoReason);
             } else {
@@ -589,6 +681,11 @@ Solver::Result Solver::solve(const std::vector<Lit>& assumptions) {
             if (db_full) {
                 reduce_db();
                 learned_budget_ *= 1.1;
+            }
+            // Restart boundary: the trail is at level 0, so foreign
+            // portfolio clauses can be spliced in like any level-0 add.
+            if (exchange_ && !import_exchange_clauses()) {
+                return finish(Result::kUnsat);
             }
             continue;
         }

@@ -53,6 +53,42 @@ void ThreadPool::wait_idle() {
     idle_.wait(lock, [this] { return pending_ == 0 && in_flight_ == 0; });
 }
 
+bool ThreadPool::run_one() {
+    std::packaged_task<void()> task;
+    {
+        std::unique_lock lock(mutex_);
+        if (pending_ == 0) return false;
+        // External callers have no shard of their own: drain the shared
+        // queue first, then relieve the fullest deque from the back (same
+        // placement discipline as a steal, but not counted as one -- the
+        // caller is helping, not idle-stealing).
+        if (!queue_.empty()) {
+            task = std::move(queue_.front());
+            queue_.pop();
+        } else {
+            std::size_t victim = shards_.size();
+            std::size_t victim_size = 0;
+            for (std::size_t i = 0; i < shards_.size(); ++i) {
+                if (shards_[i].size() > victim_size) {
+                    victim = i;
+                    victim_size = shards_[i].size();
+                }
+            }
+            task = std::move(shards_[victim].back());
+            shards_[victim].pop_back();
+        }
+        --pending_;
+        ++in_flight_;
+    }
+    task();  // exceptions land in the task's future
+    {
+        std::unique_lock lock(mutex_);
+        --in_flight_;
+        if (pending_ == 0 && in_flight_ == 0) idle_.notify_all();
+    }
+    return true;
+}
+
 std::size_t ThreadPool::steals() const {
     std::unique_lock lock(mutex_);
     return steals_;

@@ -59,6 +59,15 @@ public:
     /// Blocks until every task submitted so far has completed.
     void wait_idle();
 
+    /// Runs one pending task on the CALLING thread if any is queued;
+    /// returns false without blocking when every queue is empty.  This is
+    /// the helping-wait primitive: a pool worker that blocks on futures of
+    /// tasks it submitted to its own pool would deadlock once all workers
+    /// wait in the same pattern -- instead it loops `run_one()` until its
+    /// futures are ready, so the pending subtasks make progress on the
+    /// waiter's own thread even with zero free workers.
+    bool run_one();
+
     /// Tasks taken from another worker's deque (stealing actually
     /// happened); monotone, for tests and telemetry.
     std::size_t steals() const;

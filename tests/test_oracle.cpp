@@ -11,7 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 #include "attack/adversary.hpp"
 #include "attack/oracle.hpp"
@@ -636,6 +638,108 @@ TEST(FlowOracle, TranscriptSaveThenReplayReproducesReport) {
     EXPECT_EQ(replayed.oracle_attack->distinguishing_inputs,
               live.oracle_attack->distinguishing_inputs);
     std::remove(path.c_str());
+}
+
+// -------------------------------------------- concurrent decorator stacks
+
+TEST(OracleDecorators, SharedStackAnswersCorrectlyUnderConcurrentQueries) {
+    // The thread-safety regression (exercised under TSan in CI): a
+    // portfolio shares ONE counting/caching stack over one chip, so
+    // concurrent scalar and block queries must neither race nor corrupt
+    // answers or accounting.
+    const CamoLibrary lib = standard_camo_library();
+    util::Rng rng(211);
+    const CamoNetlist nl = attack::random_camo_netlist(lib, 6, 2, 10, rng);
+    const std::vector<int> config = nl.configuration_for_code(0);
+    SimOracle chip(nl, config);
+    CachingOracle cache(chip);
+    CountingOracle counter(cache);
+
+    // Ground truth per pattern, from a private oracle.
+    const std::vector<std::vector<bool>> patterns = all_patterns(6);
+    SimOracle reference(nl, config);
+    std::vector<std::vector<bool>> truth;
+    for (const auto& p : patterns) truth.push_back(reference.query(p));
+
+    constexpr int kThreads = 8;
+    constexpr int kQueriesPerThread = 200;
+    std::atomic<int> wrong{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            util::Rng trng(1000 + static_cast<std::uint64_t>(t));
+            for (int q = 0; q < kQueriesPerThread; ++q) {
+                const std::size_t k = static_cast<std::size_t>(
+                    trng.uniform_int(0, static_cast<int>(patterns.size()) - 1));
+                if (q % 5 == 0) {
+                    // Batched path: a 3-pattern block through the stack.
+                    const std::size_t k2 = (k + 1) % patterns.size();
+                    const std::size_t k3 = (k + 2) % patterns.size();
+                    const auto words = counter.query_block(
+                        pack_block({patterns[k], patterns[k2], patterns[k3]}),
+                        3);
+                    if (unpack_lane(words, 0) != truth[k] ||
+                        unpack_lane(words, 1) != truth[k2] ||
+                        unpack_lane(words, 2) != truth[k3]) {
+                        ++wrong;
+                    }
+                } else if (counter.query(patterns[k]) != truth[k]) {
+                    ++wrong;
+                }
+            }
+        });
+    }
+    for (std::thread& w : workers) w.join();
+
+    EXPECT_EQ(wrong.load(), 0);
+    // Accounting is exact across threads: every issued pattern counted.
+    const std::uint64_t per_thread =
+        kQueriesPerThread / 5 * 3 + (kQueriesPerThread - kQueriesPerThread / 5);
+    EXPECT_EQ(counter.patterns(), kThreads * per_thread);
+    // 64 distinct patterns exist, so nearly everything was a cache hit.
+    EXPECT_GE(cache.hits(), counter.patterns() - patterns.size());
+}
+
+TEST(OracleDecorators, ConcurrentCallersCannotOverdrawTheBudget) {
+    // Disjoint fresh patterns from every thread against one shared budget:
+    // exactly `budget` patterns get answered no matter the interleaving,
+    // and the rest throw OracleBudgetExceeded without consuming anything.
+    const CamoLibrary lib = standard_camo_library();
+    util::Rng rng(223);
+    const CamoNetlist nl = attack::random_camo_netlist(lib, 10, 1, 14, rng);
+    SimOracle chip(nl, nl.configuration_for_code(0));
+    NoisyOracle noisy(chip, 0.25, 7);  // noise RNG shares the hammering too
+    BudgetedOracle budget(noisy, 100);
+    CachingOracle cache(budget);
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 40;  // 320 unique patterns >> budget
+    std::atomic<int> answered{0};
+    std::atomic<int> refused{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            for (int q = 0; q < kPerThread; ++q) {
+                // Pattern = thread id and sequence number in binary:
+                // globally unique, so every answer costs budget.
+                const int code = t * kPerThread + q;
+                std::vector<bool> p(10);
+                for (int i = 0; i < 10; ++i) p[static_cast<std::size_t>(i)] = (code >> i) & 1;
+                try {
+                    cache.query(p);
+                    ++answered;
+                } catch (const OracleBudgetExceeded&) {
+                    ++refused;
+                }
+            }
+        });
+    }
+    for (std::thread& w : workers) w.join();
+
+    EXPECT_EQ(answered.load(), 100);
+    EXPECT_EQ(refused.load(), kThreads * kPerThread - 100);
+    EXPECT_EQ(budget.remaining(), 0u);
+    EXPECT_TRUE(budget.exhausted());
 }
 
 TEST(FlowOracle, NoiseAndCacheComposeInTheStandardPipeline) {

@@ -481,6 +481,95 @@ TEST(BatchRunner, SpecOracleModelKeysParseAndContradict) {
                  std::invalid_argument);
 }
 
+TEST(BatchRunner, SpecParallelKeysParseAndContradict) {
+    const std::vector<Scenario> ok = parse_scenario_spec(
+        "funcs=present:2 attack_threads=4 cube_vars=3\n"
+        "funcs=present:2 portfolio=2\n"
+        "funcs=present:2 attack_threads=8 portfolio=1\n");
+    ASSERT_EQ(ok.size(), 3u);
+    EXPECT_EQ(ok[0].params.oracle.attack_threads, 4);
+    EXPECT_EQ(ok[0].params.oracle.cube_vars, 3);
+    EXPECT_EQ(ok[0].params.oracle.portfolio, 0);  // default: follow threads
+    EXPECT_EQ(ok[1].params.oracle.portfolio, 2);
+    EXPECT_EQ(ok[1].params.oracle.attack_threads, 1);
+    EXPECT_EQ(ok[2].params.oracle.attack_threads, 8);
+    EXPECT_EQ(ok[2].params.oracle.portfolio, 1);  // forced-serial CEGAR
+    // The runtime pool pointer is plumbing, never spec state.
+    EXPECT_EQ(ok[0].params.oracle.pool, nullptr);
+
+    EXPECT_THROW(parse_scenario_spec("funcs=present:2 attack_threads=0\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_scenario_spec("funcs=present:2 portfolio=-1\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_scenario_spec("funcs=present:2 cube_vars=17\n"),
+                 std::invalid_argument);
+    // Racing members over one recorded transcript is contradictory.
+    EXPECT_THROW(
+        parse_scenario_spec(
+            "funcs=present:2 replay_transcript=t.json portfolio=2\n"),
+        std::invalid_argument);
+}
+
+TEST(BatchRunner, ParallelJobsWithParallelAttacksComplete) {
+    // The nested-submission deadlock regression at the flow level:
+    // `--jobs 2` scenario workers whose attacks themselves fan out onto
+    // the SAME pool (portfolio members + cube workers).  Before the
+    // helping-wait fix this deadlocked once every pool worker blocked on
+    // subtask futures.  Completion plus serial-equal attack results is the
+    // whole assertion.
+    std::vector<Scenario> scenarios;
+    for (int i = 0; i < 4; ++i) {
+        Scenario s;
+        s.name = "par" + std::to_string(i);
+        s.params = tiny_params(static_cast<std::uint64_t>(50 + i));
+        s.params.ga.population = 6;
+        s.params.ga.generations = 2;
+        s.params.adversaries = {"cegar"};
+        // Capped legacy counting: these flow netlists are dense, so the
+        // default exact counter would just burn its budget and fall back.
+        s.params.oracle.count_mode = attack::CountMode::kEnumerate;
+        s.params.oracle.max_survivors = 64;
+        s.params.oracle.attack_threads = 2;
+        if (i % 2 == 1) s.params.oracle.portfolio = 2;
+        scenarios.push_back(std::move(s));
+    }
+
+    BatchParams parallel;
+    parallel.jobs = 2;
+    const std::vector<ScenarioRecord> records =
+        BatchRunner(parallel).run(scenarios);
+    ASSERT_EQ(records.size(), 4u);
+    for (const ScenarioRecord& r : records) {
+        EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+        ASSERT_EQ(r.attacks.size(), 1u) << r.name;
+        // These GA-obfuscated netlists keep more viable configs than the
+        // enumeration cap (that is the point of the defense), so the CEGAR
+        // adversary reports the capped lower bound.  What matters here is
+        // that every scenario ran to completion.
+        EXPECT_EQ(r.attacks[0].outcome, "survivor limit") << r.name;
+        EXPECT_EQ(r.attacks[0].survivors, 64u) << r.name;
+    }
+
+    // Survivor figures are schedule-invariant: a serial rerun of the same
+    // scenarios (attack parallelism off) reports the same counts.
+    std::vector<Scenario> serial_scenarios = scenarios;
+    for (Scenario& s : serial_scenarios) {
+        s.params.oracle.attack_threads = 1;
+        s.params.oracle.portfolio = 0;
+    }
+    const std::vector<ScenarioRecord> serial_records =
+        BatchRunner().run(serial_scenarios);
+    ASSERT_EQ(serial_records.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].attacks[0].survivors,
+                  serial_records[i].attacks[0].survivors)
+            << records[i].name;
+        EXPECT_EQ(records[i].attacks[0].survivors_str,
+                  serial_records[i].attacks[0].survivors_str)
+            << records[i].name;
+    }
+}
+
 TEST(BatchRunner, UnknownFamilyFailsTheScenarioOnly) {
     Scenario s;
     s.name = "martian";

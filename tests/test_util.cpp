@@ -210,6 +210,65 @@ TEST(ThreadPool, IdleWorkersStealFromALoadedShard) {
     EXPECT_GT(pool.steals(), 0u);
 }
 
+TEST(ThreadPool, RunOneExecutesAPendingTaskOnTheCallingThread) {
+    // Park the only worker behind a gate, then drain the queue from the
+    // caller: run_one must execute pending tasks on the calling thread and
+    // report false (without blocking) once every queue is empty.
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    std::atomic<bool> parked{false};
+    std::future<void> blocker =
+        pool.submit([&parked, f = gate.get_future().share()] {
+            parked = true;
+            f.wait();
+        });
+    // Make sure the WORKER holds the blocker (not us, below, via run_one).
+    while (!parked.load()) std::this_thread::yield();
+
+    std::thread::id ran_on;
+    std::future<void> task =
+        pool.submit([&ran_on] { ran_on = std::this_thread::get_id(); });
+    // The worker is parked, so the task can only run through run_one.
+    EXPECT_TRUE(pool.run_one());
+    task.get();
+    EXPECT_EQ(ran_on, std::this_thread::get_id());
+    EXPECT_FALSE(pool.run_one());  // queues empty again
+
+    gate.set_value();
+    blocker.get();
+}
+
+TEST(ThreadPool, NestedSubmissionWithHelpingWaitDoesNotDeadlock) {
+    // The deadlock regression: tasks submitting subtasks to their OWN pool
+    // and waiting on them.  With blocking future::get every worker ends up
+    // waiting for queued subtasks no thread is free to run; the helping-
+    // wait loop (run_one until ready) keeps them flowing on the waiters'
+    // threads instead.  More outer tasks than workers makes the naive
+    // version deadlock deterministically.
+    ThreadPool pool(2);
+    std::atomic<int> inner_ran{0};
+    const auto helping_get = [&pool](std::future<void>& f) {
+        while (f.wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready) {
+            if (!pool.run_one()) std::this_thread::yield();
+        }
+        f.get();
+    };
+
+    std::vector<std::future<void>> outers;
+    for (int o = 0; o < 6; ++o) {
+        outers.push_back(pool.submit([&] {
+            std::vector<std::future<void>> inners;
+            for (int i = 0; i < 4; ++i) {
+                inners.push_back(pool.submit([&inner_ran] { ++inner_ran; }));
+            }
+            for (std::future<void>& f : inners) helping_get(f);
+        }));
+    }
+    for (std::future<void>& f : outers) helping_get(f);
+    EXPECT_EQ(inner_ran.load(), 24);
+}
+
 TEST(ThreadPool, ShardedTaskExceptionsPropagateThroughTheFuture) {
     ThreadPool pool(2);
     std::future<void> bad =

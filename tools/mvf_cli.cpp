@@ -96,6 +96,13 @@ int usage() {
         "  --no-shared-miter  legacy two-copy CEGAR encoding\n"
         "  --canonical-inputs lex-min distinguishing inputs (deterministic\n"
         "                     attack transcripts; costly at 16+ PIs)\n"
+        "  --attack-threads N worker threads for the attack: portfolio CEGAR\n"
+        "                     members and cube-and-conquer counter workers\n"
+        "                     (default 1 = serial; counts bit-identical)\n"
+        "  --portfolio N      pin the CEGAR portfolio member count (0 =\n"
+        "                     follow --attack-threads, 1 = force serial)\n"
+        "  --cube-vars K      selector-cube width for the parallel counter\n"
+        "                     (0 = auto from --attack-threads; max 16)\n"
         "  --elim-occ N       BVE occurrence bound (default 32)\n"
         "  --elim-growth N    BVE clause-growth bound (default 8)\n"
         "\n"
@@ -344,6 +351,37 @@ bool parse_scenario_flags(int argc, char** argv, int start,
             scenario->params.oracle.shared_miter = false;
         } else if (arg == "--canonical-inputs") {
             scenario->params.oracle.canonical_inputs = true;
+        } else if (arg == "--attack-threads") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_int_flag(value, "--attack-threads",
+                                &scenario->params.oracle.attack_threads)) {
+                return false;
+            }
+            if (scenario->params.oracle.attack_threads < 1) {
+                std::fprintf(stderr, "mvf: --attack-threads must be >= 1\n");
+                return false;
+            }
+        } else if (arg == "--portfolio") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_int_flag(value, "--portfolio",
+                                &scenario->params.oracle.portfolio)) {
+                return false;
+            }
+            if (scenario->params.oracle.portfolio < 0) {
+                std::fprintf(stderr, "mvf: --portfolio must be >= 0\n");
+                return false;
+            }
+        } else if (arg == "--cube-vars") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_int_flag(value, "--cube-vars",
+                                &scenario->params.oracle.cube_vars)) {
+                return false;
+            }
+            if (scenario->params.oracle.cube_vars < 0 ||
+                scenario->params.oracle.cube_vars > 16) {
+                std::fprintf(stderr, "mvf: --cube-vars must be in 0..16\n");
+                return false;
+            }
         } else if (arg == "--elim-occ") {
             if (!next_value(argc, argv, &i, &value)) return false;
             if (!parse_int_flag(value, "--elim-occ",
@@ -505,6 +543,14 @@ bool parse_scenario_flags(int argc, char** argv, int start,
         !scenario->params.replay_transcript.empty()) {
         std::fprintf(stderr,
                      "mvf: --replay-transcript contradicts --oracle-cache\n");
+        return false;
+    }
+    // A transcript is one member's ordered view; racing a portfolio over a
+    // replay is contradictory.
+    if (scenario->params.oracle.portfolio > 1 &&
+        !scenario->params.replay_transcript.empty()) {
+        std::fprintf(stderr,
+                     "mvf: --replay-transcript contradicts --portfolio\n");
         return false;
     }
     if (quick) {
