@@ -40,11 +40,14 @@
 #include "attack/oracle.hpp"
 #include "attack/oracle_attack.hpp"
 #include "attack/random_camo.hpp"
+#include "audit/commitment.hpp"
+#include "audit/committing_oracle.hpp"
 #include "bench_common.hpp"
 #include "flow/obfuscation_flow.hpp"
 #include "obs/trace.hpp"
 #include "sbox/sbox_data.hpp"
 #include "util/csv.hpp"
+#include "util/sha256.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -396,6 +399,137 @@ int main(int argc, char** argv) {
             w.set("base_seconds", base.seconds);
             w.set("warm_seconds", warm.seconds);
             bj.set("random_warmup", std::move(w));
+        }
+    }
+
+    // Neighborhood warm-up (ROADMAP carry-over): seed the pruning with
+    // bit-flip neighborhoods of the distinguishing inputs the solver
+    // already proved informative, instead of (or on top of) blind random
+    // patterns.  Survivor-preserving by construction -- extra I/O
+    // constraints only remove configurations the chip disagrees with --
+    // and asserted so here on the same rand12/rand16 netlists as the cost
+    // table.
+    for (const int pis : {12, 16}) {
+        util::Rng rng(args.seed * 977 + static_cast<std::uint64_t>(pis));
+        const camo::CamoNetlist nl = attack::random_camo_netlist(
+            camo_lib, pis, pis == 12 ? 3 : 4, pis == 12 ? 24 : 32, rng);
+        attack::SimOracle oracle(nl, nl.configuration_for_code(0));
+        attack::OracleAttackParams np = attack_params;
+        np.solver.preprocess = true;
+        np.shared_miter = true;
+        const attack::OracleAttackResult base =
+            attack::oracle_attack(nl, oracle, np);
+        np.neighborhood_queries = 16;
+        const attack::OracleAttackResult nb =
+            attack::oracle_attack(nl, oracle, np);
+        if (nb.surviving_configs != base.surviving_configs ||
+            nb.status != base.status) {
+            std::fprintf(stderr,
+                         "FATAL: neighborhood queries changed the attack "
+                         "outcome on rand%d (%llu vs %llu survivors)\n",
+                         pis,
+                         static_cast<unsigned long long>(nb.surviving_configs),
+                         static_cast<unsigned long long>(base.surviving_configs));
+            std::exit(1);
+        }
+        std::printf(
+            "neighborhood warm-up on rand%d: 16 bit-flip neighbors per "
+            "distinguishing input, %d -> %d distinguishing inputs "
+            "(+%d neighbor queries, %.3fs -> %.3fs, survivors preserved)\n",
+            pis, base.queries, nb.queries, nb.warmup_queries, base.seconds,
+            nb.seconds);
+        if (bj.enabled()) {
+            report::Json w = report::Json::object();
+            w.set("pis", pis);
+            w.set("base_queries", base.queries);
+            w.set("neighborhood_queries", nb.queries);
+            w.set("neighbor_patterns", nb.warmup_queries);
+            w.set("base_seconds", base.seconds);
+            w.set("neighborhood_seconds", nb.seconds);
+            bj.set("neighborhood_rand" + std::to_string(pis), std::move(w));
+        }
+    }
+    std::printf("\n");
+
+    // Committing-oracle overhead at rand16: a real committed run must
+    // preserve the attack outcome bit for bit (commitments observe, never
+    // perturb), and the per-pattern commitment cost -- measured from a
+    // tight chain-extension loop, like the disabled-tracing assert --
+    // must stay under 5% of the attack's wall time.
+    {
+        const int pis = 16;
+        util::Rng rng(args.seed * 977 + static_cast<std::uint64_t>(pis));
+        const camo::CamoNetlist nl =
+            attack::random_camo_netlist(camo_lib, pis, 4, 32, rng);
+        attack::SimOracle chip(nl, nl.configuration_for_code(0));
+        attack::OracleAttackParams cp = attack_params;
+        cp.solver.preprocess = true;
+        cp.shared_miter = true;
+        cp.random_warmup = 64;
+        cp.warmup_seed = args.seed;
+        const attack::OracleAttackResult base =
+            attack::oracle_attack(nl, chip, cp);
+
+        audit::CommittingOracle committer(chip, args.seed,
+                                          mvf::util::sha256_hex("bench"));
+        const attack::OracleAttackResult committed =
+            attack::oracle_attack(nl, committer, cp);
+        if (committed.queries != base.queries ||
+            committed.warmup_queries != base.warmup_queries ||
+            committed.surviving_configs != base.surviving_configs) {
+            std::fprintf(stderr,
+                         "FATAL: the committing decorator changed the attack "
+                         "outcome on rand%d (queries %d vs %d, survivors "
+                         "%llu vs %llu)\n",
+                         pis, committed.queries, base.queries,
+                         static_cast<unsigned long long>(
+                             committed.surviving_configs),
+                         static_cast<unsigned long long>(
+                             base.surviving_configs));
+            std::exit(1);
+        }
+        const std::uint64_t patterns = committer.committed();
+
+        // Per-pattern cost: extend a real commitment chain (salt draw +
+        // leaf message + SHA-256) over representative 16-in/4-out
+        // patterns.  Analytic like the tracing assert: wall-clock A/B of
+        // two full attacks would drown 1e2..1e4 hash calls in seconds of
+        // SAT noise.
+        const int reps = 20'000;
+        const std::vector<bool> in(16, true);
+        const std::vector<bool> out(4, false);
+        std::string prev = mvf::util::sha256_hex("bench");
+        util::Stopwatch sw;
+        for (int i = 0; i < reps; ++i) {
+            const audit::Commitment c = audit::Commitment::commit(
+                audit::CommittingOracle::leaf_message(
+                    static_cast<std::size_t>(i), in, out, prev),
+                prev.substr(0, 32));  // salt-shaped 32-hex-char string
+            prev = c.digest_hex;
+        }
+        const double per_commit_s = sw.elapsed_seconds() / reps;
+        const double overhead_s =
+            per_commit_s * static_cast<double>(patterns);
+        const double pct =
+            base.seconds > 0.0 ? overhead_s / base.seconds * 100.0 : 0.0;
+        std::printf(
+            "committing overhead on rand%d: %.2f us/pattern x %llu patterns "
+            "= %.1f us on a %.3fs attack (%.4f%%, outcome preserved)\n\n",
+            pis, per_commit_s * 1e6, static_cast<unsigned long long>(patterns),
+            overhead_s * 1e6, base.seconds, pct);
+        if (bj.enabled()) {
+            report::Json c = report::Json::object();
+            c.set("pis", pis);
+            c.set("patterns", patterns);
+            c.set("per_commit_us", per_commit_s * 1e6);
+            c.set("overhead_percent", pct);
+            bj.set("committing_overhead", std::move(c));
+        }
+        if (pct >= 5.0) {
+            std::fprintf(stderr,
+                         "FATAL: committing costs %.2f%% of attack wall time "
+                         "(acceptance bound: 5%%)\n", pct);
+            std::exit(1);
         }
     }
 

@@ -88,6 +88,12 @@ report::Json AdversaryReport::to_json() const {
     if (!metrics.empty()) {
         j.set("metrics", metrics.to_json());
     }
+    if (!audit_merkle_root.empty()) {
+        report::Json a = report::Json::object();
+        a.set("merkle_root", audit_merkle_root);
+        a.set("committed", audit_committed);
+        j.set("audit", std::move(a));
+    }
     report::Json s = report::Json::object();
     s.set("conflicts", sat.conflicts);
     s.set("decisions", sat.decisions);
@@ -158,6 +164,12 @@ AdversaryReport AdversaryReport::from_json(const report::Json& j) {
     if (const report::Json* m = j.find("metrics")) {
         r.metrics = obs::AttackMetrics::from_json(*m);
     }
+    // The audit block postdates commitment-based proofs; tolerate its
+    // absence so archived reports keep parsing.
+    if (const report::Json* a = j.find("audit")) {
+        r.audit_merkle_root = a->at("merkle_root").as_string();
+        r.audit_committed = a->at("committed").as_uint();
+    }
     // The oracle-stats block postdates the first-class oracle layer;
     // tolerate its absence so archived reports keep parsing.
     if (const report::Json* o = j.find("oracle")) {
@@ -198,6 +210,29 @@ AdversaryReport AdversaryReport::from_json(const report::Json& j) {
     return r;
 }
 
+std::string survivors_mismatch(const report::Json& report_json) {
+    const report::Json* c = report_json.find("count");
+    if (c == nullptr) return "";  // non-counting report: nothing to mirror
+    const std::string& full_str = c->at("survivors_str").as_string();
+    count::Count128 full;
+    if (!count::Count128::from_string(full_str, &full)) {
+        return "count.survivors_str (\"" + full_str +
+               "\") is not a decimal count";
+    }
+    // The numeric field is the string's uint64 saturation pinned to 2^53
+    // (to_json writes exactly this); from_json rebuilds it from the string,
+    // so only the RAW document can reveal a hand-edited disagreement.
+    const std::uint64_t expected =
+        std::min(full.to_u64_saturating(), std::uint64_t{1} << 53);
+    const std::uint64_t actual = report_json.at("survivors").as_uint();
+    if (actual != expected) {
+        return "survivors (" + std::to_string(actual) +
+               ") disagrees with count.survivors_str (\"" + full_str +
+               "\", which mirrors to " + std::to_string(expected) + ")";
+    }
+    return "";
+}
+
 bool AdversaryReport::operator==(const AdversaryReport& o) const {
     return adversary == o.adversary && success == o.success &&
            outcome == o.outcome && queries == o.queries &&
@@ -207,6 +242,8 @@ bool AdversaryReport::operator==(const AdversaryReport& o) const {
            approx_rounds == o.approx_rounds && oracle == o.oracle &&
            metrics == o.metrics && seconds == o.seconds &&
            spec_hash == o.spec_hash &&
+           audit_merkle_root == o.audit_merkle_root &&
+           audit_committed == o.audit_committed &&
            sat.conflicts == o.sat.conflicts && sat.decisions == o.sat.decisions &&
            sat.propagations == o.sat.propagations &&
            sat.restarts == o.sat.restarts && sat.learned == o.sat.learned &&

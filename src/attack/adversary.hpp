@@ -80,6 +80,14 @@ struct AdversaryReport {
     /// attack ran outside a scenario.  Provenance: an archived report
     /// names exactly which experiment it came from.
     std::string spec_hash;
+    /// Audit trail (attacks run with commitments enabled, e.g.
+    /// --emit-proof): Merkle root over the chained per-query commitments
+    /// and the number of committed queries.  Empty/zero otherwise, and the
+    /// JSON block is omitted then.  The full evidence lives in the
+    /// audit::AttackProof artifact; this block lets a report name the root
+    /// it was proven under.
+    std::string audit_merkle_root;
+    std::uint64_t audit_committed = 0;
 
     report::Json to_json() const;
     /// Inverse of to_json(); throws report::JsonError on malformed input.
@@ -87,6 +95,13 @@ struct AdversaryReport {
 
     bool operator==(const AdversaryReport&) const;
 };
+
+/// Cross-checks a SERIALIZED report's numeric `survivors` field against its
+/// full-precision `count.survivors_str` mirror (which wins on parse, so a
+/// round trip alone cannot see a hand-edited disagreement).  Returns "" when
+/// consistent or when there is no count block; otherwise a description of
+/// the disagreement.  `mvf check-report` rejects on non-empty.
+std::string survivors_mismatch(const report::Json& report_json);
 
 class Adversary {
 public:

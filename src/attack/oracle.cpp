@@ -3,6 +3,8 @@
 #include <cassert>
 #include <string>
 
+#include "audit/committing_oracle.hpp"
+
 namespace mvf::attack {
 
 OracleBudgetExceeded::OracleBudgetExceeded(std::uint64_t budget)
@@ -399,6 +401,13 @@ OracleStack::OracleStack(Oracle* chip, const OracleModelParams& params) {
         recorder_ = recorder.get();
         top_ = recorder.get();
         owned_.push_back(std::move(recorder));
+    }
+    if (params.commit) {
+        auto committer = std::make_unique<audit::CommittingOracle>(
+            *top_, params.commit_seed, params.commit_context);
+        committer_ = committer.get();
+        top_ = committer.get();
+        owned_.push_back(std::move(committer));
     }
     auto counting = std::make_unique<CountingOracle>(*top_);
     counting_ = counting.get();

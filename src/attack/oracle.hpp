@@ -46,6 +46,10 @@
 #include "sim/netlist_sim.hpp"
 #include "util/rng.hpp"
 
+namespace mvf::audit {
+class CommittingOracle;  // audit/committing_oracle.hpp
+}
+
 namespace mvf::attack {
 
 /// Patterns per query_block call (one bit lane per pattern in each word).
@@ -349,6 +353,14 @@ struct OracleModelParams {
     bool cache = false;
     /// Record the attacker-visible transcript (OracleStack::recorded()).
     bool record = false;
+    /// Commit to every answered query (audit::CommittingOracle above the
+    /// recorder); salts are drawn from commit_seed, and commit_context
+    /// seeds the chain (harnesses pass a netlist digest so the root binds
+    /// which circuit was attacked).  Harnesses turn this on for
+    /// --emit-proof runs.
+    bool commit = false;
+    std::uint64_t commit_seed = 1;
+    std::string commit_context;
     /// Replay this transcript instead of consulting a chip (the chip
     /// pointer handed to OracleStack may then be null).  Noise composes
     /// meaninglessly with replay; harnesses reject that combination at
@@ -358,9 +370,10 @@ struct OracleModelParams {
 
 /// Owns the decorator pile for one attack run.  Stack order, bottom to
 /// top: chip (or transcript replay) -> noise -> budget -> cache ->
-/// transcript recorder -> counter.  So: cache hits cost no budget, the
-/// recorder sees exactly what the attacker saw (noise included), and the
-/// counter counts attacker-visible answered queries.
+/// transcript recorder -> committer -> counter.  So: cache hits cost no
+/// budget, the recorder and committer see exactly what the attacker saw
+/// (noise included), and the counter counts attacker-visible answered
+/// queries.
 class OracleStack {
 public:
     /// `chip` may be null only when params.replay is set.
@@ -375,6 +388,9 @@ public:
     /// The recorded transcript (record mode only; nullptr otherwise).
     const OracleTranscript* recorded() const;
 
+    /// The committing decorator (commit mode only; nullptr otherwise).
+    const audit::CommittingOracle* committer() const { return committer_; }
+
 private:
     std::vector<std::unique_ptr<Oracle>> owned_;
     Oracle* top_ = nullptr;
@@ -383,6 +399,7 @@ private:
     NoisyOracle* noisy_ = nullptr;
     BudgetedOracle* budgeted_ = nullptr;
     TranscriptOracle* recorder_ = nullptr;
+    audit::CommittingOracle* committer_ = nullptr;
 };
 
 }  // namespace mvf::attack

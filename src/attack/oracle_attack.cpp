@@ -880,6 +880,7 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
             result.status = OracleAttackResult::Status::kIterationLimit;
             break;
         }
+        bool from_script = false;
         if (const std::vector<bool>* scripted = oracle.scripted_pattern()) {
             // A replaying TranscriptOracle prescribes the query sequence
             // through the public API; the per-iteration solve above still
@@ -888,6 +889,7 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
             // itself a valid distinguishing sequence).
             pattern = *scripted;
             assert(static_cast<int>(pattern.size()) == m);
+            from_script = true;
         } else {
             for (int i = 0; i < m; ++i) {
                 pattern[static_cast<std::size_t>(i)] = solver.model_value(
@@ -922,6 +924,64 @@ OracleAttackResult oracle_attack(const CamoNetlist& netlist, Oracle& oracle,
             ea.set("propagations", delta.propagations);
             ea.set("max_decision_level", delta.max_decision_level);
             iter_span.set_end_args(std::move(ea));
+        }
+        // Neighborhood warm-up: the distinguishing input just found sits on
+        // a decision boundary of the configuration space, so its
+        // single-bit-flip neighbors are disproportionately likely to
+        // separate further configurations.  Query up to
+        // neighborhood_queries of them as one word-parallel block and
+        // constrain the answers (counted as warm-up queries -- they are
+        // solver-free pruning, not CEGAR iterations).  Skipped under
+        // replay: the scripted sequence already embeds whatever
+        // neighborhood queries the recorded run made as ordinary patterns.
+        if (params.neighborhood_queries > 0 && !from_script && m > 0) {
+            const int nq = std::min(
+                std::min(params.neighborhood_queries, m), kQueryBlockWidth);
+            std::vector<std::vector<bool>> neighbors;
+            neighbors.reserve(static_cast<std::size_t>(nq));
+            for (int b = 0; b < nq; ++b) {
+                std::vector<bool> nb = pattern;
+                nb[static_cast<std::size_t>(b)] =
+                    !nb[static_cast<std::size_t>(b)];
+                neighbors.push_back(std::move(nb));
+            }
+            const std::vector<std::uint64_t> words = pack_block(neighbors);
+            const auto take_neighbor = [&](int lane, std::vector<bool> out) {
+                assert(static_cast<int>(out.size()) == r);
+                constrain_both(neighbors[static_cast<std::size_t>(lane)], out);
+                constraint_inputs.push_back(
+                    neighbors[static_cast<std::size_t>(lane)]);
+                answers.push_back(std::move(out));
+                ++result.warmup_queries;
+            };
+            try {
+                const auto q0 = collect ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point();
+                const std::vector<std::uint64_t> po_words =
+                    oracle.query_block(words, nq);
+                if (collect) observe_query(us_since(q0));
+                for (int lane = 0; lane < nq; ++lane) {
+                    take_neighbor(lane, unpack_lane(po_words, lane));
+                }
+            } catch (const OracleBudgetExceeded&) {
+                // Blocks are all-or-nothing; drain the remaining allowance
+                // with scalar queries over the SAME patterns before
+                // terminating honestly (mirrors the random warm-up path).
+                try {
+                    for (int lane = 0; lane < nq; ++lane) {
+                        const auto q0 =
+                            collect ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point();
+                        std::vector<bool> out = oracle.query(
+                            neighbors[static_cast<std::size_t>(lane)]);
+                        if (collect) observe_query(us_since(q0));
+                        take_neighbor(lane, std::move(out));
+                    }
+                } catch (const OracleBudgetExceeded&) {
+                    result.status = OracleAttackResult::Status::kQueryBudget;
+                    budget_tripped = true;
+                }
+            }
         }
         if (params.solver.preprocess && params.solver.inprocess_growth > 1.0 &&
             static_cast<double>(solver.num_clauses()) >

@@ -121,6 +121,19 @@ struct OracleAttackParams {
     /// distinguishing-input count (see bench_oracle_attack).
     int random_warmup = 0;
     std::uint64_t warmup_seed = 1;
+    /// Neighborhood warm-up: after each distinguishing input found by the
+    /// live CEGAR loop, also query up to this many single-bit-flip
+    /// neighbors of it (as one word-parallel block) and constrain their
+    /// answers.  Distinguishing inputs sit on decision boundaries of the
+    /// configuration space, so their neighborhoods are disproportionately
+    /// likely to separate further configurations -- the CEGAR analogue of
+    /// the random_warmup baseline, seeded by the inputs the solver already
+    /// proved informative.  Survivor-preserving: extra I/O constraints
+    /// only remove configurations the chip disagrees with (asserted in
+    /// bench_oracle_attack).  Ignored under transcript replay, where the
+    /// scripted patterns already embed whatever neighborhood queries the
+    /// recorded run made.  0 = off.
+    int neighborhood_queries = 0;
     /// Collect per-attack latency metrics (oracle-query and SAT-solve
     /// histograms) into OracleAttackResult::metrics.  Also on whenever the
     /// process-global switch (obs::set_metrics_enabled, the CLI's

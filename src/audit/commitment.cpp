@@ -1,0 +1,120 @@
+#include "audit/commitment.hpp"
+
+#include <stdexcept>
+
+#include "util/sha256.hpp"
+
+namespace mvf::audit {
+
+bool constant_time_equal(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    unsigned char acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        acc = static_cast<unsigned char>(
+            acc | (static_cast<unsigned char>(a[i]) ^
+                   static_cast<unsigned char>(b[i])));
+    }
+    return acc == 0;
+}
+
+Commitment Commitment::commit(std::string_view message, std::string salt_hex) {
+    Commitment c;
+    util::Sha256 h;
+    h.update(salt_hex);
+    h.update(message);
+    c.digest_hex = util::Sha256::hex(h.finish());
+    c.salt_hex = std::move(salt_hex);
+    return c;
+}
+
+bool Commitment::open(std::string_view message) const {
+    util::Sha256 h;
+    h.update(salt_hex);
+    h.update(message);
+    return constant_time_equal(util::Sha256::hex(h.finish()), digest_hex);
+}
+
+std::string MerkleTree::leaf_hash(std::string_view leaf_digest_hex) {
+    util::Sha256 h;
+    h.update("L:");
+    h.update(leaf_digest_hex);
+    return util::Sha256::hex(h.finish());
+}
+
+std::string MerkleTree::interior_hash(std::string_view left_hex,
+                                      std::string_view right_hex) {
+    util::Sha256 h;
+    h.update("I:");
+    h.update(left_hex);
+    h.update(right_hex);
+    return util::Sha256::hex(h.finish());
+}
+
+MerkleTree::MerkleTree(std::vector<std::string> leaf_digests_hex)
+    : num_leaves_(leaf_digests_hex.size()) {
+    std::vector<std::string> level;
+    level.reserve(num_leaves_);
+    for (const std::string& leaf : leaf_digests_hex) {
+        level.push_back(leaf_hash(leaf));
+    }
+    if (level.empty()) {
+        // Empty-transcript trees still need a well-defined root (an attack
+        // can converge on zero queries); pin it to the hash of an empty
+        // leaf set rather than leaving it unspecified.
+        root_ = leaf_hash("");
+        return;
+    }
+    levels_.push_back(std::move(level));
+    while (levels_.back().size() > 1) {
+        const std::vector<std::string>& prev = levels_.back();
+        std::vector<std::string> next;
+        next.reserve((prev.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+            next.push_back(interior_hash(prev[i], prev[i + 1]));
+        }
+        if (prev.size() % 2 == 1) next.push_back(prev.back());
+        levels_.push_back(std::move(next));
+    }
+    root_ = levels_.back().front();
+}
+
+std::vector<MerkleTree::PathElement> MerkleTree::path(std::size_t index) const {
+    if (index >= num_leaves_) {
+        throw std::out_of_range("MerkleTree::path: leaf index out of range");
+    }
+    std::vector<PathElement> out;
+    std::size_t pos = index;
+    for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+        const std::vector<std::string>& nodes = levels_[lvl];
+        const std::size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+        if (sibling < nodes.size()) {
+            out.push_back({nodes[sibling], pos % 2 == 1});
+        }
+        // Odd nodes are promoted unchanged, so a missing sibling simply
+        // contributes no path element at this level.
+        pos /= 2;
+    }
+    return out;
+}
+
+bool MerkleTree::verify_path(std::string_view leaf_digest_hex,
+                             std::size_t /*index*/,
+                             const std::vector<PathElement>& path,
+                             std::string_view root_hex) {
+    // The index is not consumed: each element carries its own side flag,
+    // and levels where the node was promoted (odd tail) contribute no
+    // element.  The flag is still authenticated by the hash itself --
+    // lying about it produces a different interior digest and a root
+    // mismatch.  The parameter stays for symmetry with path(index).
+    std::string running = leaf_hash(leaf_digest_hex);
+    for (const PathElement& el : path) {
+        if (el.sibling_on_left) {
+            running = interior_hash(el.digest_hex, running);
+        } else {
+            running = interior_hash(running, el.digest_hex);
+        }
+    }
+    return constant_time_equal(running, root_hex);
+}
+
+}  // namespace mvf::audit

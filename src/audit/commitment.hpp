@@ -1,0 +1,88 @@
+// Salted hash commitments and a Merkle tree over per-query leaves.
+//
+// The audit trail (audit/attack_proof.hpp) binds every oracle answer to a
+// commitment digest = SHA-256(salt || message).  Publishing the digest
+// commits to the message without revealing it (hiding, thanks to the
+// 128-bit salt); later publishing (salt, message) opens the commitment
+// and anyone can re-derive the digest (binding, thanks to collision
+// resistance).  The Merkle tree lets a prover open ONE query -- leaf,
+// salt, and an O(log n) sibling path -- without revealing the rest of
+// the transcript.
+//
+// All digest comparisons here are constant-time: an auditor checking a
+// hostile artifact should not leak via timing how much of a forged
+// digest matched.
+
+#ifndef MVF_AUDIT_COMMITMENT_HPP
+#define MVF_AUDIT_COMMITMENT_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mvf::audit {
+
+// True iff a == b, examining every byte regardless of where the first
+// mismatch sits.  Unequal lengths return false immediately -- length is
+// public (all digests here are 64 hex chars).
+bool constant_time_equal(std::string_view a, std::string_view b);
+
+// A salted commitment to one message.  salt_hex is the commitment
+// randomness (hex-encoded, any length; the committer uses 16 bytes /
+// 32 hex chars); digest_hex = SHA-256(salt_bytes-as-hex-string || message).
+// The salt is concatenated as its hex string, not decoded -- both sides
+// of the protocol exchange hex, so hashing the canonical hex form keeps
+// the scheme trivially reproducible in any language.
+struct Commitment {
+    std::string salt_hex;
+    std::string digest_hex;
+
+    static Commitment commit(std::string_view message,
+                             std::string salt_hex);
+
+    // Constant-time check that this commitment opens to `message`.
+    bool open(std::string_view message) const;
+};
+
+// Merkle tree over hex leaf digests.  Leaf and interior hashes are
+// domain-separated ("L:" / "I:" prefixes) so an interior node can never
+// be confused for a leaf; an odd node at any level is promoted unchanged.
+class MerkleTree {
+public:
+    struct PathElement {
+        std::string digest_hex;
+        bool sibling_on_left = false;  // sibling sits left of the running hash
+    };
+
+    explicit MerkleTree(std::vector<std::string> leaf_digests_hex);
+
+    const std::string& root() const { return root_; }
+    std::size_t num_leaves() const { return num_leaves_; }
+
+    // Sibling path from leaf `index` up to (excluding) the root.
+    std::vector<PathElement> path(std::size_t index) const;
+
+    // Recomputes the root from one leaf and its path; constant-time
+    // compare against `root_hex`.
+    static bool verify_path(std::string_view leaf_digest_hex,
+                            std::size_t index,
+                            const std::vector<PathElement>& path,
+                            std::string_view root_hex);
+
+    // The domain-separated hashes, exposed so verifiers can recompute a
+    // tree without instantiating one.
+    static std::string leaf_hash(std::string_view leaf_digest_hex);
+    static std::string interior_hash(std::string_view left_hex,
+                                     std::string_view right_hex);
+
+private:
+    // levels_[0] = hashed leaves, levels_.back() = {root}.
+    std::vector<std::vector<std::string>> levels_;
+    std::string root_;
+    std::size_t num_leaves_ = 0;
+};
+
+}  // namespace mvf::audit
+
+#endif  // MVF_AUDIT_COMMITMENT_HPP

@@ -128,6 +128,18 @@ ScenarioRecord run_scenario(const Scenario& scenario, int index,
         record.camo_cells = r.camo_stats.num_cells;
         record.config_space_bits = r.camo_stats.config_space_bits;
         record.attacks = r.attack_reports;
+        if (!scenario.params.emit_proof.empty() && r.attack_proof) {
+            // The attack stage leaves the proof's spec_hash blank because
+            // only the scenario runner knows it; stamp it before the
+            // artifact reaches disk so the claim names its experiment.
+            report::Json proof = *r.attack_proof;
+            proof.set("spec_hash", record.spec_hash);
+            const report::JsonWriter writer(scenario.params.emit_proof);
+            if (!writer.write(proof)) {
+                throw std::runtime_error("cannot write attack proof: " +
+                                         scenario.params.emit_proof);
+            }
+        }
         if (ps.completed) {
             record.ok = true;
             record.status = "ok";
@@ -301,6 +313,14 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
                 s.params.save_transcript = value;
             } else if (key == "replay_transcript") {
                 s.params.replay_transcript = value;
+            } else if (key == "emit_proof") {
+                s.params.emit_proof = value;
+            } else if (key == "neighborhood_queries") {
+                s.params.oracle.neighborhood_queries =
+                    parse_int(value, line_no, key);
+                if (s.params.oracle.neighborhood_queries < 0) {
+                    spec_error(line_no, "neighborhood_queries must be >= 0");
+                }
             } else if (key == "random_warmup") {
                 s.params.oracle.random_warmup = parse_int(value, line_no, key);
                 if (s.params.oracle.random_warmup < 0) {
@@ -341,7 +361,8 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
                                "max_survivors enum_survivors preprocess "
                                "shared_miter canonical_inputs query_budget "
                                "oracle_noise oracle_cache save_transcript "
-                               "replay_transcript random_warmup "
+                               "replay_transcript emit_proof "
+                               "neighborhood_queries random_warmup "
                                "random_queries metrics attack_threads "
                                "portfolio cube_vars)");
             }
@@ -410,6 +431,23 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
         if (s.params.oracle.portfolio > 1 &&
             !s.params.replay_transcript.empty()) {
             spec_error(line_no, "replay_transcript contradicts portfolio");
+        }
+        // A proof certifies a fresh serial CEGAR run: replaying a
+        // transcript proves nothing new, and portfolio members interleave
+        // queries into a non-replayable sequence.
+        if (!s.params.emit_proof.empty()) {
+            if (!s.params.replay_transcript.empty()) {
+                spec_error(line_no, "emit_proof contradicts replay_transcript");
+            }
+            const int members =
+                s.params.oracle.portfolio > 0
+                    ? s.params.oracle.portfolio
+                    : std::max(1, s.params.oracle.attack_threads);
+            if (members > 1) {
+                spec_error(line_no,
+                           "emit_proof requires a serial CEGAR attack "
+                           "(set portfolio=1 or attack_threads=1)");
+            }
         }
         if (s.name.empty()) {
             s.name = s.family + std::to_string(s.n) + "-s" +

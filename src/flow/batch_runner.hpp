@@ -44,11 +44,14 @@ std::vector<ViableFunction> scenario_functions(const Scenario& scenario);
 /// epsilon/delta (approx), max_survivors (enumerate; implies it when no
 /// count_mode is named), enum_survivors, preprocess, shared_miter,
 /// canonical_inputs, and the oracle threat-model keys query_budget (> 0),
-/// oracle_noise ([0, 1)), oracle_cache, save_transcript/replay_transcript
-/// (file paths), random_warmup, random_queries, metrics (0/1: per-attack
-/// latency histograms in the report).  Contradictory keys (e.g.
-/// epsilon with count_mode=enumerate, or oracle_noise with
-/// replay_transcript) are rejected, not ignored.
+/// oracle_noise ([0, 1)), oracle_cache, save_transcript/replay_transcript/
+/// emit_proof (file paths; emit_proof writes a verifiable
+/// audit::AttackProof for the CEGAR run), neighborhood_queries (bit-flip
+/// neighbors queried per distinguishing input), random_warmup,
+/// random_queries, metrics (0/1: per-attack latency histograms in the
+/// report).  Contradictory keys (e.g. epsilon with count_mode=enumerate,
+/// oracle_noise with replay_transcript, or emit_proof with a portfolio
+/// attack) are rejected, not ignored.
 std::vector<Scenario> parse_scenario_spec(const std::string& text);
 
 /// parse_scenario_spec over a file's contents.

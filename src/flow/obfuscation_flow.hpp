@@ -78,6 +78,14 @@ struct FlowParams {
     /// oracle_model.noise; harnesses reject that combination at parse
     /// time.
     std::string replay_transcript;
+    /// Emit a verifiable audit::AttackProof artifact for the CEGAR
+    /// adversary's run to this JSON file (empty = off).  Implies
+    /// transcript recording and per-query commitments.  Contradicts
+    /// replay_transcript (a replay proves nothing new) and portfolio
+    /// attacks (members' queries interleave into a non-replayable
+    /// sequence); harnesses reject those combinations at parse time and
+    /// the attack stage guards them again at run time.
+    std::string emit_proof;
     /// Patterns the random-sampling baseline adversary draws.
     int random_queries = 128;
     /// Registered adversaries the attack stage should run (see
@@ -114,6 +122,12 @@ struct FlowResult {
     /// Uniform per-adversary reports from the attack stage, in run order
     /// (one per requested adversary; includes the CEGAR attacker's).
     std::vector<attack::AdversaryReport> attack_reports;
+
+    /// The audit::AttackProof artifact (serialized) when
+    /// FlowParams::emit_proof is set.  Held here instead of written by the
+    /// attack stage so the scenario runner can stamp the spec hash into it
+    /// before it reaches disk.
+    std::optional<report::Json> attack_proof;
 };
 
 class ObfuscationFlow {

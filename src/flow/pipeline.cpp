@@ -1,10 +1,12 @@
 #include "flow/pipeline.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "audit/attack_proof.hpp"
 #include "flow/stage_io.hpp"
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
@@ -127,8 +129,10 @@ attack::OracleTranscript load_transcript(const std::string& path) {
     std::ostringstream text;
     text << in.rdbuf();
     try {
+        // Strict: a transcript with duplicate keys would replay different
+        // content than another parser sees -- reject instead of last-wins.
         return attack::OracleTranscript::from_json(
-            report::Json::parse(text.str()));
+            report::Json::parse_strict(text.str()));
     } catch (const report::JsonError& e) {
         throw std::invalid_argument("malformed replay transcript " + path +
                                     ": " + e.what());
@@ -147,6 +151,33 @@ void AttackStage::run(FlowContext& ctx) {
     }
     const camo::CamoNetlist& netlist = *ctx.result.camouflaged;
 
+    if (!ctx.params.emit_proof.empty()) {
+        // Harnesses reject these combinations at parse time; API users get
+        // the same contract here.
+        if (!ctx.params.replay_transcript.empty()) {
+            throw std::invalid_argument(
+                "AttackStage: emit_proof cannot be combined with "
+                "replay_transcript -- a replayed run has no chip to commit "
+                "for");
+        }
+        const int members =
+            ctx.params.oracle.portfolio > 0
+                ? ctx.params.oracle.portfolio
+                : std::max(1, ctx.params.oracle.attack_threads);
+        if (members > 1) {
+            throw std::invalid_argument(
+                "AttackStage: emit_proof requires a serial CEGAR attack -- "
+                "portfolio members' queries interleave into a sequence no "
+                "transcript can replay");
+        }
+        if (std::find(adversaries_.begin(), adversaries_.end(), "cegar") ==
+            adversaries_.end()) {
+            throw std::invalid_argument(
+                "AttackStage: emit_proof requires the cegar adversary in "
+                "the panel");
+        }
+    }
+
     attack::AdversaryOptions options;
     options.oracle = ctx.params.oracle;
     options.random_queries = ctx.params.random_queries;
@@ -155,6 +186,13 @@ void AttackStage::run(FlowContext& ctx) {
     std::optional<attack::OracleTranscript> replay;
     if (!ctx.params.replay_transcript.empty()) {
         replay = load_transcript(ctx.params.replay_transcript);
+    }
+
+    // The proof artifact embeds (and its commitment chain binds) the
+    // netlist snapshot, so serialize it once up front.
+    std::optional<report::Json> netlist_snapshot;
+    if (!ctx.params.emit_proof.empty()) {
+        netlist_snapshot = camo_netlist_to_json(netlist);
     }
 
     attack::SimOracle chip(netlist, netlist.configuration_for_code(0));
@@ -188,13 +226,31 @@ void AttackStage::run(FlowContext& ctx) {
         }
         // A fresh decorator stack per adversary keeps accounting, budget
         // and transcript per-attack instead of smeared across the panel.
+        const bool prove_this = !ctx.params.emit_proof.empty() && name == "cegar";
         attack::OracleModelParams model = ctx.params.oracle_model;
-        model.record = model.record || !ctx.params.save_transcript.empty();
+        model.record =
+            model.record || !ctx.params.save_transcript.empty() || prove_this;
+        if (prove_this) {
+            model.commit = true;
+            model.commit_seed = ctx.params.seed;
+            model.commit_context =
+                audit::AttackProof::netlist_context(*netlist_snapshot);
+        }
         if (replay) model.replay = &*replay;
         attack::OracleStack stack(model.replay ? nullptr : &chip, model);
 
         attack::AdversaryReport report = adversary->attack(netlist, &stack.top());
         report.oracle = stack.stats();
+        if (prove_this) {
+            const audit::CommittingOracle* committer = stack.committer();
+            report.audit_merkle_root = committer->merkle_root();
+            report.audit_committed = committer->committed();
+            ctx.result.attack_proof =
+                audit::AttackProof::prove(*netlist_snapshot, report,
+                                          *stack.recorded(), *committer,
+                                          ctx.params.oracle)
+                    .to_json();
+        }
         ctx.result.attack_reports.push_back(std::move(report));
 
         // Portfolio runs record the WINNING member's transcript inside the

@@ -63,6 +63,7 @@ report::Json oracle_json(const Scenario& s) {
     j.set("shared_miter", o.shared_miter);
     j.set("canonical_inputs", o.canonical_inputs);
     j.set("random_warmup", o.random_warmup);
+    j.set("neighborhood_queries", o.neighborhood_queries);
     j.set("warmup_seed", o.warmup_seed);
     j.set("collect_metrics", o.collect_metrics);
     // Parallelism knobs are semantic (they select the portfolio/cube
@@ -163,11 +164,13 @@ std::string spec_hash(const Scenario& scenario) {
 }
 
 std::string stage_cache_key(const Scenario& scenario, std::string_view stage) {
-    // Transcript record/replay tie the scenario to files the cache cannot
-    // fingerprint (and recording is a side effect a cache hit would skip):
-    // such scenarios always run fresh.
+    // Transcript record/replay and proof emission tie the scenario to
+    // files the cache cannot fingerprint (and recording/committing are
+    // side effects a cache hit would skip): such scenarios always run
+    // fresh.
     if (!scenario.params.save_transcript.empty() ||
-        !scenario.params.replay_transcript.empty()) {
+        !scenario.params.replay_transcript.empty() ||
+        !scenario.params.emit_proof.empty()) {
         return "";
     }
     std::string subset;

@@ -56,7 +56,8 @@ void append_number(std::string* out, double v) {
 
 class Parser {
 public:
-    explicit Parser(const std::string& text) : text_(text) {}
+    explicit Parser(const std::string& text, bool reject_duplicate_keys = false)
+        : text_(text), reject_duplicate_keys_(reject_duplicate_keys) {}
 
     /// Containers deeper than this are rejected instead of letting the
     /// recursive-descent parser run the thread out of stack on adversarial
@@ -140,7 +141,12 @@ private:
             std::string key = parse_string();
             skip_ws();
             expect(':');
-            // Duplicate member names follow set() semantics: last one wins.
+            // Duplicate member names follow set() semantics: last one wins
+            // -- unless the caller asked for strict parsing, where two
+            // values for one field make the document ambiguous.
+            if (reject_duplicate_keys_ && obj.find(key) != nullptr) {
+                error("duplicate object key \"" + key + "\"");
+            }
             obj.set(key, parse_value());
             skip_ws();
             if (peek() == ',') {
@@ -249,6 +255,7 @@ private:
     }
 
     const std::string& text_;
+    bool reject_duplicate_keys_ = false;
     std::size_t pos_ = 0;
     int depth_ = 0;
 };
@@ -393,6 +400,10 @@ std::string Json::dump(int indent) const {
 
 Json Json::parse(const std::string& text) {
     return Parser(text).parse_document();
+}
+
+Json Json::parse_strict(const std::string& text) {
+    return Parser(text, /*reject_duplicate_keys=*/true).parse_document();
 }
 
 Json canonicalized(const Json& j) {

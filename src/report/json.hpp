@@ -89,6 +89,13 @@ public:
     /// Duplicate object keys follow set() semantics: the last value wins.
     static Json parse(const std::string& text);
 
+    /// Like parse(), but duplicate object keys throw JsonError instead of
+    /// last-wins.  Documents that feed verification (transcripts, attack
+    /// proofs) are loaded through this: a duplicate key is two candidate
+    /// values for one field, and silently preferring either would let an
+    /// artifact show different content to different parsers.
+    static Json parse_strict(const std::string& text);
+
     bool operator==(const Json&) const = default;
 
 private:

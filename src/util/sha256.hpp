@@ -1,0 +1,53 @@
+// Portable, dependency-free SHA-256 (FIPS 180-4).
+//
+// The audit layer (src/audit/) binds transcripts and survivor claims to
+// hash commitments that distrusting parties check against each other, so
+// collision resistance is load-bearing there.  fnv1a64 (util/hash.hpp)
+// stays the right tool for cache keys and spec hashes, where speed
+// matters and an adversary gains nothing from a collision.
+
+#ifndef MVF_UTIL_SHA256_HPP
+#define MVF_UTIL_SHA256_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mvf::util {
+
+// Streaming SHA-256.  update() may be called any number of times with
+// arbitrary-length chunks; finish() pads, returns the digest, and leaves
+// the object finished (reset() rearms it).
+class Sha256 {
+public:
+    static constexpr std::size_t kDigestBytes = 32;
+    using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+    Sha256() { reset(); }
+
+    void reset();
+    void update(std::string_view data);
+    void update(const std::uint8_t* data, std::size_t len);
+    Digest finish();
+
+    // One-shot helpers.
+    static Digest digest(std::string_view data);
+    static std::string hex(const Digest& d);
+
+private:
+    void compress(const std::uint8_t block[64]);
+
+    std::array<std::uint32_t, 8> state_;
+    std::uint64_t total_bytes_ = 0;
+    std::uint8_t buffer_[64];
+    std::size_t buffered_ = 0;
+};
+
+// Lowercase hex digest of `data` -- the common call shape in the audit
+// layer, where every commitment is manipulated as a 64-char hex string.
+std::string sha256_hex(std::string_view data);
+
+}  // namespace mvf::util
+
+#endif  // MVF_UTIL_SHA256_HPP

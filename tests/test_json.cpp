@@ -200,5 +200,26 @@ TEST(JsonEdge, NumbersSurviveRoundTripAtIntegerBoundaries) {
     EXPECT_EQ(Json::parse("1e3").as_int(), 1000);
 }
 
+// ------------------------------------------------------------ strict parse
+
+TEST(JsonStrict, RejectsDuplicateKeysAtAnyDepth) {
+    // The tolerant parser resolves these last-wins (tested above); the
+    // strict parser, which verification-feeding documents go through,
+    // throws instead.
+    EXPECT_THROW(Json::parse_strict(R"({"a": 1, "a": 2})"), JsonError);
+    EXPECT_THROW(Json::parse_strict(R"({"x": {"a": 1, "a": 2}})"), JsonError);
+    EXPECT_THROW(Json::parse_strict(R"([{"k": 0, "k": 0}])"), JsonError);
+}
+
+TEST(JsonStrict, AcceptsEverythingElseTheTolerantParserAccepts) {
+    const std::string doc =
+        R"({"a": 1, "b": {"a": 1.5, "c": [1, 2, {"a": "x"}]}, "d": null})";
+    EXPECT_EQ(Json::parse_strict(doc).dump(), Json::parse(doc).dump());
+    // Repeated names in DIFFERENT objects are fine.
+    EXPECT_EQ(Json::parse_strict(R"([{"a": 1}, {"a": 2}])").size(), 2u);
+    // Malformed input still throws the ordinary way.
+    EXPECT_THROW(Json::parse_strict("{"), JsonError);
+}
+
 }  // namespace
 }  // namespace mvf::report

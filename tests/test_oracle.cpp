@@ -385,6 +385,89 @@ TEST(Transcript, JsonRoundTripAndReplaySemantics) {
     EXPECT_THROW(diverging.query(patterns[9]), TranscriptMismatch);
 }
 
+TEST(Transcript, FromJsonRejectsMalformedDocuments) {
+    const auto parse = [](const std::string& text) {
+        return OracleTranscript::from_json(report::Json::parse(text));
+    };
+    // Baseline: this document is well-formed.
+    EXPECT_EQ(parse(R"({"inputs": 3, "outputs": 2,
+                        "queries": [{"in": "010", "out": "10"}]})")
+                  .entries.size(),
+              1u);
+    // Non-binary characters in a bit string.
+    EXPECT_THROW(parse(R"({"inputs": 3, "outputs": 2,
+                           "queries": [{"in": "012", "out": "10"}]})"),
+                 report::JsonError);
+    EXPECT_THROW(parse(R"({"inputs": 3, "outputs": 2,
+                           "queries": [{"in": "010", "out": "1x"}]})"),
+                 report::JsonError);
+    // Entry widths disagreeing with the declared widths.
+    EXPECT_THROW(parse(R"({"inputs": 3, "outputs": 2,
+                           "queries": [{"in": "0100", "out": "10"}]})"),
+                 report::JsonError);
+    EXPECT_THROW(parse(R"({"inputs": 3, "outputs": 2,
+                           "queries": [{"in": "010", "out": "1"}]})"),
+                 report::JsonError);
+    // Negative widths.
+    EXPECT_THROW(parse(R"({"inputs": -1, "outputs": 2, "queries": []})"),
+                 report::JsonError);
+    EXPECT_THROW(parse(R"({"inputs": 3, "outputs": -2, "queries": []})"),
+                 report::JsonError);
+    // Missing fields.
+    EXPECT_THROW(parse(R"({"outputs": 2, "queries": []})"),
+                 report::JsonError);
+    EXPECT_THROW(parse(R"({"inputs": 3, "outputs": 2,
+                           "queries": [{"in": "010"}]})"),
+                 report::JsonError);
+    // Wrong types.
+    EXPECT_THROW(parse(R"({"inputs": "three", "outputs": 2, "queries": []})"),
+                 report::JsonError);
+    EXPECT_THROW(parse(R"({"inputs": 3, "outputs": 2, "queries": 7})"),
+                 report::JsonError);
+    // Duplicate keys are resolved last-wins by the tolerant parser but
+    // rejected outright by the strict one verification inputs go through.
+    const std::string dup = R"({"inputs": 3, "inputs": 4, "outputs": 2,
+                                "queries": []})";
+    EXPECT_EQ(OracleTranscript::from_json(report::Json::parse(dup)).num_inputs,
+              4);
+    EXPECT_THROW(report::Json::parse_strict(dup), report::JsonError);
+}
+
+TEST(Transcript, FromJsonFuzzNeverCrashesAndOnlyThrowsJsonError) {
+    // Structured fuzz: mutate one byte of a valid serialized transcript at
+    // every position x a few replacement bytes.  Every mutant must either
+    // parse (possibly to a different transcript) or throw JsonError --
+    // nothing else, no crashes.
+    OracleTranscript t;
+    t.num_inputs = 4;
+    t.num_outputs = 2;
+    util::Rng rng(3);
+    for (int k = 0; k < 3; ++k) {
+        OracleTranscript::Entry e;
+        for (int i = 0; i < 4; ++i) e.inputs.push_back(rng.next_u64() & 1);
+        for (int q = 0; q < 2; ++q) e.outputs.push_back(rng.next_u64() & 1);
+        t.entries.push_back(std::move(e));
+    }
+    const std::string text = t.to_json().dump();
+    int parsed_ok = 0;
+    int rejected = 0;
+    for (std::size_t pos = 0; pos < text.size(); ++pos) {
+        for (const char c : {'2', 'x', '"', '{', '}', '-', '\0'}) {
+            std::string mutant = text;
+            mutant[pos] = c;
+            try {
+                OracleTranscript::from_json(report::Json::parse(mutant));
+                ++parsed_ok;
+            } catch (const report::JsonError&) {
+                ++rejected;
+            }
+        }
+    }
+    // Both outcomes must actually occur (the harness isn't vacuous).
+    EXPECT_GT(parsed_ok, 0);
+    EXPECT_GT(rejected, 0);
+}
+
 // ------------------------------------------------- CEGAR-level integration --
 
 /// These tests exercise the oracle layer, not the counting subsystem:

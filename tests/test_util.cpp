@@ -15,6 +15,7 @@
 
 #include "util/csv.hpp"
 #include "util/rng.hpp"
+#include "util/sha256.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -278,6 +279,65 @@ TEST(ThreadPool, ShardedTaskExceptionsPropagateThroughTheFuture) {
     std::atomic<bool> ran{false};
     pool.submit_sharded(1, [&ran] { ran = true; }).get();
     EXPECT_TRUE(ran.load());
+}
+
+// NIST FIPS 180-4 test vectors (plus the standard one-million-'a' vector
+// from the SHA byte-test suite).
+TEST(Sha256, FipsVectors) {
+    EXPECT_EQ(
+        sha256_hex(""),
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(
+        sha256_hex("abc"),
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(
+        sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+    EXPECT_EQ(
+        sha256_hex(std::string(1'000'000, 'a')),
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+    // The padding logic changes shape at 55/56 bytes (length field fits /
+    // spills into a second block) and again at whole-block multiples;
+    // cross-check the streaming API against the one-shot digest at each.
+    for (const std::size_t len : {0u, 1u, 55u, 56u, 57u, 63u, 64u, 65u, 119u,
+                                  120u, 127u, 128u, 129u}) {
+        const std::string msg(len, 'x');
+        const std::string oneshot = sha256_hex(msg);
+        // Stream it byte by byte: buffered partial blocks must compose.
+        Sha256 h;
+        for (const char c : msg) h.update(std::string_view(&c, 1));
+        EXPECT_EQ(Sha256::hex(h.finish()), oneshot) << "length " << len;
+    }
+    // Known-answer pin for one boundary so the pair above cannot agree on
+    // a shared bug: 64 'x' bytes (exactly one message block).
+    EXPECT_EQ(
+        sha256_hex(std::string(64, 'x')),
+        "7ce100971f64e7001e8fe5a51973ecdfe1ced42befe7ee8d5fd6219506b5393c");
+}
+
+TEST(Sha256, StreamingSplitInvariance) {
+    const std::string msg =
+        "the quick brown fox jumps over the lazy dog, 0123456789";
+    const std::string oneshot = sha256_hex(msg);
+    for (std::size_t split = 0; split <= msg.size(); ++split) {
+        Sha256 h;
+        h.update(std::string_view(msg).substr(0, split));
+        h.update(std::string_view(msg).substr(split));
+        EXPECT_EQ(Sha256::hex(h.finish()), oneshot) << "split " << split;
+    }
+}
+
+TEST(Sha256, ResetReusesTheInstance) {
+    Sha256 h;
+    h.update("garbage the reset must discard");
+    h.reset();
+    h.update("abc");
+    EXPECT_EQ(
+        Sha256::hex(h.finish()),
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
 }
 
 }  // namespace

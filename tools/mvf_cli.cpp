@@ -16,6 +16,7 @@
 //   mvf adversaries                       list the registered adversaries
 //   mvf check-report FILE                 validate a batch JSON report
 //   mvf check-trace FILE                  validate an NDJSON/Chrome trace
+//   mvf verify-proof FILE                 verify an --emit-proof artifact
 //
 // Scenario flags (run/attack): --funcs FAMILY:N --seed S --population P
 // --generations G --quick --no-baseline --no-camo --no-verify
@@ -26,6 +27,7 @@
 //
 // Exit codes: 0 success; 1 scenario/validation failure; 2 usage error.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,7 +37,11 @@
 #include <vector>
 
 #include "attack/adversary.hpp"
+#include "audit/attack_proof.hpp"
+#include "camo/camo_cell.hpp"
 #include "flow/batch_runner.hpp"
+#include "flow/stage_io.hpp"
+#include "map/gate_library.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "report/json.hpp"
@@ -67,6 +73,8 @@ int usage() {
         "  adversaries  list the registered adversaries\n"
         "  check-report validate a batch JSON report\n"
         "  check-trace  validate a trace file written by --trace\n"
+        "  verify-proof verify an attack-proof artifact written by\n"
+        "               --emit-proof (chip-free replay + commitment check)\n"
         "\n"
         "scenario options (run/attack):\n"
         "  --funcs FAMILY:N   viable set: present:2..16 or des:1..8 (default present:2)\n"
@@ -120,8 +128,15 @@ int usage() {
         "  --replay-transcript FILE\n"
         "                     replay a recorded transcript instead of\n"
         "                     consulting the chip (contradicts --oracle-noise)\n"
+        "  --emit-proof FILE  write a verifiable attack-proof artifact for\n"
+        "                     the CEGAR run (commitment-chained transcript;\n"
+        "                     check it with mvf verify-proof)\n"
         "  --random-warmup N  CEGAR warm-up: N random patterns queried in\n"
         "                     word-parallel blocks before the loop\n"
+        "  --neighborhood-queries N\n"
+        "                     additionally query N single-bit-flip neighbors\n"
+        "                     of each distinguishing input (survivor-\n"
+        "                     preserving extra pruning)\n"
         "  --random-queries N pattern budget of the random-sampling baseline\n"
         "                     adversary (default 128)\n"
         "\n"
@@ -426,6 +441,20 @@ bool parse_scenario_flags(int argc, char** argv, int start,
         } else if (arg == "--replay-transcript") {
             if (!next_value(argc, argv, &i, &value)) return false;
             scenario->params.replay_transcript = value;
+        } else if (arg == "--emit-proof") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            scenario->params.emit_proof = value;
+        } else if (arg == "--neighborhood-queries") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_int_flag(value, "--neighborhood-queries",
+                                &scenario->params.oracle.neighborhood_queries)) {
+                return false;
+            }
+            if (scenario->params.oracle.neighborhood_queries < 0) {
+                std::fprintf(stderr,
+                             "mvf: --neighborhood-queries must be >= 0\n");
+                return false;
+            }
         } else if (arg == "--random-warmup") {
             if (!next_value(argc, argv, &i, &value)) return false;
             if (!parse_int_flag(value, "--random-warmup",
@@ -552,6 +581,26 @@ bool parse_scenario_flags(int argc, char** argv, int start,
         std::fprintf(stderr,
                      "mvf: --replay-transcript contradicts --portfolio\n");
         return false;
+    }
+    // A proof certifies a fresh serial CEGAR run: replaying a transcript
+    // proves nothing new, and portfolio members interleave their queries
+    // into a non-replayable sequence.
+    if (!scenario->params.emit_proof.empty()) {
+        if (!scenario->params.replay_transcript.empty()) {
+            std::fprintf(stderr,
+                         "mvf: --emit-proof contradicts --replay-transcript\n");
+            return false;
+        }
+        const int members =
+            scenario->params.oracle.portfolio > 0
+                ? scenario->params.oracle.portfolio
+                : std::max(1, scenario->params.oracle.attack_threads);
+        if (members > 1) {
+            std::fprintf(stderr,
+                         "mvf: --emit-proof requires a serial CEGAR attack "
+                         "(use --portfolio 1 or --attack-threads 1)\n");
+            return false;
+        }
     }
     if (quick) {
         if (!population_set) scenario->params.ga.population = 8;
@@ -787,6 +836,17 @@ int cmd_check_report(int argc, char** argv) {
             if (!s.at("ok").as_bool()) ++failures;
             for (const report::Json& a : s.at("attacks").items()) {
                 attack::AdversaryReport::from_json(a);  // full round-trip check
+                // The round trip alone cannot see a hand-edited
+                // disagreement between the clamped numeric survivors field
+                // and its authoritative decimal mirror (parsing rebuilds
+                // the former from the latter); cross-check the raw
+                // document explicitly.
+                const std::string mismatch = attack::survivors_mismatch(a);
+                if (!mismatch.empty()) {
+                    std::fprintf(stderr, "mvf check-report: %s\n",
+                                 mismatch.c_str());
+                    return 1;
+                }
             }
         }
         if (failures != doc.at("failures").as_int()) {
@@ -805,6 +865,54 @@ int cmd_check_report(int argc, char** argv) {
     } catch (const std::exception& e) {
         std::fprintf(stderr, "mvf check-report: malformed report: %s\n",
                      e.what());
+        return 1;
+    }
+}
+
+int cmd_verify_proof(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: mvf verify-proof FILE\n");
+        return 2;
+    }
+    const std::string path = argv[2];
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "mvf verify-proof: cannot open %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        // Strict parse: a proof with duplicate keys is ambiguous evidence,
+        // not a last-wins document.
+        const report::Json doc = report::Json::parse_strict(text.str());
+        const audit::AttackProof proof = audit::AttackProof::from_json(doc);
+        const camo::CamoNetlist netlist = flow::camo_netlist_from_json(
+            proof.netlist,
+            camo::CamoLibrary::from_gate_library(tech::GateLibrary::standard()));
+        const audit::ProofVerification v = proof.verify(netlist);
+        std::printf("proof %s\n", path.c_str());
+        std::printf("  adversary   %s\n", proof.report.adversary.c_str());
+        std::printf("  queries     %zu committed\n",
+                    proof.transcript.entries.size());
+        std::printf("  merkle root %s\n", proof.merkle_root.c_str());
+        if (!proof.spec_hash.empty()) {
+            std::printf("  spec hash   %s\n", proof.spec_hash.c_str());
+        }
+        std::printf("  commitments %s\n", v.commitments_ok ? "ok" : "MISMATCH");
+        std::printf("  replay      %s\n", v.replay_ok ? "ok" : "MISMATCH");
+        for (const std::string& f : v.failures) {
+            std::fprintf(stderr, "mvf verify-proof: %s\n", f.c_str());
+        }
+        // Machine-parsable verdict line, mirroring check-report.
+        std::printf("verify-proof: %s %s\n", v.ok ? "PASS" : "FAIL",
+                    path.c_str());
+        return v.ok ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "mvf verify-proof: malformed proof: %s\n",
+                     e.what());
+        std::printf("verify-proof: FAIL %s\n", path.c_str());
         return 1;
     }
 }
@@ -1143,6 +1251,7 @@ int main(int argc, char** argv) {
     if (command == "adversaries") return cmd_adversaries();
     if (command == "check-report") return cmd_check_report(argc, argv);
     if (command == "check-trace") return cmd_check_trace(argc, argv);
+    if (command == "verify-proof") return cmd_verify_proof(argc, argv);
     if (command == "--help" || command == "-h" || command == "help") {
         usage();
         return 0;
