@@ -50,6 +50,7 @@ ReplayParams ReplayParams::from_attack_params(
     r.delta = p.delta;
     r.count_seed = p.count_seed;
     r.enumerate_survivors = p.enumerate_survivors;
+    if (p.fixed_nominal) r.fixed_nominal = *p.fixed_nominal;
     return r;
 }
 
@@ -72,6 +73,7 @@ attack::OracleAttackParams ReplayParams::to_attack_params(
                           : static_cast<int>(transcript_entries);
     p.max_iterations = 0;
     p.attack_threads = 1;
+    if (!fixed_nominal.empty()) p.fixed_nominal = &fixed_nominal;
     return p;
 }
 
@@ -85,6 +87,13 @@ report::Json ReplayParams::to_json() const {
     j.set("delta", delta);
     j.set("count_seed", count_seed);
     j.set("enumerate_survivors", enumerate_survivors);
+    if (!fixed_nominal.empty()) {
+        std::string bits(fixed_nominal.size(), '0');
+        for (std::size_t i = 0; i < fixed_nominal.size(); ++i) {
+            if (fixed_nominal[i]) bits[i] = '1';
+        }
+        j.set("fixed_nominal", std::move(bits));
+    }
     return j;
 }
 
@@ -102,6 +111,15 @@ ReplayParams ReplayParams::from_json(const report::Json& j) {
     r.delta = j.at("delta").as_number();
     r.count_seed = j.at("count_seed").as_uint();
     r.enumerate_survivors = j.at("enumerate_survivors").as_bool();
+    // Absent in proofs from S-box scenarios and in pre-circuit artifacts;
+    // both mean "no cell is known nominal".
+    if (const report::Json* f = j.find("fixed_nominal")) {
+        const std::string& bits = f->as_string();
+        r.fixed_nominal.resize(bits.size());
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+            r.fixed_nominal[i] = bits[i] == '1';
+        }
+    }
     return r;
 }
 

@@ -63,11 +63,18 @@ struct ReplayParams {
     double delta = 0.2;
     std::uint64_t count_seed = 1;
     bool enumerate_survivors = true;
+    /// Cells the live attack knew were uncamouflaged (circuit scenarios,
+    /// see camo::inject); indexed by netlist node id, empty for the S-box
+    /// flow.  Semantic, not performance: replaying without it would free
+    /// every cell and change the survivor count.
+    std::vector<bool> fixed_nominal;
 
     static ReplayParams from_attack_params(
         const attack::OracleAttackParams& p);
     /// The OracleAttackParams a verifier runs the replay with:
     /// `transcript_entries` patterns of scripted warm-up, no iteration cap.
+    /// The result's fixed_nominal pointer aliases this ReplayParams, which
+    /// must outlive the replay (AttackProof::verify holds it as a member).
     attack::OracleAttackParams to_attack_params(
         std::size_t transcript_entries) const;
 

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "camo/inject.hpp"
 #include "flow/spec_hash.hpp"
 #include "obs/trace.hpp"
 #include "sbox/sbox_data.hpp"
@@ -77,6 +78,15 @@ std::vector<std::string> split_csv(const std::string& value) {
         if (!item.empty()) out.push_back(item);
     }
     return out;
+}
+
+std::string file_stem(const std::string& path) {
+    const std::size_t slash = path.find_last_of("/\\");
+    const std::size_t start = slash == std::string::npos ? 0 : slash + 1;
+    const std::size_t dot = path.find_last_of('.');
+    const std::size_t end =
+        (dot == std::string::npos || dot <= start) ? path.size() : dot;
+    return path.substr(start, end - start);
 }
 
 }  // namespace
@@ -175,6 +185,9 @@ ScenarioRecord run_scenario(const Scenario& scenario, int index,
 }
 
 std::vector<ViableFunction> scenario_functions(const Scenario& scenario) {
+    // Circuit scenarios have no viable-function set: the subject is the
+    // imported benchmark file (FlowParams::circuit).
+    if (!scenario.params.circuit.path.empty()) return {};
     if (scenario.family == "present") {
         if (scenario.n < 1 || scenario.n > 16) {
             throw std::invalid_argument(
@@ -215,6 +228,18 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
         bool has_max_survivors = false;
         bool counting_disabled = false;  // explicit enum_survivors=0
         bool has_noise = false;
+        // Circuit-vs-funcs bookkeeping: circuit scenarios reject keys that
+        // only steer the S-box synthesis flow.
+        bool has_funcs = false;
+        bool has_camo_density = false;
+        bool has_camo_cells = false;
+        bool has_camo_key = false;  // any camo_* knob
+        bool has_sbox_only_key = false;
+        std::string sbox_only_key;
+        const auto note_sbox_only = [&](const std::string& key) {
+            if (!has_sbox_only_key) sbox_only_key = key;
+            has_sbox_only_key = true;
+        };
         while (tokens >> token) {
             any = true;
             const std::size_t eq = token.find('=');
@@ -233,12 +258,48 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
                 }
                 s.family = value.substr(0, colon);
                 s.n = parse_int(value.substr(colon + 1), line_no, "funcs width");
+                has_funcs = true;
+            } else if (key == "circuit") {
+                if (value.empty()) {
+                    spec_error(line_no, "circuit needs a file path");
+                }
+                s.params.circuit.path = value;
+            } else if (key == "camo_density") {
+                s.params.circuit.camo_density =
+                    parse_double(value, line_no, key);
+                if (!(s.params.circuit.camo_density > 0.0 &&
+                      s.params.circuit.camo_density <= 1.0)) {
+                    spec_error(line_no, "camo_density must be in (0, 1]");
+                }
+                has_camo_density = true;
+                has_camo_key = true;
+            } else if (key == "camo_cells") {
+                s.params.circuit.camo_cells = parse_int(value, line_no, key);
+                if (s.params.circuit.camo_cells < 1) {
+                    spec_error(line_no, "camo_cells must be >= 1");
+                }
+                has_camo_cells = true;
+                has_camo_key = true;
+            } else if (key == "camo_seed") {
+                s.params.circuit.camo_seed = parse_u64(value, line_no, key);
+                has_camo_key = true;
+            } else if (key == "camo_policy") {
+                camo::InjectPolicy policy;
+                if (!camo::inject_policy_from_name(value, &policy)) {
+                    spec_error(line_no,
+                               "camo_policy must be random, fanout or depth, "
+                               "got \"" + value + "\"");
+                }
+                s.params.circuit.camo_policy = value;
+                has_camo_key = true;
             } else if (key == "seed") {
                 s.params.seed = parse_u64(value, line_no, key);
             } else if (key == "population" || key == "pop") {
                 s.params.ga.population = parse_int(value, line_no, key);
+                note_sbox_only(key);
             } else if (key == "generations" || key == "gens") {
                 s.params.ga.generations = parse_int(value, line_no, key);
+                note_sbox_only(key);
             } else if (key == "attack") {
                 if (value == "none") {
                     s.params.adversaries.clear();
@@ -248,12 +309,15 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
                 }
             } else if (key == "baseline") {
                 s.params.run_random_baseline = parse_flag(value, line_no, key);
+                note_sbox_only(key);
             } else if (key == "camo") {
                 s.params.run_camo_mapping = parse_flag(value, line_no, key);
             } else if (key == "verify") {
                 s.params.verify = parse_flag(value, line_no, key);
+                note_sbox_only(key);
             } else if (key == "final_best") {
                 s.params.final_best_of_builds = parse_flag(value, line_no, key);
+                note_sbox_only(key);
             } else if (key == "max_survivors") {
                 // Cap on the CEGAR survivor enumeration; small values keep
                 // attack scenarios fast on huge configuration spaces.
@@ -354,7 +418,9 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
             } else {
                 spec_error(line_no,
                            "unknown key \"" + key +
-                               "\" (name funcs seed population generations "
+                               "\" (name funcs circuit camo_density "
+                               "camo_cells camo_seed camo_policy "
+                               "seed population generations "
                                "attack baseline camo verify final_best "
                                "count_mode count_cache_mb "
                                "count_max_decisions epsilon delta "
@@ -368,6 +434,46 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
             }
         }
         if (!any) continue;  // blank/comment line
+        // Circuit scenarios are file-based: the subject comes from the
+        // benchmark, so the viable-function and synthesis-flow keys are
+        // contradictions, and the camo_* knobs require a circuit.
+        const bool is_circuit = !s.params.circuit.path.empty();
+        if (is_circuit && has_funcs) {
+            spec_error(line_no,
+                       "circuit and funcs name two different subjects; "
+                       "pick one");
+        }
+        if (!is_circuit && has_camo_key) {
+            spec_error(line_no,
+                       "camo_density/camo_cells/camo_seed/camo_policy "
+                       "require circuit=PATH (the S-box flow camouflages "
+                       "via Phase III covering)");
+        }
+        if (is_circuit && has_sbox_only_key) {
+            spec_error(line_no,
+                       "key \"" + sbox_only_key +
+                           "\" steers the S-box synthesis flow, which "
+                           "circuit scenarios skip");
+        }
+        if (has_camo_density && has_camo_cells) {
+            spec_error(line_no,
+                       "camo_density and camo_cells both size the "
+                       "camouflage budget; pick one");
+        }
+        if (is_circuit) {
+            // The plausibility attacker needs the viable-function targets,
+            // which only the S-box flow has.
+            for (const std::string& adv : s.params.adversaries) {
+                if (adv == "plausibility") {
+                    spec_error(line_no,
+                               "adversary \"" + adv +
+                                   "\" needs the viable-function set; "
+                                   "circuit scenarios support oracle-"
+                                   "granted adversaries (cegar, "
+                                   "random-sampling)");
+                }
+            }
+        }
         // Reject contradictory counting keys instead of silently ignoring
         // them (each key only applies to one CountMode, and none applies
         // when counting is switched off entirely).
@@ -449,9 +555,16 @@ std::vector<Scenario> parse_scenario_spec(const std::string& text) {
                            "(set portfolio=1 or attack_threads=1)");
             }
         }
+        if (is_circuit) {
+            s.family = "circuit";
+            s.n = 0;
+        }
         if (s.name.empty()) {
-            s.name = s.family + std::to_string(s.n) + "-s" +
-                     std::to_string(s.params.seed);
+            s.name = is_circuit
+                         ? file_stem(s.params.circuit.path) + "-s" +
+                               std::to_string(s.params.seed)
+                         : s.family + std::to_string(s.n) + "-s" +
+                               std::to_string(s.params.seed);
         }
         scenarios.push_back(std::move(s));
     }

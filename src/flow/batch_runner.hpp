@@ -37,7 +37,13 @@ struct Scenario {
 std::vector<ViableFunction> scenario_functions(const Scenario& scenario);
 
 /// Parses the spec format above; throws std::invalid_argument with a line
-/// number on malformed input.  Recognized keys: name, funcs=family:n, seed,
+/// number on malformed input.  Recognized keys: name, funcs=family:n,
+/// circuit=PATH (file-based scenario: import a BLIF/AIGER/.bench circuit
+/// instead of merging viable functions; mutually exclusive with funcs and
+/// with the S-box-flow keys population/generations/baseline/verify/
+/// final_best) with camo_density ((0,1]), camo_cells (>= 1, excludes
+/// camo_density), camo_seed (0 = scenario seed) and
+/// camo_policy=random|fanout|depth, seed,
 /// population, generations, attack (comma-separated adversaries or "none"),
 /// baseline, camo, verify, final_best (0/1 flags),
 /// count_mode=exact|approx|enumerate, count_cache_mb (exact),

@@ -29,7 +29,28 @@
 
 namespace mvf::flow {
 
+/// File-based scenario subject: instead of merging viable functions, the
+/// pipeline imports a benchmark circuit (BLIF/AIGER/.bench, see
+/// io/import.hpp) and camouflages a fraction of its cells (camo/inject.hpp).
+/// Active when `path` is non-empty; mutually exclusive with a viable-
+/// function family.
+struct CircuitParams {
+    std::string path;  ///< circuit file; empty = S-box flow
+    /// Fraction of cells to camouflage, in (0, 1].  Ignored when
+    /// camo_cells > 0.
+    double camo_density = 0.1;
+    /// Absolute camouflaged-cell budget (0 = use camo_density).
+    int camo_cells = 0;
+    /// Injection RNG seed; 0 = derive from the scenario seed.
+    std::uint64_t camo_seed = 0;
+    /// Cell-selection policy: "random", "fanout" or "depth".
+    std::string camo_policy = "random";
+};
+
 struct FlowParams {
+    /// When set, replaces pin-search/synthesize/camo-cover with
+    /// import/camo-inject (see Pipeline::standard).
+    CircuitParams circuit;
     ga::GaParams ga;
     /// Synthesis effort for GA fitness evaluations (fast) and for the final
     /// selected circuit (stronger).
@@ -113,6 +134,12 @@ struct FlowResult {
     std::optional<tech::Netlist> synthesized;    ///< best GA circuit, mapped
     std::optional<camo::CamoNetlist> camouflaged;
     camo::CamoMapStats camo_stats;
+
+    /// Circuit scenarios only (camo::inject): cells the attacker knows are
+    /// ordinary, indexed by camouflaged-netlist node id.  Wired into
+    /// OracleAttackParams::fixed_nominal by the attack stage; empty for the
+    /// S-box flow, where every look-alike is unknown.
+    std::vector<bool> fixed_nominal;
 
     bool verified = false;  ///< every viable function replayed correctly
 

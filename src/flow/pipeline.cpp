@@ -7,7 +7,9 @@
 #include <utility>
 
 #include "audit/attack_proof.hpp"
+#include "camo/inject.hpp"
 #include "flow/stage_io.hpp"
+#include "io/import.hpp"
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
@@ -25,9 +27,44 @@ FlowContext::FlowContext(ObfuscationFlow& engine,
                          const std::vector<ViableFunction>& fns,
                          FlowParams p)
     : flow(&engine), functions(&fns), params(std::move(p)) {
-    if (fns.empty()) {
+    // Circuit scenarios carry no viable functions -- the subject is a file.
+    if (fns.empty() && params.circuit.path.empty()) {
         throw std::invalid_argument("FlowContext: empty viable-function set");
     }
+}
+
+void ImportStage::run(FlowContext& ctx) {
+    const io::ImportedCircuit circuit =
+        io::load_circuit(ctx.params.circuit.path);
+    tech::Netlist mapped = io::import_netlist(
+        circuit, ctx.flow->gate_library(), ctx.params.map);
+    ctx.result.ga_area = mapped.area();
+    ctx.result.synthesized = std::move(mapped);
+}
+
+void InjectStage::run(FlowContext& ctx) {
+    if (!ctx.result.synthesized) {
+        throw std::logic_error(
+            "InjectStage: no imported netlist in the context (run "
+            "ImportStage first)");
+    }
+    const CircuitParams& cp = ctx.params.circuit;
+    camo::InjectParams inject_params;
+    inject_params.density = cp.camo_density;
+    inject_params.cells = cp.camo_cells;
+    inject_params.seed = cp.camo_seed != 0 ? cp.camo_seed : ctx.params.seed;
+    if (!camo::inject_policy_from_name(cp.camo_policy,
+                                       &inject_params.policy)) {
+        throw std::invalid_argument(
+            "InjectStage: unknown camouflage policy \"" + cp.camo_policy +
+            "\" (expected random, fanout or depth)");
+    }
+    camo::InjectResult injected = camo::inject(
+        *ctx.result.synthesized, ctx.flow->camo_library(), inject_params);
+    ctx.result.ga_tm_area = injected.stats.area;
+    ctx.result.camo_stats = injected.stats;
+    ctx.result.camouflaged = std::move(injected.netlist);
+    ctx.result.fixed_nominal = std::move(injected.fixed_nominal);
 }
 
 void FlowContext::set_timeout(double seconds) {
@@ -182,6 +219,11 @@ void AttackStage::run(FlowContext& ctx) {
     options.oracle = ctx.params.oracle;
     options.random_queries = ctx.params.random_queries;
     options.random_seed = ctx.params.seed;
+    // Circuit scenarios: the attacker knows which cells were NOT
+    // camouflaged (they are ordinary gates under any imaging attack).
+    if (!ctx.result.fixed_nominal.empty()) {
+        options.oracle.fixed_nominal = &ctx.result.fixed_nominal;
+    }
 
     std::optional<attack::OracleTranscript> replay;
     if (!ctx.params.replay_transcript.empty()) {
@@ -210,7 +252,14 @@ void AttackStage::run(FlowContext& ctx) {
         // The per-code truth-table extraction is only paid when a
         // viable-set adversary is actually in the panel (and only once).
         if (adversary->knowledge() == attack::Knowledge::kViableSet &&
-            options.viable_targets.empty() && ctx.best_spec) {
+            options.viable_targets.empty()) {
+            if (!ctx.best_spec) {
+                throw std::invalid_argument(
+                    "AttackStage: adversary \"" + name +
+                    "\" needs the viable-function set, which circuit "
+                    "scenarios do not have -- pick oracle-granted "
+                    "adversaries (e.g. cegar, random-sampling)");
+            }
             for (int code = 0; code < ctx.best_spec->num_functions(); ++code) {
                 options.viable_targets.push_back(
                     ctx.best_spec->expected_outputs_for_code(code));
@@ -245,10 +294,13 @@ void AttackStage::run(FlowContext& ctx) {
             const audit::CommittingOracle* committer = stack.committer();
             report.audit_merkle_root = committer->merkle_root();
             report.audit_committed = committer->committed();
+            // options.oracle, not ctx.params.oracle: the proof's replay
+            // parameters must include the fixed_nominal wiring above, or
+            // chip-free verification would free every cell and diverge.
             ctx.result.attack_proof =
                 audit::AttackProof::prove(*netlist_snapshot, report,
                                           *stack.recorded(), *committer,
-                                          ctx.params.oracle)
+                                          options.oracle)
                     .to_json();
         }
         ctx.result.attack_reports.push_back(std::move(report));
@@ -363,6 +415,16 @@ PipelineStatus Pipeline::run(FlowContext& ctx) const {
 
 Pipeline Pipeline::standard(const FlowParams& params) {
     Pipeline p;
+    if (!params.circuit.path.empty()) {
+        p.add_stage<ImportStage>();
+        if (params.run_camo_mapping) p.add_stage<InjectStage>();
+        if (!params.adversaries.empty()) {
+            p.add_stage<AttackStage>(params.adversaries);
+        } else if (params.run_oracle_attack) {
+            p.add_stage<AttackStage>();
+        }
+        return p;
+    }
     p.add_stage<PinSearchStage>();
     p.add_stage<SynthesizeStage>();
     if (params.run_camo_mapping) {

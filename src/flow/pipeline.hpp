@@ -118,6 +118,24 @@ public:
     virtual void run(FlowContext& ctx) = 0;
 };
 
+/// Circuit scenarios (params.circuit.path): loads the benchmark file and
+/// technology-maps it onto the flow's gate library (io/import.hpp).  Fills
+/// result.synthesized; replaces PinSearch/Synthesize.
+class ImportStage final : public Stage {
+public:
+    std::string_view name() const override { return "import"; }
+    void run(FlowContext& ctx) override;
+};
+
+/// Circuit scenarios: camouflages a seeded fraction of the imported
+/// netlist's cells (camo::inject), filling result.camouflaged and
+/// result.fixed_nominal; replaces CamoCoverStage.
+class InjectStage final : public Stage {
+public:
+    std::string_view name() const override { return "camo-inject"; }
+    void run(FlowContext& ctx) override;
+};
+
 /// Phase II: genetic pin-assignment search, plus the equal-budget random
 /// baseline when params.run_random_baseline.
 class PinSearchStage final : public Stage {
@@ -203,6 +221,9 @@ public:
     /// validate when additionally params.verify; attack when
     /// params.run_oracle_attack or params.adversaries is non-empty (the
     /// explicit list wins, default {"cegar"}).
+    ///
+    /// When params.circuit.path is set the subject comes from a file
+    /// instead: import + (camo-inject when run_camo_mapping) + attack.
     static Pipeline standard(const FlowParams& params);
 
 private:

@@ -1,7 +1,11 @@
 #include "flow/spec_hash.hpp"
 
+#include <fstream>
+#include <sstream>
+
 #include "attack/oracle_attack.hpp"
 #include "util/hash.hpp"
+#include "util/sha256.hpp"
 
 namespace mvf::flow {
 
@@ -139,12 +143,58 @@ report::Json camo_cover_json(const Scenario& s) {
 
 /// Everything semantic: what the attack stage (and with it the complete
 /// scenario outcome) depends on.
-report::Json full_json(const Scenario& s) {
+report::Json sbox_full_json(const Scenario& s) {
     report::Json j = camo_cover_json(s);
     j.set("run_camo_mapping", s.params.run_camo_mapping);
     j.set("verify", s.params.verify);
     j.set("attack", attack_json(s));
     return j;
+}
+
+/// SHA-256 of the file's bytes, or "unreadable" when it cannot be opened.
+/// Never throws: spec hashes are stamped into records before the pipeline
+/// runs, so a missing circuit file must surface as the import stage's
+/// ParseError, not here.
+std::string file_fingerprint(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return "unreadable";
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    return util::sha256_hex(bytes.str());
+}
+
+/// Circuit-scenario subset chain.  The import stage depends on the file's
+/// CONTENTS, not just its path -- editing the circuit on disk must miss in
+/// serve::StageCache rather than warm-hit a stale snapshot.
+report::Json import_json(const Scenario& s) {
+    report::Json j = report::Json::object();
+    j.set("schema", kSpecSchemaVersion);
+    j.set("kind", "circuit");
+    j.set("circuit", s.params.circuit.path);
+    j.set("circuit_sha256", file_fingerprint(s.params.circuit.path));
+    j.set("map", map_json(s));
+    return j;
+}
+
+report::Json inject_json(const Scenario& s) {
+    report::Json j = import_json(s);
+    j.set("camo_density", s.params.circuit.camo_density);
+    j.set("camo_cells", s.params.circuit.camo_cells);
+    j.set("camo_seed", s.params.circuit.camo_seed);
+    j.set("camo_policy", s.params.circuit.camo_policy);
+    return j;
+}
+
+report::Json circuit_full_json(const Scenario& s) {
+    report::Json j = inject_json(s);
+    j.set("run_camo_mapping", s.params.run_camo_mapping);
+    j.set("attack", attack_json(s));
+    return j;
+}
+
+report::Json full_json(const Scenario& s) {
+    return s.params.circuit.path.empty() ? sbox_full_json(s)
+                                         : circuit_full_json(s);
 }
 
 std::string subset_hash(const report::Json& subset) {
@@ -174,6 +224,19 @@ std::string stage_cache_key(const Scenario& scenario, std::string_view stage) {
         return "";
     }
     std::string subset;
+    if (!scenario.params.circuit.path.empty()) {
+        if (stage == "import") {
+            subset = subset_hash(import_json(scenario));
+        } else if (stage == "camo-inject") {
+            subset = subset_hash(inject_json(scenario));
+        } else if (stage == "attack") {
+            subset = subset_hash(circuit_full_json(scenario));
+        } else {
+            return "";
+        }
+        return subset + ":s" + std::to_string(scenario.params.seed) + ":" +
+               std::string(stage);
+    }
     if (stage == "pin-search") {
         subset = subset_hash(pin_search_json(scenario));
     } else if (stage == "synthesize") {

@@ -25,6 +25,11 @@
 // pipeline overrides it with the scenario seed).  `replay_transcript` IS
 // included -- replaying changes results -- but a scenario naming transcript
 // files is never stage-cached (the cache cannot see the file contents).
+//
+// Circuit scenarios (`circuit=PATH`) hash the referenced file's CONTENTS
+// (SHA-256 of its bytes) into every subset, so editing the benchmark on
+// disk changes the spec hash and invalidates stage-cache entries instead
+// of warm-hitting stale snapshots.
 
 #include <string>
 #include <string_view>

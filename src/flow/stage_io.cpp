@@ -225,6 +225,13 @@ report::Json snapshot_context(const FlowContext& ctx) {
     if (r.camouflaged) {
         j.set("camouflaged", camo_netlist_to_json(*r.camouflaged));
     }
+    if (!r.fixed_nominal.empty()) {
+        std::string bits(r.fixed_nominal.size(), '0');
+        for (std::size_t i = 0; i < r.fixed_nominal.size(); ++i) {
+            if (r.fixed_nominal[i]) bits[i] = '1';
+        }
+        j.set("fixed_nominal", std::move(bits));
+    }
     report::Json attacks = report::Json::array();
     for (const attack::AdversaryReport& a : r.attack_reports) {
         attacks.push_back(a.to_json());
@@ -254,6 +261,13 @@ void restore_context(const report::Json& snapshot, FlowContext* ctx) {
     }
     if (const report::Json* c = snapshot.find("camouflaged")) {
         r.camouflaged = camo_netlist_from_json(*c, ctx->flow->camo_library());
+    }
+    if (const report::Json* f = snapshot.find("fixed_nominal")) {
+        const std::string& bits = f->as_string();
+        r.fixed_nominal.resize(bits.size());
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+            r.fixed_nominal[i] = bits[i] == '1';
+        }
     }
     for (const report::Json& a : snapshot.at("attack_reports").items()) {
         r.attack_reports.push_back(attack::AdversaryReport::from_json(a));

@@ -1,9 +1,10 @@
 #include "io/blif.hpp"
 
-#include <map>
 #include <ostream>
-#include <sstream>
 #include <vector>
+
+#include "io/import.hpp"
+#include "net/aig_sim.hpp"
 
 namespace mvf::io {
 
@@ -162,112 +163,23 @@ void write_bench(const Aig& aig, std::ostream& out) {
 }
 
 std::optional<BlifModel> read_blif_collapse(std::istream& in) {
-    using logic::TruthTable;
+    // Thin collapse layer over the structural reader (io/import.hpp): parse
+    // to an AIG, then simulate every PO over the full input space.  Keeps
+    // the historical optional contract for round-trip checks while the
+    // structural reader owns all parsing and validation.
+    ImportedCircuit circuit;
+    try {
+        circuit = read_blif(in);
+    } catch (const ParseError&) {
+        return std::nullopt;
+    }
+    if (circuit.input_names.size() > 16) return std::nullopt;
+
     BlifModel model;
-    std::vector<std::string> input_names;
-    std::vector<std::string> output_names;
-
-    struct Names {
-        std::vector<std::string> inputs;
-        std::string output;
-        std::vector<std::string> rows;  // "<pattern> 1" rows only
-    };
-    std::vector<Names> tables;
-
-    std::string line;
-    std::string pending;
-    std::vector<std::string> tokens;
-    Names* current = nullptr;
-
-    const auto tokenize = [&tokens](const std::string& s) {
-        tokens.clear();
-        std::istringstream iss(s);
-        std::string t;
-        while (iss >> t) tokens.push_back(t);
-    };
-
-    while (std::getline(in, line)) {
-        const auto hash = line.find('#');
-        if (hash != std::string::npos) line.resize(hash);
-        if (!line.empty() && line.back() == '\\') {
-            pending += line.substr(0, line.size() - 1);
-            continue;
-        }
-        line = pending + line;
-        pending.clear();
-        tokenize(line);
-        if (tokens.empty()) continue;
-
-        if (tokens[0] == ".model") {
-            if (tokens.size() > 1) model.name = tokens[1];
-            current = nullptr;
-        } else if (tokens[0] == ".inputs") {
-            input_names.assign(tokens.begin() + 1, tokens.end());
-            current = nullptr;
-        } else if (tokens[0] == ".outputs") {
-            output_names.assign(tokens.begin() + 1, tokens.end());
-            current = nullptr;
-        } else if (tokens[0] == ".names") {
-            tables.emplace_back();
-            current = &tables.back();
-            current->inputs.assign(tokens.begin() + 1, tokens.end() - 1);
-            current->output = tokens.back();
-        } else if (tokens[0] == ".end") {
-            current = nullptr;
-        } else if (tokens[0][0] == '.') {
-            return std::nullopt;  // unsupported directive
-        } else if (current) {
-            if (tokens.size() == 1 && current->inputs.empty()) {
-                current->rows.push_back(tokens[0]);  // constant-1 row
-            } else if (tokens.size() == 2 && tokens[1] == "1") {
-                current->rows.push_back(tokens[0]);
-            } else if (tokens.size() == 2 && tokens[1] == "0") {
-                return std::nullopt;  // 0-rows unsupported
-            } else {
-                return std::nullopt;
-            }
-        }
-    }
-
-    const int ni = static_cast<int>(input_names.size());
-    if (ni > 16) return std::nullopt;
-    model.num_inputs = ni;
-    model.num_outputs = static_cast<int>(output_names.size());
-
-    std::map<std::string, TruthTable> value;
-    for (int i = 0; i < ni; ++i) value.emplace(input_names[static_cast<std::size_t>(i)], TruthTable::var(i, ni));
-
-    // Tables are written in topological order by our writer.
-    for (const Names& t : tables) {
-        TruthTable f(ni);
-        if (t.inputs.empty()) {
-            // constant: empty rows -> 0; a "1" row -> 1
-            if (!t.rows.empty()) f = TruthTable::ones(ni);
-        } else {
-            for (const std::string& row : t.rows) {
-                if (row.size() != t.inputs.size()) return std::nullopt;
-                TruthTable cube = TruthTable::ones(ni);
-                for (std::size_t b = 0; b < row.size(); ++b) {
-                    const auto it = value.find(t.inputs[b]);
-                    if (it == value.end()) return std::nullopt;
-                    if (row[b] == '1')
-                        cube &= it->second;
-                    else if (row[b] == '0')
-                        cube &= ~it->second;
-                    else if (row[b] != '-')
-                        return std::nullopt;
-                }
-                f |= cube;
-            }
-        }
-        value.insert_or_assign(t.output, f);
-    }
-
-    for (const std::string& name : output_names) {
-        const auto it = value.find(name);
-        if (it == value.end()) return std::nullopt;
-        model.outputs.push_back(it->second);
-    }
+    model.name = circuit.name;
+    model.num_inputs = static_cast<int>(circuit.input_names.size());
+    model.num_outputs = static_cast<int>(circuit.output_names.size());
+    model.outputs = net::simulate_full(circuit.aig);
     return model;
 }
 

@@ -4,8 +4,8 @@
 // The paper's flow passes designs between Yosys and ABC as BLIF; this
 // module provides the same interchange surface so circuits produced here
 // can be inspected with, or imported into, external synthesis tools.  The
-// reader supports the subset the writer emits (.model/.inputs/.outputs/
-// .names with 0-/1-rows) and is round-trip tested.
+// collapse reader rides on the structural importer (io/import.hpp) and is
+// round-trip tested against both writers.
 
 #include <iosfwd>
 #include <optional>
@@ -38,8 +38,9 @@ struct BlifModel {
     std::vector<logic::TruthTable> outputs;
 };
 
-/// Parses the subset emitted by write_blif and collapses it to output
-/// functions.  Returns nullopt on malformed input or > 16 inputs.
+/// Parses structural BLIF (via io::read_blif) and collapses it to output
+/// functions.  Returns nullopt on malformed input or > 16 inputs; use
+/// io::read_blif directly for structured errors and uncollapsed import.
 std::optional<BlifModel> read_blif_collapse(std::istream& in);
 
 }  // namespace mvf::io

@@ -14,12 +14,20 @@ CnfBuilder::CnfBuilder(const CamoNetlist& netlist, Solver* solver,
     solver_->add_unit(lit_true());
 
     selector_.resize(static_cast<std::size_t>(netlist.num_nodes()));
+    fixed_choice_.assign(static_cast<std::size_t>(netlist.num_nodes()), -1);
     for (int id = 0; id < netlist.num_nodes(); ++id) {
         const CamoNetlist::Node& n = netlist.node(id);
         if (n.kind != CamoNetlist::NodeKind::kCell) continue;
         const camo::CamoCell& cell = netlist.library().cell(n.camo_cell_id);
         const bool fixed =
             fixed_nominal && (*fixed_nominal)[static_cast<std::size_t>(id)];
+        if (fixed) {
+            // The known cell realizes its configured function -- index 0
+            // for ordinary camo variants, but a TIE wired to const1 sits
+            // at plausible index 1.
+            fixed_choice_[static_cast<std::size_t>(id)] =
+                n.config_fn.empty() ? 0 : n.config_fn[0];
+        }
         const int num_choices = fixed ? 1 : static_cast<int>(cell.plausible.size());
         auto& sel = selector_[static_cast<std::size_t>(id)];
         sel.reserve(static_cast<std::size_t>(num_choices));
@@ -102,7 +110,8 @@ CnfBuilder::Copy CnfBuilder::stamp(std::span<const Lit> pi_lits, bool fold,
         if (fold && sel.size() == 1) {
             // Single plausible function: if the support is constant, so is
             // the output -- no variable, no clauses.
-            const TruthTable& f0 = cell.plausible[0];
+            const TruthTable& f0 = cell.plausible[static_cast<std::size_t>(
+                plausible_index(id, 0))];
             const std::vector<int> support = f0.support();
             std::uint32_t pins = 0;
             bool all_known = true;
@@ -129,7 +138,8 @@ CnfBuilder::Copy CnfBuilder::stamp(std::span<const Lit> pi_lits, bool fold,
         // Selecting function j binds the output to f_j of the fanin values,
         // one clause per minterm of f_j's support.
         for (std::size_t j = 0; j < sel.size(); ++j) {
-            const TruthTable& fj = cell.plausible[j];
+            const TruthTable& fj = cell.plausible[static_cast<std::size_t>(
+                plausible_index(id, j))];
             const std::vector<int> support = fj.support();
             const int k = static_cast<int>(support.size());
             for (std::uint32_t pp = 0; pp < (1u << k); ++pp) {
@@ -227,7 +237,7 @@ std::vector<int> CnfBuilder::config_from_model() const {
         const auto& sel = selector_[static_cast<std::size_t>(id)];
         for (std::size_t j = 0; j < sel.size(); ++j) {
             if (solver_->model_value(sel[j])) {
-                config[static_cast<std::size_t>(id)] = static_cast<int>(j);
+                config[static_cast<std::size_t>(id)] = plausible_index(id, j);
                 break;
             }
         }
@@ -241,7 +251,12 @@ std::vector<Lit> CnfBuilder::config_assumptions(
     for (int id = 0; id < netlist_->num_nodes(); ++id) {
         const auto& sel = selector_[static_cast<std::size_t>(id)];
         if (sel.empty()) continue;
-        const int j = config[static_cast<std::size_t>(id)];
+        int j = config[static_cast<std::size_t>(id)];
+        if (fixed_choice_[static_cast<std::size_t>(id)] >= 0) {
+            // Fixed cells have one selector, bound to their true function.
+            assert(j == fixed_choice_[static_cast<std::size_t>(id)]);
+            j = 0;
+        }
         assert(j >= 0 && j < static_cast<int>(sel.size()));
         out.push_back(mk_lit(sel[static_cast<std::size_t>(j)]));
     }
@@ -255,7 +270,11 @@ bool CnfBuilder::block_config(const std::vector<int>& config,
         const auto& sel = selector_[static_cast<std::size_t>(id)];
         if (sel.empty()) continue;
         if (only && !(*only)[static_cast<std::size_t>(id)]) continue;
-        const int j = config[static_cast<std::size_t>(id)];
+        int j = config[static_cast<std::size_t>(id)];
+        if (fixed_choice_[static_cast<std::size_t>(id)] >= 0) {
+            assert(j == fixed_choice_[static_cast<std::size_t>(id)]);
+            j = 0;
+        }
         assert(j >= 0 && j < static_cast<int>(sel.size()));
         clause.push_back(mk_lit(sel[static_cast<std::size_t>(j)], true));
     }

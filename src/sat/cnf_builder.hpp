@@ -30,9 +30,10 @@ class CnfBuilder {
 public:
     /// Allocates the selector family (with exactly-one constraints) on
     /// `solver`.  `fixed_nominal`, if non-null, marks nodes the attacker
-    /// knows are ordinary cells: their selector collapses to the nominal
-    /// function (index 0).  The builder stores both references; they must
-    /// outlive it.
+    /// knows are ordinary cells: their selector collapses to the cell's
+    /// true function, plausible[config_fn[0]] -- index 0 for ordinary camo
+    /// variants, but e.g. 1 for a TIE cell wired to const1.  The builder
+    /// stores both references; they must outlive it.
     CnfBuilder(const camo::CamoNetlist& netlist, Solver* solver,
                const std::vector<bool>* fixed_nominal = nullptr);
 
@@ -116,10 +117,21 @@ private:
                const ShareSource* share, std::vector<Lit>* values_out,
                std::vector<signed char>* known_out, int* shared_cells_out);
 
+    /// Plausible index encoded by selector `j` of node `id`: fixed cells
+    /// have one selector bound to their true function's index, free cells
+    /// map selector j to plausible j.
+    int plausible_index(int id, std::size_t j) const {
+        const int f = fixed_choice_[static_cast<std::size_t>(id)];
+        return f >= 0 ? f : static_cast<int>(j);
+    }
+
     const camo::CamoNetlist* netlist_;
     Solver* solver_;
     Var const_var_;
     std::vector<std::vector<Var>> selector_;  // per node; empty for PIs
+    /// Per node: the plausible index a fixed_nominal cell is bound to, or
+    /// -1 when the cell's selector ranges over the full plausible set.
+    std::vector<int> fixed_choice_;
 };
 
 }  // namespace mvf::sat

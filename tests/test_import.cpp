@@ -1,0 +1,388 @@
+// The benchmark-circuit frontend: structural BLIF / .bench / AIGER readers.
+//
+// Anchors: (a) the canonical ISCAS-85 c17 netlist imports to the known
+// function in both spellings; (b) write->read round trips over randomized
+// AIGs are simulation-equivalent in all three formats (the fuzz
+// differential); (c) a corpus of malformed files always throws a
+// structured io::ParseError -- never crashes, never silently succeeds.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "io/blif.hpp"
+#include "io/import.hpp"
+#include "net/aig_sim.hpp"
+#include "util/rng.hpp"
+
+namespace mvf::io {
+namespace {
+
+using logic::TruthTable;
+using net::Aig;
+using net::Lit;
+
+ImportedCircuit from_blif(const std::string& text) {
+    std::istringstream in(text);
+    return read_blif(in);
+}
+
+ImportedCircuit from_bench(const std::string& text) {
+    std::istringstream in(text);
+    return read_bench(in);
+}
+
+ImportedCircuit from_aiger(const std::string& text) {
+    std::istringstream in(text);
+    return read_aiger(in);
+}
+
+const char* kC17Bench =
+    "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\n"
+    "OUTPUT(22)\nOUTPUT(23)\n"
+    "10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n"
+    "19 = NAND(11, 7)\n22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+const char* kC17Blif =
+    ".model c17\n.inputs 1 2 3 6 7\n.outputs 22 23\n"
+    ".names 1 3 10\n0- 1\n-0 1\n"
+    ".names 3 6 11\n0- 1\n-0 1\n"
+    ".names 2 11 16\n0- 1\n-0 1\n"
+    ".names 11 7 19\n0- 1\n-0 1\n"
+    ".names 10 16 22\n0- 1\n-0 1\n"
+    ".names 16 19 23\n0- 1\n-0 1\n.end\n";
+
+/// The c17 output functions over input order (1, 2, 3, 6, 7).
+std::vector<TruthTable> c17_reference() {
+    const auto nand = [](const TruthTable& a, const TruthTable& b) {
+        return ~(a & b);
+    };
+    const TruthTable x1 = TruthTable::var(0, 5), x2 = TruthTable::var(1, 5),
+                     x3 = TruthTable::var(2, 5), x6 = TruthTable::var(3, 5),
+                     x7 = TruthTable::var(4, 5);
+    const TruthTable n10 = nand(x1, x3), n11 = nand(x3, x6);
+    const TruthTable n16 = nand(x2, n11), n19 = nand(n11, x7);
+    return {nand(n10, n16), nand(n16, n19)};
+}
+
+TEST(ImportBench, C17MatchesKnownFunction) {
+    const ImportedCircuit c = from_bench(kC17Bench);
+    ASSERT_EQ(c.input_names,
+              (std::vector<std::string>{"1", "2", "3", "6", "7"}));
+    ASSERT_EQ(c.output_names, (std::vector<std::string>{"22", "23"}));
+    EXPECT_EQ(net::simulate_full(c.aig), c17_reference());
+}
+
+TEST(ImportBlif, C17MatchesBenchSpelling) {
+    const ImportedCircuit c = from_blif(kC17Blif);
+    EXPECT_EQ(c.name, "c17");
+    ASSERT_EQ(c.input_names.size(), 5u);
+    ASSERT_EQ(c.output_names.size(), 2u);
+    EXPECT_EQ(net::simulate_full(c.aig), c17_reference());
+}
+
+TEST(ImportBlif, MultiCubeCoverWithDontCares) {
+    // Majority of three as a 3-cube on-set with don't-cares.
+    const ImportedCircuit c = from_blif(
+        ".model maj\n.inputs a b c\n.outputs f\n"
+        ".names a b c f\n11- 1\n1-1 1\n-11 1\n.end\n");
+    const TruthTable a = TruthTable::var(0, 3), b = TruthTable::var(1, 3),
+                     cc = TruthTable::var(2, 3);
+    EXPECT_EQ(net::simulate_full(c.aig),
+              (std::vector<TruthTable>{(a & b) | (a & cc) | (b & cc)}));
+}
+
+TEST(ImportBlif, OffSetCoverComplements) {
+    // NOR written as its off-set: f = 0 when a or b is 1.
+    const ImportedCircuit c = from_blif(
+        ".model nor\n.inputs a b\n.outputs f\n"
+        ".names a b f\n1- 0\n-1 0\n.end\n");
+    const TruthTable a = TruthTable::var(0, 2), b = TruthTable::var(1, 2);
+    EXPECT_EQ(net::simulate_full(c.aig),
+              (std::vector<TruthTable>{~(a | b)}));
+}
+
+TEST(ImportBlif, ConstantCovers) {
+    const ImportedCircuit c = from_blif(
+        ".model consts\n.inputs a\n.outputs one zero buf\n"
+        ".names one\n1\n"
+        ".names zero\n"
+        ".names a buf\n1 1\n.end\n");
+    const TruthTable a = TruthTable::var(0, 1);
+    EXPECT_EQ(net::simulate_full(c.aig),
+              (std::vector<TruthTable>{TruthTable::ones(1),
+                                       TruthTable::zeros(1), a}));
+}
+
+TEST(ImportBlif, LineContinuationAndComments) {
+    const ImportedCircuit c = from_blif(
+        "# header comment\n"
+        ".model cont\n.inputs \\\na b\n.outputs f\n"
+        ".names a b f  # trailing comment\n11 1\n.end\n");
+    ASSERT_EQ(c.input_names.size(), 2u);
+    const TruthTable a = TruthTable::var(0, 2), b = TruthTable::var(1, 2);
+    EXPECT_EQ(net::simulate_full(c.aig), (std::vector<TruthTable>{a & b}));
+}
+
+TEST(ImportBlif, WideFaninHasNoCap) {
+    // 20 inputs would overflow the old collapse reader's 16-var tables;
+    // the structural importer has no such cap.  Sampled check only.
+    std::ostringstream spec;
+    spec << ".model wide\n.inputs";
+    for (int i = 0; i < 20; ++i) spec << " x" << i;
+    spec << "\n.outputs f\n.names";
+    for (int i = 0; i < 20; ++i) spec << " x" << i;
+    spec << " f\n" << std::string(20, '1') << " 1\n.end\n";
+    const ImportedCircuit c = from_blif(spec.str());
+    EXPECT_EQ(static_cast<int>(c.input_names.size()), 20);
+    EXPECT_GT(c.aig.num_ands(), 0);
+}
+
+TEST(ImportBench, GateZoo) {
+    const ImportedCircuit c = from_bench(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\n"
+        "OUTPUT(o1)\nOUTPUT(o2)\nOUTPUT(o3)\n"
+        "t1 = AND(a, b, c)\n"
+        "t2 = XOR(a, b)\n"
+        "o1 = NOR(t1, t2)\n"
+        "o2 = XNOR(t2, c)\n"
+        "o3 = NOT(a)\n");
+    const TruthTable a = TruthTable::var(0, 3), b = TruthTable::var(1, 3),
+                     cc = TruthTable::var(2, 3);
+    const TruthTable t1 = a & b & cc, t2 = a ^ b;
+    EXPECT_EQ(net::simulate_full(c.aig),
+              (std::vector<TruthTable>{~(t1 | t2), ~(t2 ^ cc), ~a}));
+}
+
+TEST(ImportAiger, AsciiMajorityWithSymbols) {
+    const ImportedCircuit c = from_aiger(
+        "aag 8 3 0 1 5\n2\n4\n6\n17\n"
+        "8 4 2\n10 6 2\n12 6 4\n14 11 9\n16 14 13\n"
+        "i0 a\ni1 b\ni2 c\no0 maj\n"
+        "c\nhand-written majority\n");
+    ASSERT_EQ(c.input_names, (std::vector<std::string>{"a", "b", "c"}));
+    ASSERT_EQ(c.output_names, (std::vector<std::string>{"maj"}));
+    const TruthTable a = TruthTable::var(0, 3), b = TruthTable::var(1, 3),
+                     cc = TruthTable::var(2, 3);
+    EXPECT_EQ(net::simulate_full(c.aig),
+              (std::vector<TruthTable>{(a & b) | (a & cc) | (b & cc)}));
+}
+
+TEST(ImportAiger, ConstantAndInvertedOutputs) {
+    // Outputs: const 1, const 0, !a.
+    const ImportedCircuit c = from_aiger("aag 1 1 0 3 0\n2\n1\n0\n3\n");
+    EXPECT_EQ(net::simulate_full(c.aig),
+              (std::vector<TruthTable>{TruthTable::ones(1),
+                                       TruthTable::zeros(1),
+                                       ~TruthTable::var(0, 1)}));
+}
+
+// ------------------------------------------------------------ round trips --
+
+Aig random_aig(util::Rng& rng, int num_pis, int num_steps) {
+    Aig aig(num_pis);
+    std::vector<Lit> pool;
+    for (int i = 0; i < num_pis; ++i) pool.push_back(aig.pi(i));
+    for (int s = 0; s < num_steps; ++s) {
+        const auto pick = [&] {
+            Lit l = pool[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<int>(pool.size()) - 1))];
+            return rng.coin(0.5) ? Aig::lit_not(l) : l;
+        };
+        const Lit a = pick(), b = pick();
+        pool.push_back(rng.coin(0.3) ? aig.xor2(a, b) : aig.and2(a, b));
+    }
+    const int num_pos = rng.uniform_int(1, 3);
+    for (int q = 0; q < num_pos; ++q) {
+        Lit l = pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(pool.size()) - 1))];
+        aig.add_po(rng.coin(0.5) ? Aig::lit_not(l) : l);
+    }
+    return aig;
+}
+
+TEST(ImportRoundTrip, BlifFuzzDifferential) {
+    util::Rng rng(101);
+    for (int iter = 0; iter < 40; ++iter) {
+        const Aig aig = random_aig(rng, rng.uniform_int(1, 8),
+                                   rng.uniform_int(1, 24));
+        std::stringstream ss;
+        write_blif(aig, "fuzz", ss);
+        const ImportedCircuit back = from_blif(ss.str());
+        ASSERT_EQ(static_cast<int>(back.input_names.size()), aig.num_pis());
+        EXPECT_EQ(net::simulate_full(back.aig), net::simulate_full(aig))
+            << "iteration " << iter;
+    }
+}
+
+TEST(ImportRoundTrip, BenchFuzzDifferential) {
+    util::Rng rng(202);
+    for (int iter = 0; iter < 40; ++iter) {
+        const Aig aig = random_aig(rng, rng.uniform_int(1, 8),
+                                   rng.uniform_int(1, 24));
+        std::stringstream ss;
+        write_bench(aig, ss);
+        const ImportedCircuit back = from_bench(ss.str());
+        EXPECT_EQ(net::simulate_full(back.aig), net::simulate_full(aig))
+            << "iteration " << iter;
+    }
+}
+
+TEST(ImportRoundTrip, AigerFuzzDifferentialAsciiAndBinary) {
+    util::Rng rng(303);
+    for (int iter = 0; iter < 40; ++iter) {
+        const Aig aig = random_aig(rng, rng.uniform_int(1, 8),
+                                   rng.uniform_int(1, 24));
+        const std::vector<TruthTable> want = net::simulate_full(aig);
+        for (const bool binary : {false, true}) {
+            std::stringstream ss;
+            write_aiger(aig, ss, binary);
+            const ImportedCircuit back = from_aiger(ss.str());
+            EXPECT_EQ(net::simulate_full(back.aig), want)
+                << "iteration " << iter << (binary ? " binary" : " ascii");
+        }
+    }
+}
+
+TEST(ImportRoundTrip, CollapseReaderStillWorksViaImporter) {
+    // The legacy truth-table reader now rides on the structural parser.
+    util::Rng rng(404);
+    const Aig aig = random_aig(rng, 5, 15);
+    std::stringstream ss;
+    write_blif(aig, "legacy", ss);
+    const auto model = read_blif_collapse(ss);
+    ASSERT_TRUE(model.has_value());
+    EXPECT_EQ(model->name, "legacy");
+    EXPECT_EQ(model->outputs, net::simulate_full(aig));
+}
+
+// ------------------------------------------------------- malformed corpus --
+
+TEST(ImportMalformed, BlifCorpusThrowsParseError) {
+    const char* corpus[] = {
+        // .latch: sequential designs are rejected, not mangled.
+        ".model m\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n",
+        // Multiply-driven net.
+        ".model m\n.inputs a b\n.outputs f\n.names a f\n1 1\n"
+        ".names b f\n1 1\n.end\n",
+        // Driving a primary input.
+        ".model m\n.inputs a\n.outputs f\n.names a\n1\n.names a f\n1 1\n.end\n",
+        // Undriven fanin.
+        ".model m\n.inputs a\n.outputs f\n.names a ghost f\n11 1\n.end\n",
+        // Undriven primary output.
+        ".model m\n.inputs a\n.outputs f\n.end\n",
+        // Combinational cycle.
+        ".model m\n.inputs a\n.outputs f\n.names a g f\n11 1\n"
+        ".names f g\n1 1\n.end\n",
+        // Row width mismatch.
+        ".model m\n.inputs a b\n.outputs f\n.names a b f\n1 1\n.end\n",
+        // Bad cube character.
+        ".model m\n.inputs a\n.outputs f\n.names a f\nx 1\n.end\n",
+        // Bad output column.
+        ".model m\n.inputs a\n.outputs f\n.names a f\n1 2\n.end\n",
+        // Mixed on-set and off-set rows.
+        ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n",
+        // Cover row with no .names in flight.
+        ".model m\n.inputs a\n.outputs f\n11 1\n.end\n",
+        // Unsupported structural directive.
+        ".model m\n.inputs a\n.outputs f\n.gate NAND2 A=a Y=f\n.end\n",
+        // Same primary input declared twice.
+        ".model m\n.inputs a\n.inputs a\n.outputs f\n.names f\n1\n.end\n",
+        // No .outputs at all.
+        ".model m\n.inputs a\n.names a f\n1 1\n.end\n",
+    };
+    for (const char* text : corpus) {
+        EXPECT_THROW(from_blif(text), ParseError) << text;
+    }
+}
+
+TEST(ImportMalformed, BenchCorpusThrowsParseError) {
+    const char* corpus[] = {
+        "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n",
+        "INPUT(a)\nOUTPUT(f)\nf = FROB(a)\n",
+        "INPUT(a, b)\nOUTPUT(f)\nf = AND(a, b)\n",
+        "INPUT(a)\nOUTPUT(f)\nf = NOT(a, a)\n",
+        "INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)\n",
+        // Cycle.
+        "INPUT(a)\nOUTPUT(f)\nf = AND(a, g)\ng = NOT(f)\n",
+        // Multiply driven.
+        "INPUT(a)\nOUTPUT(f)\nf = NOT(a)\nf = BUFF(a)\n",
+        // Garbage line.
+        "INPUT(a)\nOUTPUT(f)\nf NOT a\n",
+    };
+    for (const char* text : corpus) {
+        EXPECT_THROW(from_bench(text), ParseError) << text;
+    }
+}
+
+TEST(ImportMalformed, AigerCorpusThrowsParseError) {
+    const char* corpus[] = {
+        "",                        // empty
+        "aag 1 1\n",               // short header
+        "nag 1 1 0 1 0\n2\n2\n",   // bad magic
+        "aag 0 1 0 1 0\n2\n2\n",   // M < I + A
+        "aag 2 1 1 1 0\n2\n4 2\n2\n",  // latches are sequential
+        "aag 1 1 0 1 0\n3\n2\n",   // odd input literal
+        "aag 1 1 0 1 0\n2\n9\n",   // output out of range
+        "aag 2 1 0 1 1\n2\n4\n4 5 2\n",      // and rhs depends on itself
+        "aag 3 1 0 1 2\n2\n4\n4 6 2\n6 4 2\n",  // and cycle
+        "aag 2 1 0 1 1\n2\n4\n4 6 2\n",      // undefined rhs literal
+        "aag 2 2 0 0 0\n2\n2\n",   // duplicate input literal
+        "aag 2 1 0 1 1\n2\n4\n",   // truncated and section
+    };
+    for (const char* text : corpus) {
+        EXPECT_THROW(from_aiger(text), ParseError) << "[" << text << "]";
+    }
+    // Truncated binary: header promises one AND, delta bytes missing.
+    EXPECT_THROW(from_aiger("aig 3 2 0 1 1\n6\n"), ParseError);
+}
+
+TEST(ImportMalformed, ParseErrorCarriesFileAndLine) {
+    std::istringstream in(".model m\n.inputs a\n.outputs f\n.latch a f\n.end\n");
+    try {
+        read_blif(in, "broken.blif");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.file(), "broken.blif");
+        EXPECT_EQ(e.line(), 4);
+        EXPECT_NE(std::string(e.what()).find("broken.blif:4"),
+                  std::string::npos);
+    }
+}
+
+TEST(ImportMalformed, CollapseReaderReturnsNulloptNotThrow) {
+    std::istringstream in(".model m\n.inputs a\n.outputs f\n.latch a f\n.end\n");
+    EXPECT_FALSE(read_blif_collapse(in).has_value());
+}
+
+// ------------------------------------------------------------ load_circuit --
+
+TEST(ImportLoad, DispatchesByExtensionAndContent) {
+    const std::string dir = testing::TempDir();
+    const auto write_file = [&](const std::string& name,
+                                const std::string& text) {
+        const std::string path = dir + name;
+        std::ofstream out(path, std::ios::binary);
+        out << text;
+        return path;
+    };
+    const std::vector<TruthTable> want = c17_reference();
+    EXPECT_EQ(net::simulate_full(
+                  load_circuit(write_file("c17_t.bench", kC17Bench)).aig),
+              want);
+    EXPECT_EQ(net::simulate_full(
+                  load_circuit(write_file("c17_t.blif", kC17Blif)).aig),
+              want);
+    // Unknown extension: sniffed as .bench from content.
+    EXPECT_EQ(net::simulate_full(
+                  load_circuit(write_file("c17_t.txt", kC17Bench)).aig),
+              want);
+    // Name defaults to the file stem when the format has none.
+    EXPECT_EQ(load_circuit(write_file("c17_t.bench", kC17Bench)).name,
+              "c17_t");
+    EXPECT_THROW(load_circuit(dir + "does_not_exist.blif"), ParseError);
+}
+
+}  // namespace
+}  // namespace mvf::io

@@ -20,7 +20,9 @@
 //
 // Scenario flags (run/attack): --funcs FAMILY:N --seed S --population P
 // --generations G --quick --no-baseline --no-camo --no-verify
-// --adversaries a,b --json FILE
+// --adversaries a,b --json FILE; or --circuit FILE with --camo-density,
+// --camo-cells, --camo-seed, --camo-policy to attack an imported
+// BLIF/AIGER/.bench benchmark instead of a merged S-box function set.
 //
 // Observability (run/attack/batch): --trace FILE --trace-format ndjson|chrome
 // --metrics
@@ -39,6 +41,7 @@
 #include "attack/adversary.hpp"
 #include "audit/attack_proof.hpp"
 #include "camo/camo_cell.hpp"
+#include "camo/inject.hpp"
 #include "flow/batch_runner.hpp"
 #include "flow/stage_io.hpp"
 #include "map/gate_library.hpp"
@@ -62,7 +65,8 @@ int usage() {
         "commands:\n"
         "  run          run one scenario end to end\n"
         "  attack       run one scenario and red-team it (default: every\n"
-        "               registered adversary)\n"
+        "               registered adversary; with --circuit only the\n"
+        "               oracle-granted ones: cegar, random-sampling)\n"
         "  batch        run a scenario spec file, optionally in parallel\n"
         "  serve        start the persistent experiment server\n"
         "  submit       submit a spec file to a running server\n"
@@ -78,6 +82,17 @@ int usage() {
         "\n"
         "scenario options (run/attack):\n"
         "  --funcs FAMILY:N   viable set: present:2..16 or des:1..8 (default present:2)\n"
+        "  --circuit FILE     import a benchmark circuit (BLIF, AIGER aag/aig,\n"
+        "                     or ISCAS .bench) instead of merging a viable\n"
+        "                     set; camouflage it with --camo-* and attack it\n"
+        "                     (excludes --funcs and the GA/baseline flags)\n"
+        "  --camo-density D   camouflage this fraction of the mapped cells,\n"
+        "                     D in (0, 1] (default 0.1; --circuit only)\n"
+        "  --camo-cells N     camouflage exactly N cells instead of a\n"
+        "                     fraction (excludes --camo-density)\n"
+        "  --camo-seed S      cell-selection seed (default: the --seed value)\n"
+        "  --camo-policy P    which cells to pick: random (default), fanout\n"
+        "                     (highest fanout first), depth (deepest first)\n"
         "  --seed S           RNG seed (default 1)\n"
         "  --population P     GA population (default 48)\n"
         "  --generations G    GA generations (default 60)\n"
@@ -259,10 +274,74 @@ bool parse_scenario_flags(int argc, char** argv, int start,
     bool decisions_set = false;
     bool no_enumerate_set = false;
     bool noise_set = false;
+    bool funcs_set = false;
+    bool camo_density_set = false;
+    bool camo_cells_set = false;
+    // Any --camo-* flag: they configure the injection pass, which only
+    // exists on the --circuit path.
+    bool camo_flag_set = false;
+    // Flags that steer the S-box synthesis flow, which --circuit skips;
+    // remembered by name for the error message.
+    std::string sbox_only_flag;
+    const auto note_sbox_only = [&sbox_only_flag](const char* flag) {
+        if (sbox_only_flag.empty()) sbox_only_flag = flag;
+    };
     for (int i = start; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
-        if (arg == "--funcs") {
+        if (arg == "--circuit") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (value.empty()) {
+                std::fprintf(stderr, "mvf: --circuit expects a file path\n");
+                return false;
+            }
+            scenario->params.circuit.path = value;
+        } else if (arg == "--camo-density") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_double_flag(value, "--camo-density",
+                                   &scenario->params.circuit.camo_density)) {
+                return false;
+            }
+            if (!(scenario->params.circuit.camo_density > 0.0 &&
+                  scenario->params.circuit.camo_density <= 1.0)) {
+                std::fprintf(stderr, "mvf: --camo-density must be in (0, 1]\n");
+                return false;
+            }
+            camo_density_set = true;
+            camo_flag_set = true;
+        } else if (arg == "--camo-cells") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_int_flag(value, "--camo-cells",
+                                &scenario->params.circuit.camo_cells)) {
+                return false;
+            }
+            if (scenario->params.circuit.camo_cells < 1) {
+                std::fprintf(stderr, "mvf: --camo-cells must be >= 1\n");
+                return false;
+            }
+            camo_cells_set = true;
+            camo_flag_set = true;
+        } else if (arg == "--camo-seed") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            if (!parse_u64_flag(value, "--camo-seed",
+                                &scenario->params.circuit.camo_seed)) {
+                return false;
+            }
+            camo_flag_set = true;
+        } else if (arg == "--camo-policy") {
+            if (!next_value(argc, argv, &i, &value)) return false;
+            camo::InjectPolicy policy;
+            if (!camo::inject_policy_from_name(value, &policy)) {
+                std::fprintf(stderr,
+                             "mvf: --camo-policy expects random, fanout or "
+                             "depth, got \"%s\"\n",
+                             value.c_str());
+                return false;
+            }
+            scenario->params.circuit.camo_policy = value;
+            camo_flag_set = true;
+        } else if (arg == "--funcs") {
+            funcs_set = true;
             if (!next_value(argc, argv, &i, &value)) return false;
             const std::size_t colon = value.find(':');
             if (colon == std::string::npos) {
@@ -287,6 +366,7 @@ bool parse_scenario_flags(int argc, char** argv, int start,
                 return false;
             }
             population_set = true;
+            note_sbox_only("--population");
         } else if (arg == "--generations") {
             if (!next_value(argc, argv, &i, &value)) return false;
             if (!parse_int_flag(value, "--generations",
@@ -294,6 +374,7 @@ bool parse_scenario_flags(int argc, char** argv, int start,
                 return false;
             }
             generations_set = true;
+            note_sbox_only("--generations");
         } else if (arg == "--quick") {
             quick = true;
         } else if (arg == "--max-survivors") {
@@ -477,10 +558,12 @@ bool parse_scenario_flags(int argc, char** argv, int start,
             }
         } else if (arg == "--no-baseline") {
             scenario->params.run_random_baseline = false;
+            note_sbox_only("--no-baseline");
         } else if (arg == "--no-camo") {
             scenario->params.run_camo_mapping = false;
         } else if (arg == "--no-verify") {
             scenario->params.verify = false;
+            note_sbox_only("--no-verify");
         } else if (arg == "--adversaries") {
             if (!next_value(argc, argv, &i, &value)) return false;
             scenario->params.adversaries.clear();
@@ -519,6 +602,54 @@ bool parse_scenario_flags(int argc, char** argv, int start,
             std::fprintf(stderr, "mvf: unknown option %s\n", arg.c_str());
             return false;
         }
+    }
+    // Circuit scenarios are file-based: the subject comes from the
+    // benchmark, so --funcs and the S-box synthesis flags contradict
+    // --circuit, and the --camo-* knobs require it (mirrors
+    // parse_scenario_spec for the spec-file keys).
+    const bool is_circuit = !scenario->params.circuit.path.empty();
+    if (is_circuit && funcs_set) {
+        std::fprintf(stderr,
+                     "mvf: --circuit and --funcs name two different "
+                     "subjects; pick one\n");
+        return false;
+    }
+    if (!is_circuit && camo_flag_set) {
+        std::fprintf(stderr,
+                     "mvf: --camo-density/--camo-cells/--camo-seed/"
+                     "--camo-policy require --circuit (the S-box flow "
+                     "camouflages via Phase III covering)\n");
+        return false;
+    }
+    if (is_circuit && !sbox_only_flag.empty()) {
+        std::fprintf(stderr,
+                     "mvf: %s steers the S-box synthesis flow, which "
+                     "--circuit scenarios skip\n",
+                     sbox_only_flag.c_str());
+        return false;
+    }
+    if (camo_density_set && camo_cells_set) {
+        std::fprintf(stderr,
+                     "mvf: --camo-density and --camo-cells both size the "
+                     "camouflage budget; pick one\n");
+        return false;
+    }
+    if (is_circuit) {
+        // The plausibility attacker needs the viable-function targets,
+        // which only the S-box flow has.
+        for (const std::string& adv : scenario->params.adversaries) {
+            if (adv == "plausibility") {
+                std::fprintf(stderr,
+                             "mvf: adversary \"%s\" needs the viable-"
+                             "function set; --circuit scenarios support "
+                             "oracle-granted adversaries (cegar, "
+                             "random-sampling)\n",
+                             adv.c_str());
+                return false;
+            }
+        }
+        scenario->family = "circuit";
+        scenario->n = 0;
     }
     // Contradictory counting flags are a usage error, never silently
     // ignored: each flag only applies to one --count-mode.
@@ -620,9 +751,14 @@ bool parse_scenario_flags(int argc, char** argv, int start,
 }
 
 void print_record(const flow::ScenarioRecord& r) {
-    std::printf("scenario %s (funcs=%s:%d seed=%llu)\n", r.name.c_str(),
-                r.family.c_str(), r.n,
-                static_cast<unsigned long long>(r.seed));
+    if (r.family == "circuit") {
+        std::printf("scenario %s (circuit seed=%llu)\n", r.name.c_str(),
+                    static_cast<unsigned long long>(r.seed));
+    } else {
+        std::printf("scenario %s (funcs=%s:%d seed=%llu)\n", r.name.c_str(),
+                    r.family.c_str(), r.n,
+                    static_cast<unsigned long long>(r.seed));
+    }
     if (!r.ok) {
         std::printf("  FAILED: %s\n", r.error.c_str());
         return;
@@ -744,6 +880,16 @@ int run_scenarios(const std::vector<flow::Scenario>& scenarios, int jobs,
     return failures == 0 ? 0 : 1;
 }
 
+/// "bench/c17.bench" -> "c17": default scenario name for --circuit runs.
+std::string file_stem(const std::string& path) {
+    const std::size_t slash = path.find_last_of("/\\");
+    std::string stem =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::size_t dot = stem.find_last_of('.');
+    if (dot != std::string::npos && dot > 0) stem = stem.substr(0, dot);
+    return stem;
+}
+
 int cmd_run(int argc, char** argv, bool force_attack) {
     flow::Scenario scenario;
     std::string json_path;
@@ -752,13 +898,24 @@ int cmd_run(int argc, char** argv, bool force_attack) {
                               nullptr, nullptr, &obs_flags)) {
         return 2;
     }
+    const bool is_circuit = !scenario.params.circuit.path.empty();
     if (force_attack && scenario.params.adversaries.empty()) {
-        scenario.params.adversaries =
-            attack::AdversaryRegistry::instance().names();
+        if (is_circuit) {
+            // Imported circuits have no viable-function set, so only the
+            // oracle-granted adversaries apply.
+            scenario.params.adversaries = {"cegar", "random-sampling"};
+        } else {
+            scenario.params.adversaries =
+                attack::AdversaryRegistry::instance().names();
+        }
     }
     if (scenario.name.empty()) {
-        scenario.name = scenario.family + std::to_string(scenario.n) + "-s" +
-                        std::to_string(scenario.params.seed);
+        scenario.name =
+            is_circuit
+                ? file_stem(scenario.params.circuit.path) + "-s" +
+                      std::to_string(scenario.params.seed)
+                : scenario.family + std::to_string(scenario.n) + "-s" +
+                      std::to_string(scenario.params.seed);
     }
     return run_scenarios({scenario}, /*jobs=*/1, /*verbose=*/false, json_path,
                          obs_flags);
